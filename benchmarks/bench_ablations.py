@@ -1,0 +1,86 @@
+"""Ablations: mis-estimated CDFs, online updating, admission threshold.
+
+These cover design choices DESIGN.md calls out:
+
+* §IV.E stress concern — how sensitive is TailGuard to wrong CDFs?
+* §III.B.2 — does the online updating process recover accuracy on a
+  heterogeneous cluster from a wrong homogeneous start?
+* §III.C — how does the admission threshold trade shed load against
+  SLO safety under overload?
+"""
+
+from repro.experiments.extensions import (
+    ablation_admission_threshold,
+    ablation_inaccurate_cdf,
+    ablation_online_updating,
+    ablation_server_slowdown,
+)
+
+
+def test_ablation_inaccurate_cdf(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: ablation_inaccurate_cdf(n_queries=40_000, tol=0.01),
+        rounds=1, iterations=1,
+    )
+    record_report(report)
+
+    loads = {row["estimate"]: row["max_load"] for row in report.rows}
+    exact = loads["scaled-1.0"]
+    # Uniform scale errors barely move the max load.
+    for label, load in loads.items():
+        if label.startswith("scaled-"):
+            assert abs(load - exact) <= 0.04, (label, load, exact)
+    # A tail-free estimate loses the fanout gain (degenerates to T-EDFQ)
+    # but still sustains substantial load.
+    assert loads["point-mass"] <= exact + 0.02, loads
+    assert loads["point-mass"] > exact * 0.7, loads
+    # A heavier-tailed estimate is harmless.
+    assert loads["exp-fit"] >= exact - 0.02, loads
+
+
+def test_ablation_online_updating(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: ablation_online_updating(n_queries=30_000),
+        rounds=1, iterations=1,
+    )
+    record_report(report)
+
+    # Online behaviour converges to the oracle's: per-class tails match
+    # within 10%.
+    for class_name in ("class-I", "class-II"):
+        by_mode = {row["estimator"]: row["p99_ms"]
+                   for row in report.select(class_name=class_name)}
+        assert abs(by_mode["online"] - by_mode["oracle"]) \
+            / by_mode["oracle"] < 0.10, by_mode
+
+
+def test_ablation_server_slowdown(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: ablation_server_slowdown(n_queries=40_000),
+        rounds=1, iterations=1,
+    )
+    record_report(report)
+
+    during = {row["scheduler"]: row["p99_class1_ms"]
+              for row in report.select(phase="during")}
+    # TailGuard absorbs the rack slowdown better than FIFO during the
+    # transient; online updating does not do worse than static.
+    assert during["tailguard-static"] <= during["fifo"] * 1.02, during
+    assert during["tailguard-online"] <= during["tailguard-static"] * 1.05, \
+        during
+
+
+def test_ablation_admission_threshold(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: ablation_admission_threshold(n_queries=20_000),
+        rounds=1, iterations=1,
+    )
+    record_report(report)
+
+    rows = sorted(report.rows, key=lambda r: r["threshold"])
+    # Looser thresholds shed less load.
+    rejection = [row["rejection_ratio"] for row in rows]
+    assert rejection[0] >= rejection[-1] - 0.02, rejection
+    # The calibrated threshold keeps both SLOs.
+    calibrated = rows[1]
+    assert calibrated["meets_both"], calibrated

@@ -1,0 +1,33 @@
+"""Arrival-burstiness sensitivity (extension of Fig. 5b).
+
+Expected shape: burstier arrival processes (Pareto renewal, correlated
+MMPP) lower every policy's max load; the policy ordering — TailGuard
+first — is preserved under all three processes.
+"""
+
+from repro.experiments.extensions import ext_arrival_burstiness
+
+SLACK = 0.02
+
+
+def run():
+    return ext_arrival_burstiness(n_queries=40_000, tol=0.01)
+
+
+def test_ext_arrival_burstiness(benchmark, record_report):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(report)
+
+    for arrival in ("poisson", "pareto", "mmpp"):
+        loads = {row["policy"]: row["max_load"]
+                 for row in report.select(arrival=arrival)}
+        assert loads["tailguard"] >= loads["fifo"] - SLACK, (arrival, loads)
+        assert loads["tailguard"] >= loads["priq"] - SLACK, (arrival, loads)
+
+    # Burstiness costs capacity for every policy.
+    for policy in ("tailguard", "fifo", "priq", "t-edf"):
+        poisson = next(r["max_load"] for r in
+                       report.select(arrival="poisson", policy=policy))
+        mmpp = next(r["max_load"] for r in
+                    report.select(arrival="mmpp", policy=policy))
+        assert mmpp <= poisson + SLACK, (policy, poisson, mmpp)

@@ -1,0 +1,30 @@
+"""Eq. 7 extension: request-level budget assignment strategies.
+
+Expected shape: at a load comfortably inside capacity every
+budget-conserving assignment meets the request SLO (Eq. 7's guarantee);
+near capacity the equal split yields the lowest request p99 (matching
+the paper's equal-budget minimality argument) and the naive slo-split
+is worst.
+"""
+
+from repro.experiments.extensions import ext_request_decomposition
+
+
+def run():
+    return ext_request_decomposition(loads=(0.30, 0.40), n_requests=2_500)
+
+
+def test_ext_request_decomposition(benchmark, record_report):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(report)
+
+    low_load = min(row["load"] for row in report.rows)
+    high_load = max(row["load"] for row in report.rows)
+
+    for row in report.select(load=low_load):
+        if row["strategy"] in ("equal", "proportional"):
+            assert row["meets_slo"], row
+
+    tails = {row["strategy"]: row["p99_ms"]
+             for row in report.select(load=high_load)}
+    assert tails["equal"] <= tails["slo-split"] * 1.02, tails

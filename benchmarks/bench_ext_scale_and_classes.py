@@ -1,0 +1,41 @@
+"""§IV.D extensions: cluster size N=1000 and four service classes.
+
+The paper states both variants are "consistent with" the headline
+results: TailGuard's advantage over the baselines persists.
+"""
+
+from repro.experiments.extensions import ext_four_classes, ext_scale_n1000
+
+SLACK = 0.02
+
+
+def run_scale():
+    return ext_scale_n1000(n_queries=40_000, tol=0.01)
+
+
+def run_classes():
+    return ext_four_classes(n_queries=40_000, tol=0.01)
+
+
+def test_ext_scale_n1000(benchmark, record_report):
+    report = benchmark.pedantic(run_scale, rounds=1, iterations=1)
+    record_report(report)
+
+    for n_servers in (100, 1000):
+        loads = {row["policy"]: row["max_load"]
+                 for row in report.select(n_servers=n_servers)}
+        assert loads["tailguard"] >= loads["fifo"] - SLACK, (n_servers, loads)
+
+
+def test_ext_four_classes(benchmark, record_report):
+    report = benchmark.pedantic(run_classes, rounds=1, iterations=1)
+    record_report(report)
+
+    loads = {row["policy"]: row["max_load"] for row in report.rows}
+    # Deadline-based policies dominate class-based/blind ones clearly...
+    assert loads["tailguard"] >= loads["priq"] - SLACK, loads
+    assert loads["tailguard"] >= loads["fifo"] - SLACK, loads
+    assert loads["t-edf"] >= loads["priq"] - SLACK, loads
+    # ...and TailGuard and T-EDFQ are near-equivalent here: four classes
+    # make the SLO spread dominate Masstree's 0.25 ms fanout-tail spread.
+    assert abs(loads["tailguard"] - loads["t-edf"]) <= 0.05, loads

@@ -1,0 +1,19 @@
+"""Fig. 3: reconstructed Tailbench service-time CDFs.
+
+Regenerates the CDF statistics of the three workloads and checks them
+against every anchor the paper publishes.
+"""
+
+from repro.experiments.paper import fig3_workload_cdfs
+
+
+def test_fig3_workload_cdfs(benchmark, record_report):
+    report = benchmark.pedantic(fig3_workload_cdfs, rounds=1, iterations=1)
+    record_report(report)
+
+    # Every published anchor (mean, p95, p99) is matched closely.
+    for row in report.rows:
+        if row["statistic"] in ("mean", "p95", "p99"):
+            relative_error = (abs(row["model_ms"] - row["paper_ms"])
+                              / row["paper_ms"])
+            assert relative_error < 0.01, row

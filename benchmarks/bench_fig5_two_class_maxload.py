@@ -1,0 +1,45 @@
+"""Fig. 5: two-class maximum loads under Poisson and Pareto arrivals.
+
+Expected shape (paper §IV.B): with two classes TailGuard beats FIFO,
+PRIQ and T-EDFQ; the ordering is TailGuard >= T-EDFQ >= PRIQ-or-FIFO;
+Pareto (burstier) arrivals lower every policy's max load without
+reordering the policies.
+"""
+
+import numpy as np
+
+from repro.experiments.paper import fig5_two_class_maxload
+
+SLACK = 0.02
+
+
+def run():
+    return fig5_two_class_maxload(n_queries=30_000, tol=0.01, seeds=(1,))
+
+
+def test_fig5_two_class_maxload(benchmark, record_report):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(report)
+
+    for arrival in ("poisson", "pareto"):
+        rows = report.select(arrival=arrival)
+        slos = sorted({row["slo_high_ms"] for row in rows})
+        for slo in slos:
+            loads = {
+                row["policy"]: row["max_load"]
+                for row in rows if row["slo_high_ms"] == slo
+            }
+            assert loads["tailguard"] >= loads["fifo"] - SLACK, (arrival, slo)
+            assert loads["tailguard"] >= loads["priq"] - SLACK, (arrival, slo)
+            assert loads["tailguard"] >= loads["t-edf"] - SLACK, (arrival, slo)
+
+    # Burstiness costs load on average, for every policy.
+    for policy in ("tailguard", "fifo", "priq", "t-edf"):
+        poisson_avg = np.mean([row["max_load"] for row in
+                               report.select(arrival="poisson",
+                                             policy=policy)])
+        pareto_avg = np.mean([row["max_load"] for row in
+                              report.select(arrival="pareto",
+                                            policy=policy)])
+        assert pareto_avg <= poisson_avg + SLACK, (policy, poisson_avg,
+                                                   pareto_avg)

@@ -1,0 +1,56 @@
+"""Fig. 6: OLDI two-class tail-latency-vs-load curves + max loads.
+
+Expected shape (paper §IV.C): FIFO is limited by class I (class-blind),
+PRIQ by class II (starves the low class), and TailGuard balances the
+two classes so its max loads per class sit within a few percent of each
+other and its overall max load is the highest.
+"""
+
+import numpy as np
+
+from repro.experiments.paper import fig6_summary_maxload, fig6_two_class_sweep
+
+LOADS = tuple(np.arange(0.20, 0.651, 0.05))
+SLACK = 0.02
+
+
+def run_sweep():
+    return fig6_two_class_sweep(loads=LOADS, n_queries=8_000)
+
+
+def run_summary():
+    return fig6_summary_maxload(n_queries=8_000, tol=0.01)
+
+
+def test_fig6_two_class_sweep(benchmark, record_report):
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_report(report)
+
+    # Tails are (approximately) monotone in load for every curve.
+    for workload in ("masstree", "shore", "xapian"):
+        for policy in ("tailguard", "fifo", "priq"):
+            for class_name in ("class-I", "class-II"):
+                rows = report.select(workload=workload, policy=policy,
+                                     class_name=class_name)
+                tails = [row["p99_ms"] for row in
+                         sorted(rows, key=lambda r: r["load"])]
+                assert tails[-1] > tails[0], (workload, policy, class_name)
+
+    # PRIQ keeps class I far below class II at high load.
+    for workload in ("masstree", "shore", "xapian"):
+        high_load = max(row["load"] for row in report.rows)
+        rows = report.select(workload=workload, policy="priq",
+                             load=high_load)
+        tails = {row["class_name"]: row["p99_ms"] for row in rows}
+        assert tails["class-I"] < tails["class-II"], (workload, tails)
+
+
+def test_fig6_summary_maxload(benchmark, record_report):
+    report = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+    record_report(report)
+
+    for workload in ("masstree", "shore", "xapian"):
+        loads = {row["policy"]: row["max_load"]
+                 for row in report.select(workload=workload)}
+        assert loads["tailguard"] >= loads["fifo"] - SLACK, (workload, loads)
+        assert loads["tailguard"] >= loads["priq"] - SLACK, (workload, loads)

@@ -1,0 +1,48 @@
+"""Fig. 7: TailGuard with query admission control (Masstree OLDI).
+
+Expected shape (paper §IV.D): both class SLOs are guaranteed at every
+offered load, no load is shed below the maximum acceptable load, and
+beyond it the accepted load stays a bounded distance below the maximum
+acceptable load instead of collapsing.
+"""
+
+import numpy as np
+
+from repro.experiments.paper import fig7_admission_control
+
+LOADS = tuple(np.arange(0.44, 0.701, 0.02))
+
+
+def run():
+    return fig7_admission_control(
+        offered_loads=LOADS,
+        n_queries=20_000,
+        maxload_queries=12_000,
+        tol=0.01,
+    )
+
+
+def test_fig7_admission_control(benchmark, record_report):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(report)
+
+    max_acceptable = report.parameters["max_acceptable_load"]
+    slo1, slo2 = 1.0, 1.5
+
+    for row in report.rows:
+        # SLO guarantee at every offered load (small tolerance for the
+        # percentile noise of a 20k-query run).
+        assert row["p99_class1_ms"] <= slo1 * 1.07, row
+        assert row["p99_class2_ms"] <= slo2 * 1.07, row
+
+    # Below the max acceptable load, (almost) nothing is rejected.
+    for row in report.rows:
+        if row["offered_load"] <= max_acceptable - 0.05:
+            assert row["rejection_ratio"] < 0.10, row
+
+    # Above it, the accepted load does not collapse.
+    overloaded = [row for row in report.rows
+                  if row["offered_load"] >= max_acceptable + 0.04]
+    if overloaded:
+        worst = min(row["accepted_load"] for row in overloaded)
+        assert worst >= max_acceptable * 0.60, (max_acceptable, worst)

@@ -1,0 +1,65 @@
+"""Fig. 9: the heterogeneous SaS testbed (paper §IV.E).
+
+(a) the per-cluster post-queuing CDF statistics match the published
+numbers; (b-d) per-class p99 vs Server-room load for the four policies;
+and the headline max Server-room loads, whose expected ordering is
+TailGuard > T-EDFQ > FIFO/PRIQ with smaller relative gains than the
+homogeneous simulation (paper: 48/42/38/36 %).
+"""
+
+import numpy as np
+
+from repro.experiments.sas_experiments import (
+    fig9_sas_testbed,
+    fig9_summary_maxload,
+    fig9a_cluster_cdfs,
+)
+
+LOADS = tuple(np.arange(0.20, 0.551, 0.05))
+SLACK = 0.02
+
+
+def test_fig9a_cluster_cdfs(benchmark, record_report):
+    report = benchmark.pedantic(fig9a_cluster_cdfs, rounds=1, iterations=1)
+    record_report(report)
+    for row in report.rows:
+        relative_error = abs(row["model_ms"] - row["paper_ms"]) / row["paper_ms"]
+        assert relative_error < 0.005, row
+
+
+def run_sweep():
+    return fig9_sas_testbed(loads=LOADS, n_queries=20_000)
+
+
+def run_summary():
+    return fig9_summary_maxload(n_queries=20_000, tol=0.01)
+
+
+def test_fig9_sas_sweep(benchmark, record_report):
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_report(report)
+
+    # Each class's tail grows with load under every policy.
+    for policy in ("tailguard", "fifo", "priq", "t-edf"):
+        for class_name in ("class-A", "class-B", "class-C"):
+            rows = sorted(report.select(policy=policy,
+                                        class_name=class_name),
+                          key=lambda r: r["server_room_load"])
+            assert rows[-1]["p99_ms"] > rows[0]["p99_ms"], (policy,
+                                                            class_name)
+
+    # At the lowest load every policy meets every SLO.
+    low = min(row["server_room_load"] for row in report.rows)
+    for row in report.rows:
+        if row["server_room_load"] == low:
+            assert row["meets_slo"], row
+
+
+def test_fig9_summary_maxload(benchmark, record_report):
+    report = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+    record_report(report)
+
+    loads = {row["policy"]: row["max_load"] for row in report.rows}
+    assert loads["tailguard"] >= loads["fifo"] - SLACK, loads
+    assert loads["tailguard"] >= loads["priq"] - SLACK, loads
+    assert loads["tailguard"] >= loads["t-edf"] - SLACK, loads

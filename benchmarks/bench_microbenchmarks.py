@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the core primitives (true timing benchmarks).
+
+The paper claims TailGuard is lightweight: deadline estimation is a
+cached lookup plus an addition and queue management is a single EDF
+queue.  These benchmarks quantify the per-operation cost and the
+simulator's throughput.
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import EDFTaskQueue, FIFOTaskQueue, get_policy
+from repro.types import ServiceClass
+from repro.workloads import (
+    PoissonArrivals,
+    Workload,
+    get_workload,
+    inverse_proportional_fanout,
+    single_class_mix,
+)
+
+
+def test_deadline_estimation_cached(benchmark):
+    """Eq. 6 per query after the x_u cache is warm (the common path)."""
+    bench = get_workload("masstree")
+    estimator = DeadlineEstimator(bench.service_time, n_servers=100)
+    gold = ServiceClass("gold", 1.0)
+    estimator.budget_table(gold, [1, 10, 100])  # warm the cache
+
+    def estimate():
+        return estimator.deadline(1234.5, gold, fanout=100)
+
+    result = benchmark(estimate)
+    assert result > 0
+
+
+def test_deadline_estimation_cold(benchmark):
+    """Eq. 1-2 evaluation when a fanout is first seen."""
+    bench = get_workload("masstree")
+    gold = ServiceClass("gold", 1.0)
+    state = {"k": 1}
+
+    def estimate_cold():
+        estimator = DeadlineEstimator(bench.service_time, n_servers=2000)
+        state["k"] = state["k"] % 1999 + 1
+        return estimator.deadline(0.0, gold, fanout=state["k"])
+
+    benchmark(estimate_cold)
+
+
+def test_edf_queue_throughput(benchmark):
+    """Push+pop cycles through the EDF heap."""
+    keys = np.random.default_rng(0).random(10_000)
+
+    def churn():
+        queue = EDFTaskQueue()
+        for i, key in enumerate(keys):
+            queue.push(i, (key,))
+        while len(queue):
+            queue.pop()
+
+    benchmark(churn)
+
+
+def test_fifo_queue_throughput(benchmark):
+    def churn():
+        queue = FIFOTaskQueue()
+        for i in range(10_000):
+            queue.push(i, (0.0,))
+        while len(queue):
+            queue.pop()
+
+    benchmark(churn)
+
+
+def test_simulator_throughput(benchmark):
+    """End-to-end simulated tasks per second of the event-calendar loop."""
+    bench = get_workload("masstree")
+    workload = Workload(
+        name="micro",
+        arrivals=PoissonArrivals(1.0),
+        fanout=inverse_proportional_fanout([1, 10, 100]),
+        class_mix=single_class_mix(ServiceClass("gold", 1.0)),
+        service_time=bench.service_time,
+    )
+    config = ClusterConfig(
+        n_servers=100, policy="tailguard", workload=workload,
+        n_queries=10_000, seed=1,
+    ).at_load(0.4)
+
+    result = benchmark.pedantic(lambda: simulate(config), rounds=3,
+                                iterations=1)
+    assert result.tasks_total > 20_000
+
+
+def test_policy_key_computation(benchmark):
+    policy = get_policy("tailguard")
+    gold = ServiceClass("gold", 1.0)
+
+    def keys():
+        total = 0.0
+        for i in range(1000):
+            total += policy.queue_key(float(i), gold, float(i) + 0.5)[0]
+        return total
+
+    benchmark(keys)

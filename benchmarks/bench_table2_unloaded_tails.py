@@ -1,0 +1,19 @@
+"""Table II: mean service times and unloaded 99th query tails.
+
+The order-statistics identities (Eq. 1-2) applied to the reconstructed
+workload models must return the paper's Table II numbers.
+"""
+
+from repro.experiments.paper import table2_unloaded_tails
+
+
+def test_table2_unloaded_tails(benchmark, record_report):
+    report = benchmark.pedantic(table2_unloaded_tails, rounds=1, iterations=1)
+    record_report(report)
+
+    for row in report.rows:
+        relative_error = abs(row["model_ms"] - row["paper_ms"]) / row["paper_ms"]
+        assert relative_error < 0.005, (
+            f"{row['workload']} {row['quantity']}: model {row['model_ms']} "
+            f"vs paper {row['paper_ms']}"
+        )

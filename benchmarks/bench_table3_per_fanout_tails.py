@@ -1,0 +1,33 @@
+"""Table III: per-fanout 99th tails at maximum load (Masstree).
+
+Expected shape: the fanout-100 type is the binding constraint for both
+policies (its tail sits at the SLO), and TailGuard's per-type tails are
+closer together than FIFO's (more balanced resource allocation).
+"""
+
+from repro.experiments.paper import table3_per_fanout_tails
+
+
+def run():
+    return table3_per_fanout_tails(
+        slos_ms=(0.8, 1.0, 1.2, 1.4),
+        n_queries=80_000,
+        search_queries=40_000,
+        tol=0.01,
+    )
+
+
+def test_table3_per_fanout_tails(benchmark, record_report):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(report)
+
+    for slo in (0.8, 1.0, 1.2, 1.4):
+        spreads = {}
+        for policy in ("fifo", "tailguard"):
+            rows = report.select(slo_ms=slo, policy=policy)
+            tails = {row["fanout"]: row["p99_ms"] for row in rows}
+            # At its max load the binding type's tail is close to the SLO.
+            assert max(tails.values()) <= slo * 1.15, (slo, policy, tails)
+            spreads[policy] = max(tails.values()) - min(tails.values())
+        # TailGuard equalizes the types more than FIFO.
+        assert spreads["tailguard"] <= spreads["fifo"] * 1.1, (slo, spreads)

@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures and
+records an :class:`~repro.experiments.report.ExperimentReport`.  Reports
+are printed in the terminal summary (so ``pytest benchmarks/
+--benchmark-only`` shows the reproduced tables even with output
+capture on) and persisted under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.experiments.report import ExperimentReport
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_collected: List[ExperimentReport] = []
+
+
+@pytest.fixture
+def record_report():
+    """Record a report for terminal-summary printing and persistence."""
+
+    def _record(report: ExperimentReport) -> ExperimentReport:
+        _collected.append(report)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{report.experiment_id}.txt"
+        path.write_text(report.format_table() + "\n", encoding="utf-8")
+        return report
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("Reproduced tables and figures "
+                                "(also saved under benchmarks/results/)")
+    terminalreporter.write_line("=" * 72)
+    for report in _collected:
+        terminalreporter.write_line("")
+        for line in report.format_table().splitlines():
+            terminalreporter.write_line(line)

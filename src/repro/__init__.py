@@ -1,0 +1,111 @@
+"""TailGuard — tail-latency-SLO-and-fanout-aware task scheduling.
+
+A complete, from-scratch reproduction of *TailGuard: Tail Latency SLO
+Guaranteed Task Scheduling for Data-Intensive User-Facing Applications*
+(ICDCS 2023): the TF-EDFQ policy and its FIFO/PRIQ/T-EDFQ baselines, the
+order-statistics task decomposition (Eq. 1–6), query admission control,
+request-level decomposition (Eq. 7), a discrete-event simulation
+substrate, the reconstructed Tailbench workloads, the heterogeneous SaS
+testbed model, and a harness regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        ClusterConfig, ServiceClass, Workload, simulate,
+        PoissonArrivals, inverse_proportional_fanout, single_class_mix,
+        get_workload,
+    )
+
+    bench = get_workload("masstree")
+    workload = Workload(
+        name="demo",
+        arrivals=PoissonArrivals(1.0),
+        fanout=inverse_proportional_fanout([1, 10, 100]),
+        class_mix=single_class_mix(ServiceClass("gold", slo_ms=1.0)),
+        service_time=bench.service_time,
+    )
+    config = ClusterConfig(n_servers=100, policy="tailguard",
+                           workload=workload, n_queries=20_000)
+    result = simulate(config.at_load(0.40))
+    print(result.per_type_tails())
+"""
+
+from repro.cluster import ClusterConfig, SimulationResult, simulate
+from repro.core import (
+    AdmissionController,
+    DeadlineEstimator,
+    DeadlineMissRatioAdmission,
+    NoAdmission,
+    Policy,
+    QueryHandler,
+    RequestPlanner,
+    TaskServer,
+    get_policy,
+)
+from repro.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    DistributionError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+)
+from repro.experiments import (
+    EXPERIMENTS,
+    find_max_load,
+    load_sweep,
+    run_experiment,
+)
+from repro.sas import SaSTestbed
+from repro.types import QueryRecord, QuerySpec, RequestSpec, ServiceClass, Task
+from repro.workloads import (
+    PoissonArrivals,
+    ParetoArrivals,
+    Workload,
+    get_workload,
+    inverse_proportional_fanout,
+    single_class_mix,
+    uniform_class_mix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ClusterConfig",
+    "ConfigurationError",
+    "DeadlineEstimator",
+    "DeadlineMissRatioAdmission",
+    "DistributionError",
+    "EXPERIMENTS",
+    "ExperimentError",
+    "NoAdmission",
+    "ParetoArrivals",
+    "PoissonArrivals",
+    "Policy",
+    "QueryHandler",
+    "QueryRecord",
+    "QuerySpec",
+    "ReproError",
+    "RequestPlanner",
+    "RequestSpec",
+    "SaSTestbed",
+    "ServiceClass",
+    "SimulationError",
+    "SimulationResult",
+    "Task",
+    "TaskServer",
+    "Workload",
+    "find_max_load",
+    "get_policy",
+    "get_workload",
+    "inverse_proportional_fanout",
+    "load_sweep",
+    "run_experiment",
+    "simulate",
+    "single_class_mix",
+    "uniform_class_mix",
+    "__version__",
+]

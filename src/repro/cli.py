@@ -1,0 +1,179 @@
+"""Command-line interface: ``tailguard`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show all registered experiments;
+* ``run EXPERIMENT [--quick] [--json]`` — run one experiment and print
+  its table (or JSON);
+* ``all [--quick]`` — run every experiment in registry order;
+* ``simulate`` — run a one-off simulation with explicit parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, simulate
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.setups import paper_single_class_config
+from repro.workloads import generate_queries, load_trace, save_trace
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    report = run_experiment(args.experiment, quick=args.quick)
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"wrote {len(report.rows)} rows to {args.csv}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif not args.csv:
+        print(report.format_table())
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    config = paper_single_class_config(
+        args.workload, args.slo_ms, n_servers=args.servers,
+        n_queries=args.queries, seed=args.seed,
+    ).at_load(args.load)
+    rng = np.random.default_rng(args.seed)
+    specs = generate_queries(config.workload, args.queries, rng)
+    save_trace(specs, args.out)
+    print(f"recorded {len(specs)} queries to {args.out}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    specs = load_trace(args.trace)
+    bench_workload = paper_single_class_config(
+        args.workload, 1.0, n_servers=args.servers, n_queries=1,
+    ).workload
+    config = ClusterConfig(
+        n_servers=args.servers,
+        policy=args.policy,
+        specs=specs,
+        seed=args.seed,
+        server_cdfs={sid: bench_workload.service_time
+                     for sid in range(args.servers)},
+    )
+    result = simulate(config)
+    print(f"replayed {len(specs)} queries under {result.policy_name}: "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f}")
+    for (class_name, fanout), tail in result.per_type_tails().items():
+        print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        print(f"=== {name} ===", flush=True)
+        report = run_experiment(name, quick=args.quick)
+        print(report.format_table())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = paper_single_class_config(
+        args.workload,
+        args.slo_ms,
+        policy=args.policy,
+        n_servers=args.servers,
+        n_queries=args.queries,
+        seed=args.seed,
+    ).at_load(args.load)
+    result = simulate(config)
+    print(f"policy={result.policy_name} load={args.load:.2f} "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f}")
+    for (class_name, fanout), tail in result.per_type_tails().items():
+        print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms "
+              f"({result.count(class_name, fanout)} queries)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tailguard",
+        description="TailGuard (ICDCS 2023) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--quick", action="store_true",
+                            help="reduced scale for a fast look")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+    run_parser.add_argument("--csv", metavar="PATH",
+                            help="also write the rows to a CSV file")
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--quick", action="store_true")
+
+    sim_parser = sub.add_parser("simulate", help="one-off simulation")
+    sim_parser.add_argument("--workload", default="masstree",
+                            choices=["masstree", "shore", "xapian"])
+    sim_parser.add_argument("--policy", default="tailguard")
+    sim_parser.add_argument("--slo-ms", type=float, default=1.0)
+    sim_parser.add_argument("--load", type=float, default=0.4)
+    sim_parser.add_argument("--servers", type=int, default=100)
+    sim_parser.add_argument("--queries", type=int, default=20_000)
+    sim_parser.add_argument("--seed", type=int, default=1)
+
+    trace_parser = sub.add_parser("trace", help="record/replay query traces")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    record_parser = trace_sub.add_parser("record", help="record a trace")
+    record_parser.add_argument("--out", required=True)
+    record_parser.add_argument("--workload", default="masstree",
+                               choices=["masstree", "shore", "xapian"])
+    record_parser.add_argument("--slo-ms", type=float, default=1.0)
+    record_parser.add_argument("--load", type=float, default=0.4)
+    record_parser.add_argument("--servers", type=int, default=100)
+    record_parser.add_argument("--queries", type=int, default=20_000)
+    record_parser.add_argument("--seed", type=int, default=1)
+    replay_parser = trace_sub.add_parser("replay", help="replay a trace")
+    replay_parser.add_argument("--trace", required=True)
+    replay_parser.add_argument("--workload", default="masstree",
+                               choices=["masstree", "shore", "xapian"])
+    replay_parser.add_argument("--policy", default="tailguard")
+    replay_parser.add_argument("--servers", type=int, default=100)
+    replay_parser.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "all": _cmd_all,
+        "simulate": _cmd_simulate,
+    }
+    if args.command == "trace":
+        trace_handlers = {
+            "record": _cmd_trace_record,
+            "replay": _cmd_trace_replay,
+        }
+        return trace_handlers[args.trace_command](args)
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

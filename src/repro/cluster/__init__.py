@@ -1,0 +1,14 @@
+"""Cluster-scale simulation of the TailGuard query processing model.
+
+:func:`~repro.cluster.simulation.simulate` runs the paper's Fig. 2
+model — query arrivals, a query handler computing deadlines, N task
+servers each with one policy-ordered queue — over tens of thousands of
+queries in seconds, producing a :class:`~repro.cluster.results.SimulationResult`
+with per-type tail latencies, utilization and deadline-miss statistics.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import SimulationResult
+from repro.cluster.simulation import simulate
+
+__all__ = ["ClusterConfig", "SimulationResult", "simulate"]

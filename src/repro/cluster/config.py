@@ -1,0 +1,126 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.admission import AdmissionController
+from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import Policy, get_policy
+from repro.distributions import Distribution
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec
+from repro.workloads.generator import Workload
+
+#: Custom placement hook: (spec, rng) -> server ids (len == fanout).
+PlacementFn = Callable[[QuerySpec, np.random.Generator], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ServicePerturbation:
+    """A time-windowed service slowdown/speedup (failure injection).
+
+    While the simulation clock is in ``[start_ms, end_ms)``, service
+    times drawn by the listed servers are multiplied by ``factor``.
+    Models the paper's §III.B.2 concerns — "skewed workloads, uneven
+    resource allocation and resource availability changes" — and drives
+    the server-slowdown ablation.
+    """
+
+    server_ids: Tuple[int, ...]
+    start_ms: float
+    end_ms: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not self.server_ids:
+            raise ConfigurationError("perturbation needs at least one server")
+        if not 0 <= self.start_ms < self.end_ms:
+            raise ConfigurationError(
+                f"need 0 <= start < end, got [{self.start_ms}, {self.end_ms})"
+            )
+        if self.factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {self.factor}")
+
+    def applies(self, server_id: int, now: float) -> bool:
+        return (self.start_ms <= now < self.end_ms
+                and server_id in self.server_ids)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything :func:`repro.cluster.simulation.simulate` needs.
+
+    Exactly one of ``workload`` or ``specs`` must be provided: either
+    queries are generated from a workload model, or a pre-materialized
+    spec list (trace replay — the mode that makes policy comparisons
+    perfectly paired) is replayed.
+    """
+
+    n_servers: int
+    policy: Union[str, Policy]
+    workload: Optional[Workload] = None
+    n_queries: int = 50_000
+    specs: Optional[Sequence[QuerySpec]] = None
+    seed: int = 0
+    #: Leading fraction of queries excluded from statistics.
+    warmup_fraction: float = 0.1
+    admission: Optional[AdmissionController] = None
+    #: Per-server *actual* service-time distributions; defaults to the
+    #: workload's service time on every server (homogeneous).
+    server_cdfs: Optional[Mapping[int, Distribution]] = None
+    #: Deadline estimator override — pass one to model online updating,
+    #: shared/inaccurate CDFs, or heterogeneity-aware estimation.
+    estimator: Optional[DeadlineEstimator] = None
+    #: Custom task placement (e.g. the SaS use-case rules).
+    placement: Optional[PlacementFn] = None
+    #: Failure injection: time-windowed service-time perturbations.
+    perturbations: Tuple[ServicePerturbation, ...] = ()
+    #: When set, sample (time, queued tasks, busy servers) every this
+    #: many ms into ``SimulationResult.timeline`` (transient analysis).
+    timeline_interval_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigurationError(f"need >= 1 server, got {self.n_servers}")
+        if (self.workload is None) == (self.specs is None):
+            raise ConfigurationError("provide exactly one of workload or specs")
+        if self.workload is not None and self.n_queries < 1:
+            raise ConfigurationError(f"n_queries must be >= 1, got {self.n_queries}")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.timeline_interval_ms is not None and self.timeline_interval_ms <= 0:
+            raise ConfigurationError(
+                f"timeline_interval_ms must be positive, "
+                f"got {self.timeline_interval_ms}"
+            )
+
+    def resolve_policy(self) -> Policy:
+        if isinstance(self.policy, Policy):
+            return self.policy
+        return get_policy(self.policy)
+
+    def resolve_server_cdfs(self) -> Mapping[int, Distribution]:
+        if self.server_cdfs is not None:
+            if set(self.server_cdfs) != set(range(self.n_servers)):
+                raise ConfigurationError(
+                    "server_cdfs must cover exactly servers 0..N-1"
+                )
+            return self.server_cdfs
+        if self.workload is None:
+            raise ConfigurationError(
+                "spec-driven simulations need explicit server_cdfs"
+            )
+        shared = self.workload.service_time
+        return {server: shared for server in range(self.n_servers)}
+
+    def at_load(self, load: float) -> "ClusterConfig":
+        """A copy with the workload re-rated to the given offered load."""
+        if self.workload is None:
+            raise ConfigurationError("at_load requires a workload")
+        return replace(self, workload=self.workload.at_load(load, self.n_servers))

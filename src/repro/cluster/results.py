@@ -1,0 +1,272 @@
+"""Simulation outcome containers and SLO attainment checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.percentile import exact_percentile
+from repro.types import ServiceClass
+
+#: A query *type* is a (service class name, fanout) pair (§IV.B).
+TypeKey = Tuple[str, int]
+
+
+@dataclass
+class Timeline:
+    """Sampled system state over simulation time.
+
+    Enabled via ``ClusterConfig.timeline_interval_ms``; one row per
+    sample instant, state as it was *just before* that instant.
+    """
+
+    time: np.ndarray
+    queued_tasks: np.ndarray
+    busy_servers: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    def peak_queue(self) -> int:
+        return int(self.queued_tasks.max()) if len(self) else 0
+
+    def mean_busy(self) -> float:
+        return float(self.busy_servers.mean()) if len(self) else 0.0
+
+    def between(self, start_ms: float, end_ms: float) -> "Timeline":
+        mask = (self.time >= start_ms) & (self.time < end_ms)
+        return Timeline(self.time[mask], self.queued_tasks[mask],
+                        self.busy_servers[mask])
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured by one simulation run.
+
+    Per-query arrays are aligned by query index; ``measured`` masks out
+    the warm-up prefix.  Rejected queries (admission control) have
+    ``latency`` = NaN and ``rejected`` = True.
+    """
+
+    policy_name: str
+    n_servers: int
+    seed: int
+    offered_load: float
+    classes: Tuple[ServiceClass, ...]
+    class_index: np.ndarray
+    fanout: np.ndarray
+    arrival: np.ndarray
+    latency: np.ndarray
+    rejected: np.ndarray
+    measured: np.ndarray
+    tasks_total: int
+    tasks_missed_deadline: int
+    busy_time_total: float
+    duration: float
+    mean_service_ms: float
+    timeline: Optional[Timeline] = None
+
+    # ------------------------------------------------------------------
+    def _class_by_name(self, name: str) -> ServiceClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        known = [cls.name for cls in self.classes]
+        raise ConfigurationError(f"unknown class {name!r}; known: {known}")
+
+    def _mask(self, class_name: Optional[str], fanout: Optional[int],
+              measured_only: bool = True) -> np.ndarray:
+        mask = ~self.rejected & ~np.isnan(self.latency)
+        if measured_only:
+            mask &= self.measured
+        if class_name is not None:
+            idx = [i for i, cls in enumerate(self.classes)
+                   if cls.name == class_name]
+            if not idx:
+                raise ConfigurationError(f"unknown class {class_name!r}")
+            mask &= self.class_index == idx[0]
+        if fanout is not None:
+            mask &= self.fanout == fanout
+        return mask
+
+    def latencies(self, class_name: Optional[str] = None,
+                  fanout: Optional[int] = None) -> np.ndarray:
+        """Measured (post-warm-up) latencies of completed queries."""
+        return self.latency[self._mask(class_name, fanout)]
+
+    def latencies_between(self, start_ms: float, end_ms: float,
+                          class_name: Optional[str] = None,
+                          fanout: Optional[int] = None) -> np.ndarray:
+        """Latencies of queries that *arrived* within a time window.
+
+        Used for transient analysis: e.g. tail latency during an
+        injected server slowdown versus before/after it.
+        """
+        if end_ms <= start_ms:
+            raise ConfigurationError(
+                f"need start < end, got [{start_ms}, {end_ms})"
+            )
+        mask = self._mask(class_name, fanout)
+        mask &= (self.arrival >= start_ms) & (self.arrival < end_ms)
+        return self.latency[mask]
+
+    def tail_between(self, start_ms: float, end_ms: float,
+                     percentile: float = 99.0,
+                     class_name: Optional[str] = None,
+                     fanout: Optional[int] = None) -> float:
+        """Tail latency over an arrival-time window."""
+        values = self.latencies_between(start_ms, end_ms, class_name, fanout)
+        if values.size == 0:
+            raise ConfigurationError(
+                f"no measured queries arrived in [{start_ms}, {end_ms})"
+            )
+        return exact_percentile(values, percentile)
+
+    def count(self, class_name: Optional[str] = None,
+              fanout: Optional[int] = None) -> int:
+        return int(self._mask(class_name, fanout).sum())
+
+    def tail(self, percentile: float = 99.0, class_name: Optional[str] = None,
+             fanout: Optional[int] = None) -> float:
+        """Measured tail latency of a class/fanout selection."""
+        values = self.latencies(class_name, fanout)
+        if values.size == 0:
+            raise ConfigurationError(
+                f"no measured samples for class={class_name!r}, fanout={fanout!r}"
+            )
+        return exact_percentile(values, percentile)
+
+    # ------------------------------------------------------------------
+    def types(self) -> Tuple[TypeKey, ...]:
+        """The distinct (class, fanout) types among measured queries."""
+        mask = self._mask(None, None)
+        pairs = {
+            (self.classes[int(c)].name, int(k))
+            for c, k in zip(self.class_index[mask], self.fanout[mask])
+        }
+        return tuple(sorted(pairs))
+
+    def per_type_tails(self, percentile: Optional[float] = None
+                       ) -> Dict[TypeKey, float]:
+        """Tail latency per query type; defaults to each class's own
+        SLO percentile."""
+        tails: Dict[TypeKey, float] = {}
+        for class_name, fanout in self.types():
+            p = percentile
+            if p is None:
+                p = self._class_by_name(class_name).percentile
+            tails[(class_name, fanout)] = self.tail(p, class_name, fanout)
+        return tails
+
+    def bucket_latencies(self, class_name: str,
+                         fanout_edges: Tuple[int, ...]) -> Dict[Tuple[int, int], np.ndarray]:
+        """Measured latencies grouped into fanout ranges.
+
+        ``fanout_edges`` are ascending lower edges, e.g. ``(1, 10, 100)``
+        groups fanouts into [1, 10), [10, 100), [100, inf).  Useful for
+        long-tailed fanout distributions (Zipf) where individual fanout
+        values have too few samples for a stable percentile.
+        """
+        if not fanout_edges or list(fanout_edges) != sorted(set(fanout_edges)):
+            raise ConfigurationError(
+                f"fanout_edges must be ascending and unique, got {fanout_edges}"
+            )
+        mask = self._mask(class_name, None)
+        fanouts = self.fanout[mask]
+        latencies = self.latency[mask]
+        edges = np.asarray(fanout_edges)
+        bucket_index = np.searchsorted(edges, fanouts, side="right") - 1
+        buckets: Dict[Tuple[int, int], np.ndarray] = {}
+        upper = list(fanout_edges[1:]) + [np.iinfo(np.int32).max]
+        for i, (lo, hi) in enumerate(zip(fanout_edges, upper)):
+            in_bucket = bucket_index == i
+            if in_bucket.any():
+                buckets[(int(lo), int(hi))] = latencies[in_bucket]
+        return buckets
+
+    def meets_all_slos(self, min_samples: int = 100,
+                       fanout_buckets: Optional[Tuple[int, ...]] = None) -> bool:
+        """Whether every query type meets its class SLO (§IV.B).
+
+        Types with fewer than ``min_samples`` measured queries are
+        folded into their class-level check instead of being judged on
+        a noisy percentile.  ``fanout_buckets`` replaces exact-fanout
+        types by fanout ranges — appropriate for workloads with many
+        distinct fanouts (see :meth:`bucket_latencies`).
+        """
+        checked_any = False
+        if fanout_buckets is None:
+            for class_name, fanout in self.types():
+                cls = self._class_by_name(class_name)
+                if self.count(class_name, fanout) >= min_samples:
+                    checked_any = True
+                    if self.tail(cls.percentile, class_name,
+                                 fanout) > cls.slo_ms:
+                        return False
+        else:
+            for cls in self.classes:
+                if self.count(cls.name) == 0:
+                    continue
+                for values in self.bucket_latencies(cls.name,
+                                                    fanout_buckets).values():
+                    if values.size >= min_samples:
+                        checked_any = True
+                        if exact_percentile(values,
+                                            cls.percentile) > cls.slo_ms:
+                            return False
+        for cls in self.classes:
+            if self.count(cls.name) == 0:
+                continue
+            checked_any = True
+            if self.tail(cls.percentile, cls.name) > cls.slo_ms:
+                return False
+        if not checked_any:
+            raise ConfigurationError("no measured queries to check SLOs against")
+        return True
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of server-time spent serving tasks."""
+        if self.duration <= 0:
+            return 0.0
+        return self.busy_time_total / (self.n_servers * self.duration)
+
+    def deadline_miss_ratio(self) -> float:
+        if self.tasks_total == 0:
+            return 0.0
+        return self.tasks_missed_deadline / self.tasks_total
+
+    def rejection_ratio(self) -> float:
+        """Fraction of measured queries rejected by admission control."""
+        window = self.measured
+        total = int(window.sum())
+        if total == 0:
+            return 0.0
+        return float((self.rejected & window).sum()) / total
+
+    def accepted_load(self) -> float:
+        """Offered load carried by *accepted* queries only (Fig. 7a)."""
+        window = self.measured & ~self.rejected
+        if self.duration <= 0:
+            return 0.0
+        span = self.arrival[self.measured]
+        if span.size < 2:
+            return 0.0
+        horizon = float(span.max() - span.min())
+        if horizon <= 0:
+            return 0.0
+        demand = float(self.fanout[window].sum()) * self.mean_service_ms
+        return demand / (self.n_servers * horizon)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for logging/CLI output."""
+        return {
+            "offered_load": self.offered_load,
+            "utilization": self.utilization(),
+            "deadline_miss_ratio": self.deadline_miss_ratio(),
+            "rejection_ratio": self.rejection_ratio(),
+            "queries_measured": float(self._mask(None, None).sum()),
+        }

@@ -1,0 +1,299 @@
+"""The optimized event-calendar simulation of the TailGuard model.
+
+Semantics are identical to composing :class:`repro.core.handler.QueryHandler`
+with :class:`repro.core.server.TaskServer` on the DES kernel (an
+integration test asserts equal latencies on a shared trace), but the
+implementation is a flat two-stream merge — sorted arrivals against a
+completion heap — which runs large parameter sweeps in minutes.
+
+Model recap (paper Fig. 2):
+
+* a query arrives, passes admission control, fans out ``k_f`` tasks to
+  distinct servers, all stamped with one queuing deadline ``t_D``
+  (Eq. 6);
+* each server serves one task at a time from a policy-ordered queue;
+* deadline misses are observed at dequeue time (central queuing);
+* a query completes when its slowest task does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import SimulationResult, Timeline
+from repro.core.deadline import DeadlineEstimator
+from repro.distributions import SampleStream
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+from repro.workloads.generator import generate_queries
+
+
+def simulate(config: ClusterConfig) -> SimulationResult:
+    """Run one simulation and collect per-query statistics."""
+    policy = config.resolve_policy()
+    root_rng = np.random.default_rng(config.seed)
+    spec_rng, placement_rng, service_rng = root_rng.spawn(3)
+
+    if config.specs is not None:
+        specs = sorted(config.specs, key=lambda s: s.arrival_time)
+    else:
+        specs = generate_queries(config.workload, config.n_queries, spec_rng)
+    if not specs:
+        raise ConfigurationError("no queries to simulate")
+
+    n = config.n_servers
+    server_cdfs = config.resolve_server_cdfs()
+
+    # One block sampler per distinct service-time distribution object.
+    streams: Dict[int, SampleStream] = {}
+    server_stream: List[SampleStream] = []
+    for sid in range(n):
+        dist = server_cdfs[sid]
+        stream = streams.get(id(dist))
+        if stream is None:
+            stream = SampleStream(dist, service_rng.spawn(1)[0])
+            streams[id(dist)] = stream
+        server_stream.append(stream)
+
+    estimator = config.estimator
+    if estimator is None:
+        estimator = DeadlineEstimator(dict(server_cdfs))
+
+    # ------------------------------------------------------------------
+    # Per-query arrays.
+    # ------------------------------------------------------------------
+    m = len(specs)
+    classes: List[ServiceClass] = []
+    class_of: Dict[str, int] = {}
+    class_index = np.empty(m, dtype=np.int32)
+    fanout = np.empty(m, dtype=np.int32)
+    arrival = np.empty(m, dtype=np.float64)
+    for i, spec in enumerate(specs):
+        cls = spec.service_class
+        idx = class_of.get(cls.name)
+        if idx is None:
+            idx = len(classes)
+            class_of[cls.name] = idx
+            classes.append(cls)
+        elif classes[idx] != cls:
+            raise ConfigurationError(f"two different classes named {cls.name!r}")
+        class_index[i] = idx
+        fanout[i] = spec.fanout
+        arrival[i] = spec.arrival_time
+        if spec.fanout > n:
+            raise ConfigurationError(
+                f"query {spec.query_id}: fanout {spec.fanout} > {n} servers"
+            )
+
+    remaining = fanout.astype(np.int64).copy()
+    latency = np.full(m, np.nan)
+    rejected = np.zeros(m, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Server state.
+    # ------------------------------------------------------------------
+    queues = [policy.create_queue() for _ in range(n)]
+    busy = [False] * n
+    all_servers = tuple(range(n))
+
+    heap: List[Tuple[float, int, int, float]] = []  # (finish, sid, qidx, duration)
+    push, pop = heapq.heappush, heapq.heappop
+
+    admission = config.admission
+    placement = config.placement
+    placement_wants_depths = bool(
+        placement is not None and getattr(placement, "needs_queue_depths",
+                                          False)
+    )
+    perturbations = tuple(config.perturbations)
+    perturbed_servers = (
+        frozenset().union(*(p.server_ids for p in perturbations))
+        if perturbations else frozenset()
+    )
+
+    def perturbed_duration(sid: int, start: float, duration: float) -> float:
+        for perturbation in perturbations:
+            if perturbation.applies(sid, start):
+                duration *= perturbation.factor
+        return duration
+
+    online = estimator.online_enabled
+    homogeneous_fast = estimator.homogeneous and not online and placement is None
+
+    # Deadline budgets are per (class, fanout): cache them locally for
+    # the static homogeneous fast path.
+    budget_cache: Dict[Tuple[int, int], float] = {}
+
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+    now = 0.0
+    qi = 0
+    infinity = float("inf")
+
+    # Optional timeline sampling: state *between* events is constant, so
+    # emit samples for every interval boundary the clock steps over.
+    sample_interval = config.timeline_interval_ms
+    next_sample = sample_interval if sample_interval is not None else infinity
+    sample_times: List[float] = []
+    sample_queued: List[int] = []
+    sample_busy: List[int] = []
+    queued_tasks = 0
+    busy_servers = 0
+
+    while qi < m or heap:
+        next_arrival = arrival[qi] if qi < m else infinity
+        if sample_interval is not None:
+            next_event = min(next_arrival, heap[0][0] if heap else infinity)
+            while next_sample <= next_event:
+                sample_times.append(next_sample)
+                sample_queued.append(queued_tasks)
+                sample_busy.append(busy_servers)
+                next_sample += sample_interval
+        if heap and heap[0][0] <= next_arrival:
+            # ----- task completion -------------------------------------
+            finish, sid, qidx, duration = pop(heap)
+            now = finish
+            if online:
+                estimator.record(sid, duration)
+            remaining[qidx] -= 1
+            if remaining[qidx] == 0:
+                latency[qidx] = now - arrival[qidx]
+            queue = queues[sid]
+            if len(queue) > 0:
+                task_qidx, task_deadline = queue.pop()
+                queued_tasks -= 1
+                tasks_total += 1
+                missed = now > task_deadline
+                if missed:
+                    tasks_missed += 1
+                if admission is not None:
+                    admission.record_task(missed, now)
+                next_duration = server_stream[sid].next()
+                if sid in perturbed_servers:
+                    next_duration = perturbed_duration(sid, now, next_duration)
+                busy_total += next_duration
+                push(heap, (now + next_duration, sid, task_qidx, next_duration))
+            else:
+                busy[sid] = False
+                busy_servers -= 1
+            continue
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        if admission is not None and not admission.admit(now):
+            rejected[qidx] = True
+            continue
+
+        spec = specs[qidx]
+        k = int(fanout[qidx])
+        cls = classes[class_index[qidx]]
+
+        if spec.servers is not None:
+            servers = spec.servers
+        elif placement is not None:
+            if placement_wants_depths:
+                depths = tuple(
+                    len(queues[sid]) + (1 if busy[sid] else 0)
+                    for sid in range(n)
+                )
+                servers = placement(spec, placement_rng, depths)
+            else:
+                servers = placement(spec, placement_rng)
+            if len(servers) != k:
+                raise ConfigurationError(
+                    f"placement returned {len(servers)} servers for fanout {k}"
+                )
+        elif k == n:
+            servers = all_servers
+        elif k == 1:
+            servers = (int(placement_rng.integers(n)),)
+        else:
+            servers = tuple(
+                int(s) for s in placement_rng.choice(n, size=k, replace=False)
+            )
+
+        if homogeneous_fast and spec.servers is None:
+            cache_key = (int(class_index[qidx]), k)
+            budget = budget_cache.get(cache_key)
+            if budget is None:
+                budget = estimator.budget(cls, fanout=k)
+                budget_cache[cache_key] = budget
+            deadline = now + budget
+        elif estimator.homogeneous:
+            deadline = estimator.deadline(now, cls, fanout=k)
+        else:
+            deadline = estimator.deadline(now, cls, servers=servers)
+
+        key = policy.queue_key(now, cls, deadline)
+        for sid in servers:
+            if busy[sid]:
+                queues[sid].push((qidx, deadline), key)
+                queued_tasks += 1
+            else:
+                busy[sid] = True
+                busy_servers += 1
+                tasks_total += 1
+                if now > deadline:
+                    tasks_missed += 1
+                    if admission is not None:
+                        admission.record_task(True, now)
+                elif admission is not None:
+                    admission.record_task(False, now)
+                duration = server_stream[sid].next()
+                if sid in perturbed_servers:
+                    duration = perturbed_duration(sid, now, duration)
+                busy_total += duration
+                push(heap, (now + duration, sid, qidx, duration))
+
+    # ------------------------------------------------------------------
+    # Wrap up.
+    # ------------------------------------------------------------------
+    warmup_count = int(m * config.warmup_fraction)
+    measured = np.zeros(m, dtype=bool)
+    measured[warmup_count:] = True
+
+    timeline = None
+    if sample_interval is not None:
+        timeline = Timeline(
+            time=np.asarray(sample_times),
+            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
+            busy_servers=np.asarray(sample_busy, dtype=np.int64),
+        )
+
+    mean_service = float(
+        np.mean([server_cdfs[sid].mean() for sid in range(n)])
+    )
+    if config.workload is not None:
+        offered = config.workload.load(n)
+    else:
+        span = float(arrival.max() - arrival.min())
+        offered = (
+            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
+        )
+
+    return SimulationResult(
+        policy_name=policy.name,
+        n_servers=n,
+        seed=config.seed,
+        offered_load=offered,
+        classes=tuple(classes),
+        class_index=class_index,
+        fanout=fanout,
+        arrival=arrival,
+        latency=latency,
+        rejected=rejected,
+        measured=measured,
+        tasks_total=tasks_total,
+        tasks_missed_deadline=tasks_missed,
+        busy_time_total=busy_total,
+        duration=now,
+        mean_service_ms=mean_service,
+        timeline=timeline,
+    )

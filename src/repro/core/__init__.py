@@ -1,0 +1,62 @@
+"""TailGuard's core: the paper's primary contribution.
+
+* :mod:`repro.core.deadline` — task decomposition: translate (SLO,
+  fanout) into a task queuing deadline (Eq. 1–6);
+* :mod:`repro.core.policies` — the TF-EDFQ queue and the FIFO / PRIQ /
+  T-EDFQ baselines (§III.A);
+* :mod:`repro.core.admission` — moving-window query admission control
+  (§III.C);
+* :mod:`repro.core.server` / :mod:`repro.core.handler` — task servers
+  and the mid-tier query handler, composable on the DES kernel;
+* :mod:`repro.core.requests` — request-level decomposition (Eq. 7).
+"""
+
+from repro.core.admission import (
+    AdmissionController,
+    DeadlineMissRatioAdmission,
+    NoAdmission,
+)
+from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import (
+    EDFTaskQueue,
+    FIFOTaskQueue,
+    POLICIES,
+    Policy,
+    PriorityTaskQueue,
+    TaskQueueBase,
+    WRRPolicy,
+    WeightedRoundRobinTaskQueue,
+    get_policy,
+)
+from repro.core.handler import QueryHandler
+from repro.core.server import TaskServer
+from repro.core.requests import (
+    BudgetAssignment,
+    EqualSplit,
+    ProportionalToTail,
+    RequestPlanner,
+    SloSplit,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BudgetAssignment",
+    "DeadlineEstimator",
+    "DeadlineMissRatioAdmission",
+    "EDFTaskQueue",
+    "EqualSplit",
+    "FIFOTaskQueue",
+    "NoAdmission",
+    "POLICIES",
+    "Policy",
+    "PriorityTaskQueue",
+    "ProportionalToTail",
+    "QueryHandler",
+    "RequestPlanner",
+    "SloSplit",
+    "TaskQueueBase",
+    "TaskServer",
+    "WRRPolicy",
+    "WeightedRoundRobinTaskQueue",
+    "get_policy",
+]

@@ -1,0 +1,225 @@
+"""Query admission control (paper §III.C).
+
+TailGuard tolerates a small fraction of tasks missing their queuing
+deadlines without violating any tail-latency SLO (the SLO is a
+percentile guarantee).  The controller tracks the deadline-miss ratio
+over a moving window of recent tasks; while the ratio exceeds the
+threshold ``R_th``, upcoming queries are rejected.
+
+The window is doubly bounded, following §III.C/§IV.D: at most
+``window_tasks`` recent tasks (the paper uses 100 000 ≈ 1000 fanout-100
+queries) and, when ``window_ms`` is set, at most that much wall-clock
+history ("the moving time window can be set to be the same as the time
+window in which the tail latency SLOs should be guaranteed").  The time
+bound is what lets the controller *recover* from a deep overload: once
+rejection has drained the backlog, stale misses age out even though no
+new tasks arrive, so admission resumes instead of latching shut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class AdmissionController:
+    """Interface: per-task feedback in, admit/reject decisions out.
+
+    ``now`` is the current (simulation) time in ms; controllers without
+    time-based state may ignore it.
+    """
+
+    def admit(self, now: float = 0.0) -> bool:
+        """Whether a query arriving at ``now`` should be admitted."""
+        raise NotImplementedError
+
+    def record_task(self, missed_deadline: bool, now: float = 0.0) -> None:
+        """Feed the outcome of one dequeued task."""
+        raise NotImplementedError
+
+    def miss_ratio(self) -> float:
+        """Current deadline-miss ratio over the window (0 when empty)."""
+        raise NotImplementedError
+
+
+class NoAdmission(AdmissionController):
+    """Admit everything (the paper's default evaluation mode)."""
+
+    def admit(self, now: float = 0.0) -> bool:
+        return True
+
+    def record_task(self, missed_deadline: bool, now: float = 0.0) -> None:
+        pass
+
+    def miss_ratio(self) -> float:
+        return 0.0
+
+
+class DeadlineMissRatioAdmission(AdmissionController):
+    """Moving-window deadline-miss-ratio control (§III.C, §IV.D).
+
+    Parameters
+    ----------
+    threshold:
+        ``R_th``: reject queries while the window's miss ratio exceeds
+        this (the paper calibrates 1.7% for Masstree).
+    window_tasks:
+        Maximum number of task outcomes retained.
+    window_ms:
+        Optional maximum age of a retained outcome.  Strongly
+        recommended for overload experiments — without it a saturated
+        window can never recover once arrivals stop being admitted.
+    min_samples:
+        Grace period: admit unconditionally until this many outcomes
+        have been observed.
+    mode:
+        ``"on-off"`` (default) is the paper's literal rule: reject every
+        query while the ratio exceeds ``R_th``.  ``"duty-cycle"`` is a
+        stabilized variant for sustained-overload experiments: an
+        admit probability adapts AIMD-style (multiplicative decrease
+        while over threshold, additive increase while clearly under)
+        and queries are thinned deterministically to that probability.
+        On/off control over bursty miss processes latches into long
+        all-reject phases — the backlog drained during rejection keeps
+        the window full of misses — whereas the duty cycle settles near
+        the sustainable rate, which is the behaviour Fig. 7 reports.
+    decrease / increase / floor / ctl_interval_ms:
+        Duty-cycle tuning: multiplicative decrease factor, additive
+        increase step, the lowest admit probability, and how often (in
+        simulation time) the probability may be adjusted.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        window_tasks: int = 100_000,
+        window_ms: Optional[float] = None,
+        min_samples: int = 1_000,
+        mode: str = "on-off",
+        decrease: float = 0.85,
+        increase: float = 0.05,
+        floor: float = 0.02,
+        ctl_interval_ms: float = 50.0,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be a ratio in (0, 1), got {threshold}"
+            )
+        if window_tasks < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window_tasks}")
+        if window_ms is not None and window_ms <= 0:
+            raise ConfigurationError(f"window_ms must be positive, got {window_ms}")
+        if min_samples < 1 or min_samples > window_tasks:
+            raise ConfigurationError(
+                f"min_samples must be in [1, window]; got {min_samples}"
+            )
+        if mode not in ("on-off", "duty-cycle"):
+            raise ConfigurationError(
+                f"mode must be 'on-off' or 'duty-cycle', got {mode!r}"
+            )
+        if not 0 < decrease < 1 or increase <= 0 or not 0 < floor <= 1:
+            raise ConfigurationError("invalid duty-cycle tuning parameters")
+        if ctl_interval_ms <= 0:
+            raise ConfigurationError(
+                f"ctl_interval_ms must be positive, got {ctl_interval_ms}"
+            )
+        self.threshold = float(threshold)
+        self.window_tasks = int(window_tasks)
+        self.window_ms = window_ms
+        self.min_samples = int(min_samples)
+        self.mode = mode
+        self._decrease = float(decrease)
+        self._increase = float(increase)
+        self._floor = float(floor)
+        self._ctl_interval = float(ctl_interval_ms)
+        self._admit_probability = 1.0
+        self._duty_accumulator = 0.0
+        self._last_control = -float("inf")
+        self._entries: Deque[Tuple[float, bool]] = deque()
+        self._misses = 0
+        self._seen = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    def _evict(self, now: float) -> None:
+        entries = self._entries
+        while len(entries) > self.window_tasks:
+            _, missed = entries.popleft()
+            if missed:
+                self._misses -= 1
+        if self.window_ms is not None:
+            horizon = now - self.window_ms
+            while entries and entries[0][0] < horizon:
+                _, missed = entries.popleft()
+                if missed:
+                    self._misses -= 1
+
+    def record_task(self, missed_deadline: bool, now: float = 0.0) -> None:
+        self._entries.append((now, missed_deadline))
+        if missed_deadline:
+            self._misses += 1
+        self._seen += 1
+        self._evict(now)
+
+    def miss_ratio(self) -> float:
+        if not self._entries:
+            return 0.0
+        return self._misses / len(self._entries)
+
+    @property
+    def admit_probability(self) -> float:
+        """Current duty-cycle admit probability (1.0 in on-off mode
+        unless rejecting)."""
+        return self._admit_probability
+
+    def _decide_on_off(self) -> bool:
+        if self._seen < self.min_samples:
+            return True
+        return self.miss_ratio() <= self.threshold
+
+    def _decide_duty_cycle(self, now: float) -> bool:
+        if (self._seen >= self.min_samples
+                and now - self._last_control >= self._ctl_interval):
+            self._last_control = now
+            ratio = self.miss_ratio()
+            if ratio > self.threshold:
+                self._admit_probability = max(
+                    self._floor, self._admit_probability * self._decrease
+                )
+            elif ratio < 0.8 * self.threshold:
+                self._admit_probability = min(
+                    1.0, self._admit_probability + self._increase
+                )
+        # Deterministic thinning to the admit probability.
+        self._duty_accumulator += self._admit_probability
+        if self._duty_accumulator >= 1.0:
+            self._duty_accumulator -= 1.0
+            return True
+        return False
+
+    def admit(self, now: float = 0.0) -> bool:
+        self._evict(now)
+        if self.mode == "on-off":
+            decision = self._decide_on_off()
+        else:
+            decision = self._decide_duty_cycle(now)
+        if decision:
+            self._admitted += 1
+        else:
+            self._rejected += 1
+        return decision
+
+    @property
+    def admitted(self) -> int:
+        """Queries admitted so far (decisions, not completions)."""
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def rejection_rate(self) -> float:
+        total = self._admitted + self._rejected
+        return self._rejected / total if total else 0.0

@@ -1,0 +1,289 @@
+"""Task queuing deadline estimation (paper §III.B).
+
+The :class:`DeadlineEstimator` owns the per-server unloaded task
+response-time CDF estimates ``F_l^u`` and turns an (SLO, fanout, server
+selection) triple into a task pre-dequeuing budget
+
+    T_b(x_p^SLO, k_f) = x_p^SLO − x_p^u(k_f)                (Eq. 5–6)
+
+where ``x_p^u`` comes from the order-statistics product (Eq. 1–2).
+
+Implementation notes mirroring §III.B.2:
+
+* *Offline estimation* — construct with a single shared distribution
+  (the homogeneous assumption "F_l(t) ≈ F(t)") or a per-server mapping.
+* *Online updating* — :meth:`record` feeds completed-task post-queuing
+  times into windowed empirical CDFs; cached tails refresh lazily every
+  ``refresh_interval`` observations, matching the paper's "periodical
+  online updating process" at low cost.
+* *Caching* — ``x_p^u`` is cached per (percentile, server-group
+  signature) so the per-query work is a dict lookup plus an addition,
+  keeping TailGuard lightweight as claimed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.distributions import (
+    Distribution,
+    MaxOfIID,
+    MaxOfIndependent,
+    OnlineEmpiricalCDF,
+    iid_max_quantile,
+)
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+class DeadlineEstimator:
+    """Translates query-level SLOs into task queuing deadlines."""
+
+    def __init__(
+        self,
+        server_cdfs: Union[Distribution, Mapping[int, Distribution]],
+        n_servers: Optional[int] = None,
+        online_window: Optional[int] = None,
+        refresh_interval: int = 1000,
+        server_groups: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        server_cdfs:
+            Either a single :class:`Distribution` shared by all servers
+            (the paper's offline homogeneous initialization) or a
+            mapping ``server_id -> Distribution``.
+        n_servers:
+            Required when a shared distribution is given.
+        online_window:
+            When set, each server gets a windowed online estimator of
+            this capacity, seeded from its offline distribution, and
+            :meth:`record` updates it (paper §III.B.2).  ``None``
+            disables online updating (static CDFs, as in §IV.A).
+        refresh_interval:
+            Number of recorded observations between cache refreshes
+            when online updating is enabled.
+        server_groups:
+            Optional mapping ``server_id -> group name``.  Servers in
+            the same group share one online estimator, mirroring the
+            SaS testbed where "all 8 edge nodes in each cluster share
+            the same CDF" (§IV.E).  Grouping also keeps the tail cache
+            effective under random server selection.
+        """
+        if isinstance(server_cdfs, Distribution):
+            if n_servers is None or n_servers < 1:
+                raise ConfigurationError(
+                    "n_servers is required with a shared distribution"
+                )
+            self._offline: Dict[int, Distribution] = {
+                server: server_cdfs for server in range(n_servers)
+            }
+        else:
+            if not server_cdfs:
+                raise ConfigurationError("need at least one server CDF")
+            self._offline = dict(server_cdfs)
+            if n_servers is not None and n_servers != len(self._offline):
+                raise ConfigurationError(
+                    f"n_servers={n_servers} but {len(self._offline)} CDFs given"
+                )
+        self.n_servers = len(self._offline)
+
+        if server_groups is not None:
+            missing = [s for s in self._offline if s not in server_groups]
+            if missing:
+                raise ConfigurationError(f"servers without a group: {missing}")
+        self._groups = dict(server_groups) if server_groups is not None else None
+
+        self._online: Optional[Dict[int, OnlineEmpiricalCDF]] = None
+        if online_window is not None:
+            if online_window < 2:
+                raise ConfigurationError(f"online_window too small: {online_window}")
+            if self._groups is None:
+                self._online = {
+                    server: OnlineEmpiricalCDF(initial=dist, window=online_window)
+                    for server, dist in self._offline.items()
+                }
+            else:
+                shared: Dict[str, OnlineEmpiricalCDF] = {}
+                for server, dist in self._offline.items():
+                    group = self._groups[server]
+                    if group not in shared:
+                        shared[group] = OnlineEmpiricalCDF(
+                            initial=dist, window=online_window
+                        )
+                self._online = {
+                    server: shared[self._groups[server]]
+                    for server in self._offline
+                }
+        self._refresh_interval = max(1, refresh_interval)
+        self._updates_since_refresh = 0
+
+        # Distinct distribution objects get small integer keys so the
+        # tail cache can sign a server selection cheaply.
+        self._dist_keys: Dict[int, int] = {}
+        self._server_dist_key: Dict[int, int] = {}
+        self._rebuild_signature_index()
+        self._tail_cache: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # CDF bookkeeping
+    # ------------------------------------------------------------------
+    def _current_cdfs(self) -> Mapping[int, Distribution]:
+        if self._online is not None:
+            return self._online
+        return self._offline
+
+    def _rebuild_signature_index(self) -> None:
+        self._dist_keys.clear()
+        self._server_dist_key.clear()
+        for server, dist in self._current_cdfs().items():
+            key = self._dist_keys.setdefault(id(dist), len(self._dist_keys))
+            self._server_dist_key[server] = key
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every server currently shares one CDF object."""
+        return len(self._dist_keys) == 1
+
+    @property
+    def online_enabled(self) -> bool:
+        return self._online is not None
+
+    def server_cdf(self, server_id: int) -> Distribution:
+        """The current (online if enabled, else offline) CDF for a server."""
+        try:
+            return self._current_cdfs()[server_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {server_id}") from None
+
+    def record(self, server_id: int, post_queuing_time: float) -> None:
+        """Feed one completed task's post-queuing time (online updating)."""
+        if self._online is None:
+            return
+        try:
+            self._online[server_id].update(post_queuing_time)
+        except KeyError:
+            raise ConfigurationError(f"unknown server {server_id}") from None
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh >= self._refresh_interval:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop cached tails so the next query re-reads the CDFs."""
+        self._tail_cache.clear()
+        self._updates_since_refresh = 0
+
+    # ------------------------------------------------------------------
+    # Eq. 1-2: unloaded query tail
+    # ------------------------------------------------------------------
+    def _signature(self, servers: Sequence[int]) -> Tuple:
+        counts = Counter(self._server_dist_key[s] for s in servers)
+        return tuple(sorted(counts.items()))
+
+    def unloaded_tail(
+        self,
+        percentile: float,
+        fanout: Optional[int] = None,
+        servers: Optional[Sequence[int]] = None,
+    ) -> float:
+        """``x_p^u`` for a query (Eq. 2).
+
+        Pass ``fanout`` alone for a homogeneous cluster (the common
+        fast path — which servers are chosen cannot matter), or the
+        explicit ``servers`` selection for heterogeneous clusters.
+        """
+        if not 0 < percentile < 100:
+            raise ConfigurationError(
+                f"percentile must be in (0, 100), got {percentile}"
+            )
+        q = percentile / 100.0
+
+        if servers is None:
+            if fanout is None:
+                raise ConfigurationError("need fanout or servers")
+            if fanout < 1 or fanout > self.n_servers:
+                raise ConfigurationError(
+                    f"fanout {fanout} outside [1, {self.n_servers}]"
+                )
+            if not self.homogeneous:
+                raise ConfigurationError(
+                    "heterogeneous cluster: pass the explicit server selection"
+                )
+            cache_key = (percentile, fanout)
+            cached = self._tail_cache.get(cache_key)
+            if cached is None:
+                any_cdf = next(iter(self._current_cdfs().values()))
+                cached = iid_max_quantile(any_cdf, fanout, q)
+                self._tail_cache[cache_key] = cached
+            return cached
+
+        if fanout is not None and fanout != len(servers):
+            raise ConfigurationError(
+                f"fanout {fanout} does not match {len(servers)} servers"
+            )
+        missing = [s for s in servers if s not in self._server_dist_key]
+        if missing:
+            raise ConfigurationError(f"unknown servers {missing}")
+        cache_key = (percentile, self._signature(servers))
+        cached = self._tail_cache.get(cache_key)
+        if cached is None:
+            cached = self._heterogeneous_tail(q, servers)
+            self._tail_cache[cache_key] = cached
+        return cached
+
+    def _heterogeneous_tail(self, q: float, servers: Sequence[int]) -> float:
+        cdfs = self._current_cdfs()
+        groups: Dict[int, Tuple[Distribution, int]] = {}
+        for server in servers:
+            key = self._server_dist_key[server]
+            dist, count = groups.get(key, (cdfs[server], 0))
+            groups[key] = (dist, count + 1)
+        components = [
+            MaxOfIID(dist, count) if count > 1 else dist
+            for dist, count in groups.values()
+        ]
+        if len(components) == 1:
+            component = components[0]
+            return float(component.quantile(q))
+        return float(MaxOfIndependent(components).quantile(q))
+
+    # ------------------------------------------------------------------
+    # Eq. 5-6: budget and deadline
+    # ------------------------------------------------------------------
+    def budget(
+        self,
+        service_class: ServiceClass,
+        fanout: Optional[int] = None,
+        servers: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Task pre-dequeuing time budget ``T_b = x_p^SLO − x_p^u``.
+
+        A non-positive budget means the SLO is unattainable even on an
+        idle cluster: the unloaded tail alone exceeds the SLO.  The
+        value is still returned (a negative deadline keeps EDF ordering
+        meaningful); callers that must fail fast can check the sign.
+        """
+        tail = self.unloaded_tail(service_class.percentile, fanout, servers)
+        return service_class.slo_ms - tail
+
+    def deadline(
+        self,
+        arrival_time: float,
+        service_class: ServiceClass,
+        fanout: Optional[int] = None,
+        servers: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Task queuing deadline ``t_D = t_0 + T_b`` (Eq. 6)."""
+        return arrival_time + self.budget(service_class, fanout, servers)
+
+    def budget_table(
+        self,
+        service_class: ServiceClass,
+        fanouts: Iterable[int],
+    ) -> Dict[int, float]:
+        """Pre-computed budgets for a set of fanouts (the paper notes
+        ``x_p^u(k_f)`` "can be done in the background for all possible
+        k_f's in advance")."""
+        return {k: self.budget(service_class, k) for k in fanouts}

@@ -1,0 +1,194 @@
+"""The mid-tier query handler (paper Fig. 1/Fig. 2).
+
+For each admitted query the handler determines the fanout's target
+servers, computes the task queuing deadline ``t_D`` (Eq. 6), dispatches
+one task per server with the policy's ordering key, merges task
+completions, and feeds the online-updating and admission-control loops.
+
+This class composes with the DES kernel (:mod:`repro.sim`); batch
+experiments use :mod:`repro.cluster.simulation` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.admission import AdmissionController, NoAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import Policy
+from repro.core.server import TaskServer
+from repro.errors import ConfigurationError
+from repro.sim.engine import Environment, Event
+from repro.types import QueryRecord, QuerySpec, Task
+
+
+class QueryHandler:
+    """Dispatches queries to task servers and merges their results."""
+
+    def __init__(
+        self,
+        env: Environment,
+        servers: Sequence[TaskServer],
+        estimator: DeadlineEstimator,
+        policy: Policy,
+        rng: np.random.Generator,
+        admission: Optional[AdmissionController] = None,
+        dispatch_delay=None,
+    ) -> None:
+        """
+        ``dispatch_delay`` (a :class:`~repro.distributions.Distribution`
+        or None) models decentralized queuing (paper §III.B: when "task
+        queuing occurs at the task server", the pre-dequeuing time
+        "also includes task dispatching time"): each task waits a
+        sampled network/dispatch delay before entering its server's
+        queue.  ``None`` is the paper's central-queuing default.
+        """
+        if not servers:
+            raise ConfigurationError("need at least one task server")
+        if estimator.n_servers != len(servers):
+            raise ConfigurationError(
+                f"estimator knows {estimator.n_servers} servers, "
+                f"handler has {len(servers)}"
+            )
+        self.env = env
+        self.servers = list(servers)
+        self.estimator = estimator
+        self.policy = policy
+        self.admission = admission if admission is not None else NoAdmission()
+        self._rng = rng
+        self._dispatch_stream = None
+        if dispatch_delay is not None:
+            from repro.distributions import SampleStream
+
+            self._dispatch_stream = SampleStream(dispatch_delay,
+                                                 rng.spawn(1)[0])
+        self._inflight: Dict[int, Tuple[QueryRecord, Event, List[Task]]] = {}
+        self._remaining: Dict[int, int] = {}
+        self.completed: List[QueryRecord] = []
+        self.rejected: List[QueryRecord] = []
+        for server in self.servers:
+            if server.on_complete is not None:
+                raise ConfigurationError(
+                    f"server {server.server_id} already has a completion callback"
+                )
+            server.on_complete = self._task_done
+
+    # ------------------------------------------------------------------
+    def choose_servers(self, spec: QuerySpec) -> Tuple[int, ...]:
+        """The ``k_f`` distinct servers the query's tasks go to.
+
+        Pre-assigned servers (trace replay, SaS placement) win;
+        otherwise a uniform random selection without replacement, with
+        the full-cluster OLDI case short-circuited.
+        """
+        if spec.servers is not None:
+            return spec.servers
+        n = len(self.servers)
+        if spec.fanout > n:
+            raise ConfigurationError(
+                f"query {spec.query_id}: fanout {spec.fanout} exceeds "
+                f"cluster size {n}"
+            )
+        if spec.fanout == n:
+            return tuple(range(n))
+        picks = self._rng.choice(n, size=spec.fanout, replace=False)
+        return tuple(int(s) for s in picks)
+
+    def submit(
+        self,
+        spec: QuerySpec,
+        deadline: Optional[float] = None,
+    ) -> Tuple[QueryRecord, Event]:
+        """Dispatch one query.
+
+        Returns the (mutable) :class:`QueryRecord` and an event that
+        triggers with the record when the query completes.  A rejected
+        query's event triggers immediately with ``record.rejected``
+        set.  ``deadline`` overrides Eq. 6 (used by the request-level
+        decomposition, which assigns per-query budgets itself).
+        """
+        done = self.env.event()
+        record = QueryRecord(spec=spec)
+        if not self.admission.admit(self.env.now):
+            record.rejected = True
+            self.rejected.append(record)
+            done.succeed(record)
+            return record, done
+
+        servers = self.choose_servers(spec)
+        if deadline is None:
+            if self.estimator.homogeneous:
+                deadline = self.estimator.deadline(
+                    spec.arrival_time, spec.service_class, fanout=spec.fanout
+                )
+            else:
+                deadline = self.estimator.deadline(
+                    spec.arrival_time, spec.service_class, servers=servers
+                )
+        record.deadline = deadline
+        key = self.policy.queue_key(spec.arrival_time, spec.service_class, deadline)
+
+        tasks = [
+            Task(
+                query_id=spec.query_id,
+                server_id=server_id,
+                deadline=deadline,
+                class_priority=spec.service_class.priority,
+                enqueue_time=spec.arrival_time,
+            )
+            for server_id in servers
+        ]
+        self._inflight[spec.query_id] = (record, done, tasks)
+        self._remaining[spec.query_id] = len(tasks)
+        for task in tasks:
+            if self._dispatch_stream is None:
+                self.servers[task.server_id].enqueue(task, key)
+            else:
+                self.env.process(self._dispatch(task, key))
+        return record, done
+
+    def _dispatch(self, task: Task, key: Tuple):
+        """Deliver a task to its server after a sampled dispatch delay."""
+        yield self.env.timeout(self._dispatch_stream.next())
+        self.servers[task.server_id].enqueue(task, key)
+
+    # ------------------------------------------------------------------
+    def _task_done(self, task: Task, server: TaskServer) -> None:
+        """Merge path: one task result arrived at the handler."""
+        self.estimator.record(task.server_id, task.post_queuing_time)
+        missed = task.missed_deadline
+        self.admission.record_task(missed, self.env.now)
+
+        record, done, _ = self._inflight[task.query_id]
+        if missed:
+            record.tasks_missed_deadline += 1
+        self._remaining[task.query_id] -= 1
+        if self._remaining[task.query_id] == 0:
+            record.finish_time = self.env.now
+            self.completed.append(record)
+            del self._inflight[task.query_id]
+            del self._remaining[task.query_id]
+            done.succeed(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def drive(self, specs: Sequence[QuerySpec]):
+        """A kernel process that submits specs at their arrival times.
+
+        Usage: ``env.process(handler.drive(specs)); env.run()``.
+        """
+        for spec in specs:
+            delay = spec.arrival_time - self.env.now
+            if delay < 0:
+                raise ConfigurationError(
+                    f"query {spec.query_id} arrives in the past "
+                    f"({spec.arrival_time} < {self.env.now}); sort the specs"
+                )
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.submit(spec)

@@ -1,0 +1,305 @@
+"""Task queuing policies (paper §III.A).
+
+All four policies share one structure: each task server has a single
+waiting line, and the policy determines the *ordering key* of a task in
+that line.  Because all tasks of a query share the same deadline, the
+key is computed once per query:
+
+* **FIFO** — key is the arrival time (insertion order).
+* **PRIQ** — strict class priority, FIFO within a class.
+* **T-EDFQ** — earliest deadline first with the fanout-*unaware*
+  deadline ``t_D = t_0 + x_p^SLO``.
+* **TF-EDFQ (TailGuard)** — earliest deadline first with the
+  fanout-aware deadline ``t_D = t_0 + x_p^SLO − x_p^u(k_f)`` (Eq. 6).
+
+With a single service class, PRIQ and T-EDFQ degenerate to FIFO
+(§III.A), which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+class TaskQueueBase:
+    """A server's waiting line: tasks ordered by a policy-specific key."""
+
+    def push(self, task: Any, key: Tuple) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Any:
+        """Remove and return the task at the head; raises IndexError if empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FIFOTaskQueue(TaskQueueBase):
+    """First-in-first-out waiting line."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Deque[Any] = deque()
+
+    def push(self, task: Any, key: Tuple) -> None:
+        self._items.append(task)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class EDFTaskQueue(TaskQueueBase):
+    """Earliest-deadline-first waiting line (min-heap on the key).
+
+    Ties broken by insertion order so the ordering is deterministic and
+    the policy is work-conserving FIFO among equal deadlines.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple] = []
+        self._seq = 0
+
+    def push(self, task: Any, key: Tuple) -> None:
+        heapq.heappush(self._heap, (key, self._seq, task))
+        self._seq += 1
+
+    def pop(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class PriorityTaskQueue(TaskQueueBase):
+    """Strict priority across classes, FIFO within each class (PRIQ).
+
+    The key must be ``(priority, ...)``; the leading integer selects the
+    per-class FIFO lane.
+    """
+
+    __slots__ = ("_lanes", "_size")
+
+    def __init__(self) -> None:
+        self._lanes: Dict[int, Deque[Any]] = {}
+        self._size = 0
+
+    def push(self, task: Any, key: Tuple) -> None:
+        priority = int(key[0])
+        lane = self._lanes.get(priority)
+        if lane is None:
+            lane = deque()
+            self._lanes[priority] = lane
+        lane.append(task)
+        self._size += 1
+
+    def pop(self) -> Any:
+        if self._size == 0:
+            raise IndexError("pop from empty queue")
+        for priority in sorted(self._lanes):
+            lane = self._lanes[priority]
+            if lane:
+                self._size -= 1
+                return lane.popleft()
+        raise IndexError("pop from empty queue")  # pragma: no cover
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class WeightedRoundRobinTaskQueue(TaskQueueBase):
+    """Weighted round-robin across class lanes, FIFO within each lane.
+
+    A classic middle ground between FIFO (class-blind) and PRIQ
+    (starves low classes): each class gets service shares proportional
+    to its weight via smooth weighted round-robin over the non-empty
+    lanes.  Keys must be ``(priority, ...)`` like PRIQ's.
+    """
+
+    __slots__ = ("_lanes", "_weights", "_credit", "_size", "_default_weight")
+
+    def __init__(self, weights: Dict[int, float], default_weight: float = 1.0):
+        if not weights and default_weight <= 0:
+            raise ConfigurationError("need positive weights")
+        if any(w <= 0 for w in weights.values()) or default_weight <= 0:
+            raise ConfigurationError("weights must be positive")
+        self._weights = dict(weights)
+        self._default_weight = float(default_weight)
+        self._lanes: Dict[int, Deque[Any]] = {}
+        self._credit: Dict[int, float] = {}
+        self._size = 0
+
+    def push(self, task: Any, key: Tuple) -> None:
+        priority = int(key[0])
+        lane = self._lanes.get(priority)
+        if lane is None:
+            lane = deque()
+            self._lanes[priority] = lane
+            self._credit.setdefault(priority, 0.0)
+        lane.append(task)
+        self._size += 1
+
+    def pop(self) -> Any:
+        if self._size == 0:
+            raise IndexError("pop from empty queue")
+        # Smooth WRR: add each non-empty lane's weight to its credit,
+        # serve the lane with the highest credit, charge it the total.
+        active = [p for p, lane in self._lanes.items() if lane]
+        total = 0.0
+        for priority in active:
+            weight = self._weights.get(priority, self._default_weight)
+            self._credit[priority] += weight
+            total += weight
+        # Ties resolved toward the numerically higher-priority class
+        # (lower number) for determinism.
+        chosen = max(active, key=lambda p: (self._credit[p], -p))
+        self._credit[chosen] -= total
+        self._size -= 1
+        return self._lanes[chosen].popleft()
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class Policy:
+    """A named queuing policy: key computation + queue construction."""
+
+    #: Registry name, e.g. ``"tailguard"``.
+    name: str = ""
+    #: Whether :meth:`queue_key` consumes the fanout-aware deadline.
+    uses_fanout: bool = False
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        """Ordering key for all tasks of one query.
+
+        ``tf_deadline`` is the TailGuard deadline ``t_D`` of Eq. 6; it
+        is always available (the simulator computes it for deadline-miss
+        accounting) but only TF-EDFQ orders by it.
+        """
+        raise NotImplementedError
+
+    def create_queue(self) -> TaskQueueBase:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Policy {self.name}>"
+
+
+class FIFOPolicy(Policy):
+    name = "fifo"
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        return (arrival_time,)
+
+    def create_queue(self) -> TaskQueueBase:
+        return FIFOTaskQueue()
+
+
+class PRIQPolicy(Policy):
+    name = "priq"
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        return (service_class.priority, arrival_time)
+
+    def create_queue(self) -> TaskQueueBase:
+        return PriorityTaskQueue()
+
+
+class TEDFPolicy(Policy):
+    """Tail-latency-SLO-aware EDF: deadline ``t_0 + x_p^SLO``."""
+
+    name = "t-edf"
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        return (arrival_time + service_class.slo_ms,)
+
+    def create_queue(self) -> TaskQueueBase:
+        return EDFTaskQueue()
+
+
+class TFEDFPolicy(Policy):
+    """TailGuard's TF-EDFQ: deadline ``t_0 + x_p^SLO − x_p^u(k_f)``."""
+
+    name = "tailguard"
+    uses_fanout = True
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        return (tf_deadline,)
+
+    def create_queue(self) -> TaskQueueBase:
+        return EDFTaskQueue()
+
+
+class WRRPolicy(Policy):
+    """Weighted round-robin across classes (an extra baseline).
+
+    Not part of the paper's comparison; included because weighted
+    sharing is the other standard answer to PRIQ's starvation problem,
+    and it makes a useful contrast in the extension experiments.  The
+    default weights give class priority 0 twice the share of priority 1
+    and so on (weight = 1 / (priority + 1)).
+    """
+
+    name = "wrr"
+
+    def __init__(self, weights: Optional[Dict[int, float]] = None) -> None:
+        self.weights = dict(weights) if weights is not None else {}
+
+    def queue_key(self, arrival_time: float, service_class: ServiceClass,
+                  tf_deadline: float) -> Tuple:
+        return (service_class.priority, arrival_time)
+
+    def create_queue(self) -> TaskQueueBase:
+        if self.weights:
+            return WeightedRoundRobinTaskQueue(self.weights)
+        return WeightedRoundRobinTaskQueue(
+            {priority: 1.0 / (priority + 1) for priority in range(16)}
+        )
+
+
+#: All queuing policies compared in the paper (plus the WRR extension),
+#: keyed by name.
+POLICIES: Dict[str, Policy] = {
+    policy.name: policy
+    for policy in (FIFOPolicy(), PRIQPolicy(), TEDFPolicy(), TFEDFPolicy(),
+                   WRRPolicy())
+}
+
+#: Aliases accepted by :func:`get_policy`.
+_ALIASES = {
+    "tf-edf": "tailguard",
+    "tf-edfq": "tailguard",
+    "t-edfq": "t-edf",
+    "tedf": "t-edf",
+    "edf": "t-edf",
+}
+
+
+def get_policy(name: str) -> Policy:
+    """Look up a policy by name (case-insensitive, aliases accepted)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return POLICIES[key]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES) + sorted(_ALIASES))
+        raise ConfigurationError(f"unknown policy {name!r}; known: {known}") from None

@@ -1,0 +1,105 @@
+"""A task server on the DES kernel (paper Fig. 2, right side).
+
+Each :class:`TaskServer` owns one waiting line (ordered by the active
+queuing policy) and one service unit.  Tasks are enqueued with their
+policy key; whenever the server goes idle it dequeues the head task,
+samples a service time, and reports completion to a callback — the
+query handler's merge path.
+
+This is the composable "library" model.  The batch experiments use the
+optimized event-calendar loop in :mod:`repro.cluster.simulation`, which
+implements identical semantics (an equivalence test asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policies import Policy
+from repro.distributions import Distribution, SampleStream
+from repro.errors import ConfigurationError
+from repro.sim.engine import Environment
+from repro.types import Task
+
+#: Signature of the completion callback: (task, server) -> None.
+CompletionCallback = Callable[[Task, "TaskServer"], None]
+
+
+class TaskServer:
+    """One task server with a single policy-ordered waiting line."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        policy: Policy,
+        service_time: Distribution,
+        rng: np.random.Generator,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        if server_id < 0:
+            raise ConfigurationError(f"server_id must be >= 0, got {server_id}")
+        self.env = env
+        self.server_id = server_id
+        self.policy = policy
+        self.service_time = service_time
+        self._stream = SampleStream(service_time, rng)
+        self._queue = policy.create_queue()
+        self._busy = False
+        self.on_complete = on_complete
+        # Utilization accounting.
+        self._busy_since = 0.0
+        self._busy_total = 0.0
+        self.tasks_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def busy_time(self) -> float:
+        """Cumulative busy time, including an in-progress task so far."""
+        total = self._busy_total
+        if self._busy:
+            total += self.env.now - self._busy_since
+        return total
+
+    def utilization(self, since: float = 0.0) -> float:
+        horizon = self.env.now - since
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / horizon)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, task: Task, key: Tuple) -> None:
+        """Accept a task; start it immediately if the server is idle."""
+        if self._busy:
+            self._queue.push(task, key)
+        else:
+            self._start(task)
+
+    def _start(self, task: Task) -> None:
+        self._busy = True
+        self._busy_since = self.env.now
+        task.dequeue_time = self.env.now
+        duration = self._stream.next()
+        self.env.process(self._serve(task, duration))
+
+    def _serve(self, task: Task, duration: float):
+        yield self.env.timeout(duration)
+        task.finish_time = self.env.now
+        self.tasks_served += 1
+        self._busy_total += self.env.now - self._busy_since
+        self._busy = False
+        if self.on_complete is not None:
+            self.on_complete(task, self)
+        # The callback may have enqueued more work; only pull from the
+        # queue if we are still idle.
+        if not self._busy and len(self._queue) > 0:
+            self._start(self._queue.pop())

@@ -1,0 +1,67 @@
+"""Probability-distribution substrate for TailGuard.
+
+TailGuard's deadline estimation is CDF arithmetic: the unloaded query
+latency CDF is the *product* of per-server task CDFs (paper Eq. 1), the
+unloaded query tail is that product's inverse at the SLO percentile
+(Eq. 2), and the request-level extension needs the *convolution* of
+query-latency CDFs (Eq. 7).  This package provides:
+
+* analytic distributions (exponential, Pareto, lognormal, ...);
+* empirical CDFs built from samples, including an online-updating
+  variant for the paper's §III.B.2 updating process;
+* piecewise-linear CDFs used to reconstruct the Tailbench workloads
+  from their published quantiles;
+* order statistics: max of i.i.d. and of independent non-identical
+  variables;
+* numerical convolution of independent distributions.
+"""
+
+from repro.distributions.base import Distribution, SampleStream
+from repro.distributions.analytic import (
+    BoundedPareto,
+    Deterministic,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+from repro.distributions.empirical import EmpiricalDistribution, OnlineEmpiricalCDF
+from repro.distributions.piecewise import PiecewiseLinearCDF
+from repro.distributions.order_statistics import (
+    MaxOfIID,
+    MaxOfIndependent,
+    iid_max_cdf,
+    iid_max_quantile,
+)
+from repro.distributions.convolution import SumOfIndependent
+from repro.distributions.fitting import FITTERS, fit_best, ks_distance
+
+__all__ = [
+    "BoundedPareto",
+    "Deterministic",
+    "Distribution",
+    "EmpiricalDistribution",
+    "FITTERS",
+    "Exponential",
+    "HyperExponential",
+    "LogNormal",
+    "MaxOfIID",
+    "MaxOfIndependent",
+    "Mixture",
+    "OnlineEmpiricalCDF",
+    "Pareto",
+    "PiecewiseLinearCDF",
+    "SampleStream",
+    "Shifted",
+    "SumOfIndependent",
+    "Uniform",
+    "Weibull",
+    "fit_best",
+    "iid_max_cdf",
+    "iid_max_quantile",
+    "ks_distance",
+]

@@ -1,0 +1,376 @@
+"""Closed-form distributions.
+
+These serve three roles in the reproduction: arrival processes (the
+exponential interarrivals of the Poisson process and the bounded-Pareto
+interarrivals of the paper's bursty case), building blocks for synthetic
+service-time models, and ground truth for property tests of the
+empirical/piecewise machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution, validate_probability
+from repro.errors import DistributionError
+
+
+class Deterministic(Distribution):
+    """A point mass at ``value``."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise DistributionError(f"value must be >= 0, got {value}")
+        self.value = float(value)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        return np.where(np.asarray(t, dtype=float) >= self.value, 1.0, 0.0)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        validate_probability(q)
+        return np.full_like(np.asarray(q, dtype=float), self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low < high:
+            raise DistributionError(f"need 0 <= low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        return np.clip((t - self.low) / (self.high - self.low), 0.0, 1.0)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        return self.low + q * (self.high - self.low)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+class Exponential(Distribution):
+    """Exponential with the given ``rate`` (mean ``1/rate``)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise DistributionError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        if mean <= 0:
+            raise DistributionError(f"mean must be positive, got {mean}")
+        return cls(1.0 / mean)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        return np.where(t < 0, 0.0, 1.0 - np.exp(-self.rate * np.maximum(t, 0.0)))
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        with np.errstate(divide="ignore"):
+            return -np.log1p(-q) / self.rate
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        return rng.exponential(1.0 / self.rate, size)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+
+class LogNormal(Distribution):
+    """Lognormal with underlying normal parameters ``mu``, ``sigma``."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise DistributionError(f"sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        arr = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.zeros_like(arr)
+        positive = arr > 0
+        z = (np.log(arr[positive]) - self.mu) / (self.sigma * np.sqrt(2.0))
+        out[positive] = 0.5 * (1.0 + _erf(z))
+        scalar = np.isscalar(t) or np.asarray(t).ndim == 0
+        return float(out[0]) if scalar else out
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        return np.exp(self.mu + self.sigma * _norm_ppf(q))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        return rng.lognormal(self.mu, self.sigma, size)
+
+    def mean(self) -> float:
+        return float(np.exp(self.mu + 0.5 * self.sigma**2))
+
+
+class Weibull(Distribution):
+    """Weibull with ``shape`` k and ``scale`` λ."""
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise DistributionError("shape and scale must be positive")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        return np.where(
+            t < 0, 0.0, 1.0 - np.exp(-np.power(np.maximum(t, 0.0) / self.scale,
+                                               self.shape))
+        )
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        return self.scale * np.power(-np.log1p(-q), 1.0 / self.shape)
+
+    def mean(self) -> float:
+        # Γ(1 + 1/k) via lgamma to stay scipy-free.
+        import math
+
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+class Pareto(Distribution):
+    """Pareto (Lomax-style, type I) with ``shape`` α and minimum ``xm``."""
+
+    def __init__(self, shape: float, xm: float) -> None:
+        if shape <= 0 or xm <= 0:
+            raise DistributionError("shape and xm must be positive")
+        self.shape = float(shape)
+        self.xm = float(xm)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        safe = np.maximum(t, self.xm)
+        return np.where(t < self.xm, 0.0, 1.0 - np.power(self.xm / safe, self.shape))
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        with np.errstate(divide="ignore"):
+            return self.xm / np.power(1.0 - q, 1.0 / self.shape)
+
+    def mean(self) -> float:
+        if self.shape <= 1:
+            return float("inf")
+        return self.shape * self.xm / (self.shape - 1.0)
+
+
+class BoundedPareto(Distribution):
+    """Pareto truncated to ``[low, high]``.
+
+    Used for the bursty interarrival process in §IV.B (an unbounded
+    Pareto with α ≤ 1 has no mean, so a load cannot be defined for it;
+    the bounded variant is the standard fix).
+    """
+
+    def __init__(self, shape: float, low: float, high: float) -> None:
+        if shape <= 0:
+            raise DistributionError(f"shape must be positive, got {shape}")
+        if not 0 < low < high:
+            raise DistributionError(f"need 0 < low < high, got [{low}, {high}]")
+        self.shape = float(shape)
+        self.low = float(low)
+        self.high = float(high)
+        self._tail_low = self.low**-self.shape
+        self._tail_high = self.high**-self.shape
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        clipped = np.clip(t, self.low, self.high)
+        value = (self._tail_low - np.power(clipped, -self.shape)) / (
+            self._tail_low - self._tail_high
+        )
+        return np.where(t < self.low, 0.0, np.where(t >= self.high, 1.0, value))
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        inner = self._tail_low - q * (self._tail_low - self._tail_high)
+        return np.power(inner, -1.0 / self.shape)
+
+    def mean(self) -> float:
+        a, lo, hi = self.shape, self.low, self.high
+        if a == 1.0:
+            return float(np.log(hi / lo) / (1.0 / lo - 1.0 / hi))
+        num = a / (1.0 - a) * (hi ** (1.0 - a) - lo ** (1.0 - a))
+        den = lo ** (-a) - hi ** (-a)
+        return float(num / den)
+
+    @classmethod
+    def from_mean(cls, mean: float, shape: float = 1.1,
+                  spread: float = 1000.0) -> "BoundedPareto":
+        """Construct a bounded Pareto with the requested mean.
+
+        ``spread`` fixes ``high = spread * low``; ``low`` is then solved
+        from the closed-form mean, which is proportional to ``low``.
+        """
+        probe = cls(shape, 1.0, spread)
+        return cls(shape, mean / probe.mean(), spread * mean / probe.mean())
+
+
+class HyperExponential(Distribution):
+    """Mixture of exponentials: high-variance service times."""
+
+    def __init__(self, probs: Sequence[float], rates: Sequence[float]) -> None:
+        if len(probs) != len(rates) or not probs:
+            raise DistributionError("probs and rates must be equal-length, non-empty")
+        probs_arr = np.asarray(probs, dtype=float)
+        rates_arr = np.asarray(rates, dtype=float)
+        if np.any(probs_arr < 0) or not np.isclose(probs_arr.sum(), 1.0):
+            raise DistributionError("probs must be non-negative and sum to 1")
+        if np.any(rates_arr <= 0):
+            raise DistributionError("rates must be positive")
+        self.probs = probs_arr
+        self.rates = rates_arr
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)[..., None]
+        value = np.sum(self.probs * (1.0 - np.exp(-self.rates * np.maximum(t, 0.0))),
+                       axis=-1)
+        return np.where(np.asarray(t[..., 0]) < 0, 0.0, value)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        from repro.distributions.base import bisect_quantile
+
+        q_arr = validate_probability(q)
+        hi = float(np.max(-np.log(1e-15) / self.rates.min()))
+        scalar = np.isscalar(q) or q_arr.ndim == 0
+        result = np.array(
+            [bisect_quantile(self.cdf, float(qi), 0.0, hi)
+             for qi in np.atleast_1d(q_arr)]
+        )
+        return float(result[0]) if scalar else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        n = 1 if size is None else size
+        branch = rng.choice(len(self.probs), size=n, p=self.probs)
+        draws = rng.exponential(1.0, n) / self.rates[branch]
+        return float(draws[0]) if size is None else draws
+
+    def mean(self) -> float:
+        return float(np.sum(self.probs / self.rates))
+
+
+class Mixture(Distribution):
+    """Finite mixture of arbitrary component distributions."""
+
+    def __init__(self, probs: Sequence[float],
+                 components: Sequence[Distribution]) -> None:
+        if len(probs) != len(components) or not probs:
+            raise DistributionError("probs/components length mismatch")
+        probs_arr = np.asarray(probs, dtype=float)
+        if np.any(probs_arr < 0) or not np.isclose(probs_arr.sum(), 1.0):
+            raise DistributionError("probs must be non-negative and sum to 1")
+        self.probs = probs_arr
+        self.components = list(components)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        return sum(p * c.cdf(t) for p, c in zip(self.probs, self.components))
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        from repro.distributions.base import bisect_quantile
+
+        q_arr = validate_probability(q)
+        hi = max(float(np.asarray(c.quantile(1.0 - 1e-12)).max())
+                 for c in self.components)
+        scalar = np.isscalar(q) or q_arr.ndim == 0
+        result = np.array(
+            [bisect_quantile(self.cdf, float(qi), 0.0, hi * 1.001)
+             for qi in np.atleast_1d(q_arr)]
+        )
+        return float(result[0]) if scalar else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        n = 1 if size is None else size
+        branch = rng.choice(len(self.probs), size=n, p=self.probs)
+        draws = np.empty(n)
+        for idx, component in enumerate(self.components):
+            mask = branch == idx
+            count = int(mask.sum())
+            if count:
+                draws[mask] = np.asarray(component.sample(rng, count))
+        return float(draws[0]) if size is None else draws
+
+    def mean(self) -> float:
+        return float(sum(p * c.mean() for p, c in zip(self.probs, self.components)))
+
+
+class Shifted(Distribution):
+    """``base + offset``: models a fixed network/dispatch delay on top of
+    a service-time distribution (used by the SaS network model)."""
+
+    def __init__(self, base: Distribution, offset: float) -> None:
+        if offset < 0:
+            raise DistributionError(f"offset must be >= 0, got {offset}")
+        self.base = base
+        self.offset = float(offset)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        return self.base.cdf(np.asarray(t, dtype=float) - self.offset)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        return self.base.quantile(q) + self.offset
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        return self.base.sample(rng, size) + self.offset
+
+    def mean(self) -> float:
+        return self.base.mean() + self.offset
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz–Stegun 7.1.26, |err|<1.5e-7)."""
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (0.254829592 + t * (-0.284496736 + t * (1.421413741
+           + t * (-1.453152027 + t * 1.061405429))))
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def _norm_ppf(q: np.ndarray) -> np.ndarray:
+    """Vectorized standard-normal inverse CDF (Acklam's algorithm)."""
+    q = np.asarray(q, dtype=float)
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    out = np.empty_like(q)
+
+    lower = (q > 0) & (q < p_low)
+    ql = np.sqrt(-2 * np.log(q[lower])) if lower.any() else np.empty(0)
+    out[lower] = (((((c[0] * ql + c[1]) * ql + c[2]) * ql + c[3]) * ql + c[4]) * ql
+                  + c[5]) / ((((d[0] * ql + d[1]) * ql + d[2]) * ql + d[3]) * ql + 1)
+
+    central = (q >= p_low) & (q <= p_high)
+    qc = q[central] - 0.5
+    r = qc * qc
+    out[central] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+                    + a[5]) * qc / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                    + b[4]) * r + 1)
+
+    upper = (q > p_high) & (q < 1)
+    qu = np.sqrt(-2 * np.log(1 - q[upper])) if upper.any() else np.empty(0)
+    out[upper] = -(((((c[0] * qu + c[1]) * qu + c[2]) * qu + c[3]) * qu + c[4]) * qu
+                   + c[5]) / ((((d[0] * qu + d[1]) * qu + d[2]) * qu + d[3]) * qu + 1)
+
+    out[q == 0] = -np.inf
+    out[q == 1] = np.inf
+    return out

@@ -1,0 +1,130 @@
+"""Distribution protocol and shared numeric helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Distribution:
+    """A one-dimensional distribution of a non-negative latency.
+
+    Concrete subclasses must implement :meth:`cdf` and :meth:`quantile`;
+    sampling defaults to inverse-transform, and :meth:`mean` defaults to
+    numerical integration of the quantile function, both of which
+    subclasses override when a closed form exists.
+    """
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        """``P(X <= t)``; vectorized over numpy arrays."""
+        raise NotImplementedError
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        """Inverse CDF; ``q`` in [0, 1], vectorized."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        """Draw samples via inverse transform (overridable)."""
+        return self.quantile(rng.random(size))
+
+    def mean(self) -> float:
+        """E[X], by default ``∫₀¹ quantile(u) du`` on a fine grid."""
+        # Midpoint rule over 20k cells is accurate to ~1e-4 relative for
+        # the smooth CDFs used here and avoids the open endpoints.
+        u = (np.arange(20_000) + 0.5) / 20_000
+        return float(np.mean(self.quantile(u)))
+
+    def percentile(self, p: float) -> float:
+        """Convenience wrapper: quantile at the ``p``-th *percentile*."""
+        if not 0 <= p <= 100:
+            raise DistributionError(f"percentile must be in [0, 100], got {p}")
+        return float(self.quantile(p / 100.0))
+
+    def support(self) -> tuple:
+        """(lower, upper) bounds of the support, possibly infinite."""
+        return (float(self.quantile(0.0)), float(self.quantile(1.0)))
+
+
+def validate_probability(q: ArrayLike, name: str = "q") -> np.ndarray:
+    """Check that all values lie in [0, 1] and return them as an array."""
+    arr = np.asarray(q, dtype=float)
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise DistributionError(f"{name} must be within [0, 1]")
+    return arr
+
+
+def bisect_quantile(
+    cdf,
+    q: float,
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Invert a monotone CDF by bisection on a known bracket.
+
+    Used for distributions whose inverse has no closed form (products of
+    heterogeneous CDFs, numerical convolutions).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise DistributionError(f"q must be in [0, 1], got {q}")
+    f_lo, f_hi = cdf(lo), cdf(hi)
+    if q <= f_lo:
+        return lo
+    if q >= f_hi:
+        return hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+class SampleStream:
+    """Block-buffered sampler for the simulator's hot loop.
+
+    Drawing one variate at a time through the full ``Distribution``
+    machinery costs a few microseconds each; drawing blocks of a few
+    thousand through numpy amortizes that to nanoseconds.  Each stream
+    owns its RNG so distinct model components (arrivals, fanout,
+    service) stay on independent, reproducible streams.
+    """
+
+    __slots__ = ("_dist", "_rng", "_block", "_buffer", "_index")
+
+    def __init__(
+        self,
+        dist: Distribution,
+        rng: np.random.Generator,
+        block: int = 8192,
+    ) -> None:
+        if block < 1:
+            raise DistributionError(f"block must be >= 1, got {block}")
+        self._dist = dist
+        self._rng = rng
+        self._block = block
+        self._buffer = np.empty(0)
+        self._index = 0
+
+    def next(self) -> float:
+        if self._index >= len(self._buffer):
+            self._buffer = np.asarray(
+                self._dist.sample(self._rng, self._block), dtype=float
+            )
+            self._index = 0
+        value = self._buffer[self._index]
+        self._index += 1
+        return float(value)
+
+    def __iter__(self):
+        while True:
+            yield self.next()

@@ -1,0 +1,167 @@
+"""Empirical CDFs built from observed samples.
+
+The paper estimates the per-server unloaded task response-time CDFs
+``F_l^u(t)`` by an offline profiling pass and keeps them fresh with an
+online updating process fed by completed-task post-queuing times
+(§III.B.2).  :class:`EmpiricalDistribution` is the static snapshot and
+:class:`OnlineEmpiricalCDF` the updatable windowed estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution, validate_probability
+from repro.errors import DistributionError
+
+
+class EmpiricalDistribution(Distribution):
+    """The ECDF of a fixed sample set with linear quantile interpolation.
+
+    ``cdf`` is the right-continuous step ECDF; ``quantile`` uses numpy's
+    ``linear`` interpolation so that ``quantile(cdf(x)) ≈ x`` away from
+    ties.  ``sample`` bootstraps (draws uniformly from the samples).
+    """
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray)
+                         else samples, dtype=float)
+        if arr.size == 0:
+            raise DistributionError("need at least one sample")
+        if np.any(arr < 0):
+            raise DistributionError("latency samples must be non-negative")
+        if np.any(~np.isfinite(arr)):
+            raise DistributionError("latency samples must be finite")
+        self._sorted = np.sort(arr)
+
+    @property
+    def n(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted sample array (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        positions = np.searchsorted(self._sorted, np.asarray(t, dtype=float),
+                                    side="right")
+        result = positions / self._sorted.size
+        return float(result) if np.isscalar(t) else result
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        result = np.quantile(self._sorted, q)
+        return float(result) if np.ndim(q) == 0 else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        picks = rng.integers(0, self._sorted.size, size=size)
+        return self._sorted[picks]
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+
+class OnlineEmpiricalCDF(Distribution):
+    """A windowed, updatable ECDF (the paper's online updating process).
+
+    Keeps the most recent ``window`` observations in a ring buffer.
+    The buffer is seeded from an initial (offline-estimated)
+    distribution so deadlines can be computed from the very first query,
+    exactly as §III.B.2 prescribes.  Quantile/CDF queries sort lazily
+    and cache until the next update.
+    """
+
+    def __init__(
+        self,
+        initial: Optional[Distribution] = None,
+        window: int = 10_000,
+        seed_samples: int = 1_000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if window < 2:
+            raise DistributionError(f"window must be >= 2, got {window}")
+        self._window = window
+        self._buffer = np.empty(window, dtype=float)
+        self._count = 0
+        self._cursor = 0
+        self._updates = 0
+        self._sorted_cache: Optional[np.ndarray] = None
+        if initial is not None:
+            n_seed = min(seed_samples, window)
+            rng = rng if rng is not None else np.random.default_rng(0)
+            seeds = np.asarray(initial.sample(rng, n_seed), dtype=float)
+            self._buffer[:n_seed] = seeds
+            self._count = n_seed
+            self._cursor = n_seed % window
+
+    @property
+    def n(self) -> int:
+        """Number of observations currently in the window."""
+        return self._count
+
+    @property
+    def total_updates(self) -> int:
+        """Observations recorded via :meth:`update` since construction."""
+        return self._updates
+
+    def update(self, value: float) -> None:
+        """Record one completed-task post-queuing time."""
+        if value < 0 or not np.isfinite(value):
+            raise DistributionError(f"invalid observation {value}")
+        self._buffer[self._cursor] = value
+        self._cursor = (self._cursor + 1) % self._window
+        self._count = min(self._count + 1, self._window)
+        self._updates += 1
+        self._sorted_cache = None
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    def _sorted(self) -> np.ndarray:
+        if self._count == 0:
+            raise DistributionError("no observations yet")
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(self._buffer[: self._count])
+        return self._sorted_cache
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        data = self._sorted()
+        positions = np.searchsorted(data, np.asarray(t, dtype=float), side="right")
+        result = positions / data.size
+        return float(result) if np.isscalar(t) else result
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        result = np.quantile(self._sorted(), q)
+        return float(result) if np.ndim(q) == 0 else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        data = self._sorted()
+        picks = rng.integers(0, data.size, size=size)
+        return data[picks]
+
+    def mean(self) -> float:
+        return float(self._sorted().mean())
+
+    def snapshot(self) -> EmpiricalDistribution:
+        """Freeze the current window into a static distribution."""
+        return EmpiricalDistribution(self._sorted().copy())
+
+
+def from_quantile_table(quantiles: Sequence[float],
+                        values: Sequence[float]) -> EmpiricalDistribution:
+    """Build an empirical distribution whose quantiles interpolate a
+    published table — a convenience used in tests to cross-check the
+    piecewise-linear models."""
+    q = np.asarray(quantiles, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if q.size != v.size or q.size < 2:
+        raise DistributionError("need matching quantile/value arrays of size >= 2")
+    grid = np.linspace(0.0, 1.0, 10_001)
+    return EmpiricalDistribution(np.interp(grid, q, v))

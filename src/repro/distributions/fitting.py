@@ -1,0 +1,151 @@
+"""Fit analytic distributions to latency samples.
+
+The paper's offline estimation step profiles a task server and builds
+``F(t)`` from samples.  An :class:`~repro.distributions.EmpiricalDistribution`
+is the non-parametric answer; these fitters provide the parametric
+alternative — useful when samples are scarce (an empirical p99 needs
+hundreds of points; a fitted lognormal extrapolates from dozens) and
+for generating compact, shareable models of measured workloads.
+
+All fitters use closed-form moment/quantile matching (no optimizer
+dependency); :func:`fit_best` tries every family and picks the one with
+the smallest Kolmogorov–Smirnov distance to the ECDF.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.distributions.analytic import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    Uniform,
+    Weibull,
+)
+from repro.distributions.base import Distribution
+from repro.errors import DistributionError
+
+
+def _as_samples(values: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise DistributionError("need at least two samples to fit")
+    if np.any(arr < 0) or np.any(~np.isfinite(arr)):
+        raise DistributionError("samples must be finite and non-negative")
+    return arr
+
+
+def fit_exponential(samples: Union[Sequence[float], np.ndarray]) -> Exponential:
+    """Maximum-likelihood exponential: rate = 1 / mean."""
+    arr = _as_samples(samples)
+    mean = float(arr.mean())
+    if mean <= 0:
+        raise DistributionError("samples have zero mean")
+    return Exponential(1.0 / mean)
+
+
+def fit_lognormal(samples: Union[Sequence[float], np.ndarray]) -> LogNormal:
+    """Maximum-likelihood lognormal on the log-samples."""
+    arr = _as_samples(samples)
+    if np.any(arr <= 0):
+        raise DistributionError("lognormal requires strictly positive samples")
+    logs = np.log(arr)
+    sigma = float(logs.std(ddof=1))
+    if sigma <= 0:
+        raise DistributionError("samples are degenerate (zero variance)")
+    return LogNormal(float(logs.mean()), sigma)
+
+
+def fit_uniform(samples: Union[Sequence[float], np.ndarray]) -> Uniform:
+    """Uniform over the sample range (slightly widened to cover ties)."""
+    arr = _as_samples(samples)
+    low, high = float(arr.min()), float(arr.max())
+    if high <= low:
+        raise DistributionError("samples are degenerate (zero range)")
+    return Uniform(low, high)
+
+
+def fit_weibull(samples: Union[Sequence[float], np.ndarray]) -> Weibull:
+    """Weibull via quantile matching at the 50th/90th percentiles.
+
+    Using ``F(t) = 1 − exp(−(t/λ)^k)``, two quantiles give two
+    equations; the ratio eliminates λ and yields a closed form for k.
+    """
+    arr = _as_samples(samples)
+    q50, q90 = np.percentile(arr, [50.0, 90.0])
+    if q50 <= 0 or q90 <= q50:
+        raise DistributionError("samples unsuitable for Weibull fitting")
+    log_ratio = np.log(np.log(1 / 0.1) / np.log(1 / 0.5))
+    shape = float(log_ratio / np.log(q90 / q50))
+    if shape <= 0:
+        raise DistributionError("computed non-positive Weibull shape")
+    scale = float(q50 / np.log(2.0) ** (1.0 / shape))
+    return Weibull(shape, scale)
+
+
+def fit_bounded_pareto(
+    samples: Union[Sequence[float], np.ndarray],
+    shape: float = 1.1,
+) -> BoundedPareto:
+    """Bounded Pareto with fixed shape, bounds from the sample range."""
+    arr = _as_samples(samples)
+    low, high = float(arr.min()), float(arr.max())
+    if low <= 0 or high <= low:
+        raise DistributionError("samples unsuitable for bounded Pareto")
+    return BoundedPareto(shape, low, high)
+
+
+#: The families :func:`fit_best` considers, by name.
+FITTERS: Dict[str, Callable[[np.ndarray], Distribution]] = {
+    "exponential": fit_exponential,
+    "lognormal": fit_lognormal,
+    "weibull": fit_weibull,
+    "uniform": fit_uniform,
+    "bounded-pareto": fit_bounded_pareto,
+}
+
+
+def ks_distance(dist: Distribution,
+                samples: Union[Sequence[float], np.ndarray]) -> float:
+    """Kolmogorov–Smirnov distance between a model and the ECDF."""
+    arr = np.sort(_as_samples(samples))
+    n = arr.size
+    model = np.asarray(dist.cdf(arr), dtype=float)
+    upper = np.arange(1, n + 1) / n
+    lower = np.arange(0, n) / n
+    return float(np.max(np.maximum(np.abs(model - upper),
+                                   np.abs(model - lower))))
+
+
+def fit_best(
+    samples: Union[Sequence[float], np.ndarray],
+    families: Sequence[str] = ("exponential", "lognormal", "weibull",
+                               "uniform"),
+) -> Tuple[str, Distribution, float]:
+    """Fit every family and return (name, model, KS distance) of the best.
+
+    Families whose fitters reject the samples (e.g. lognormal on zeros)
+    are skipped; at least one family must succeed.
+    """
+    arr = _as_samples(samples)
+    best: Tuple[str, Distribution, float] = ("", None, np.inf)  # type: ignore
+    for name in families:
+        try:
+            fitter = FITTERS[name]
+        except KeyError:
+            raise DistributionError(
+                f"unknown family {name!r}; known: {sorted(FITTERS)}"
+            ) from None
+        try:
+            model = fitter(arr)
+        except DistributionError:
+            continue
+        distance = ks_distance(model, arr)
+        if distance < best[2]:
+            best = (name, model, distance)
+    if best[1] is None:
+        raise DistributionError("no family could fit these samples")
+    return best

@@ -1,0 +1,143 @@
+"""Order statistics of parallel task latencies (paper Eq. 1–2).
+
+A query with fanout ``k`` completes when its slowest task does, so the
+unloaded query latency is the maximum of ``k`` independent task
+latencies:
+
+    F_Q^u(t) = Π_{i=1..k} F_i^u(t)                         (Eq. 1)
+    x_p^u(k) = (F_Q^u)^{-1}(p / 100)                        (Eq. 2)
+
+For the homogeneous case (all servers share one CDF ``F``) the inverse
+has the closed form ``F^{-1}((p/100)^{1/k})``, which is what the
+simulation experiments use.  The heterogeneous SaS case needs the
+general product inverted numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import (
+    ArrayLike,
+    Distribution,
+    bisect_quantile,
+    validate_probability,
+)
+from repro.errors import DistributionError
+
+
+def iid_max_cdf(dist: Distribution, k: int, t: ArrayLike) -> ArrayLike:
+    """``P(max of k i.i.d. draws <= t) = F(t)^k``."""
+    if k < 1:
+        raise DistributionError(f"k must be >= 1, got {k}")
+    return np.power(dist.cdf(t), k)
+
+
+def iid_max_quantile(dist: Distribution, k: int, q: float) -> float:
+    """Closed-form inverse of the i.i.d. max CDF: ``F^{-1}(q^{1/k})``.
+
+    This is exactly the paper's ``x_p^u(k_f)`` for a homogeneous
+    cluster: ``iid_max_quantile(F, k_f, p/100)``.
+    """
+    if k < 1:
+        raise DistributionError(f"k must be >= 1, got {k}")
+    if not 0.0 <= q <= 1.0:
+        raise DistributionError(f"q must be in [0, 1], got {q}")
+    return float(dist.quantile(q ** (1.0 / k)))
+
+
+class MaxOfIID(Distribution):
+    """The distribution of the max of ``k`` i.i.d. draws from ``base``."""
+
+    def __init__(self, base: Distribution, k: int) -> None:
+        if k < 1:
+            raise DistributionError(f"k must be >= 1, got {k}")
+        self.base = base
+        self.k = int(k)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        return np.power(self.base.cdf(t), self.k)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        return self.base.quantile(np.power(q, 1.0 / self.k))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        # Inverse transform on the max CDF is one draw, not k.
+        return self.quantile(rng.random(size))
+
+
+class MaxOfIndependent(Distribution):
+    """The max of independent, *non-identical* latencies (SaS case).
+
+    ``cdf`` is the product of the component CDFs; ``quantile`` inverts
+    it by bisection on a bracket derived from component quantiles.
+    """
+
+    def __init__(self, components: Sequence[Distribution]) -> None:
+        if not components:
+            raise DistributionError("need at least one component")
+        self.components = list(components)
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        result = np.ones_like(np.asarray(t, dtype=float))
+        for component in self.components:
+            result = result * np.asarray(component.cdf(t), dtype=float)
+        return float(result) if np.isscalar(t) else result
+
+    def _upper_bracket(self, q: float) -> float:
+        # If X_i's q^{1/n}-quantile bounds every component from above,
+        # the product CDF there is at least q; expand geometrically in
+        # case a component quantile is capped by numerical flatness.
+        n = len(self.components)
+        q_hi = q ** (1.0 / n) if q > 0 else 0.0
+        hi = max(float(c.quantile(q_hi)) for c in self.components)
+        hi = max(hi, 1e-9)
+        for _ in range(200):
+            if self.cdf(hi) >= q:
+                break
+            hi *= 2.0
+        return hi
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q_arr = validate_probability(q)
+        scalar = np.ndim(q) == 0
+
+        def invert(qi: float) -> float:
+            if qi == 0.0:
+                return min(float(c.quantile(0.0)) for c in self.components)
+            return bisect_quantile(self.cdf, qi, 0.0, self._upper_bracket(qi))
+
+        result = np.array([invert(float(qi)) for qi in np.atleast_1d(q_arr)])
+        return float(result[0]) if scalar else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        draws = np.stack(
+            [np.asarray(c.sample(rng, size if size is not None else 1))
+             for c in self.components]
+        )
+        result = draws.max(axis=0)
+        return float(result[0]) if size is None else result
+
+
+def unloaded_query_tail(
+    server_cdfs: Sequence[Distribution],
+    percentile: float,
+) -> float:
+    """``x_p^u`` for a query whose tasks go to the given servers.
+
+    One call evaluates Eq. 1 + Eq. 2 for an arbitrary (possibly
+    heterogeneous) server selection.  With a single distinct CDF the
+    homogeneous closed form is used.
+    """
+    if not server_cdfs:
+        raise DistributionError("a query must touch at least one server")
+    if not 0 < percentile < 100:
+        raise DistributionError(f"percentile must be in (0, 100), got {percentile}")
+    q = percentile / 100.0
+    first = server_cdfs[0]
+    if all(c is first for c in server_cdfs):
+        return iid_max_quantile(first, len(server_cdfs), q)
+    return float(MaxOfIndependent(server_cdfs).quantile(q))

@@ -1,0 +1,160 @@
+"""Piecewise-linear CDFs.
+
+The Tailbench service-time models (paper Fig. 3 / Table II) are
+reconstructed as piecewise-linear CDFs through published anchor
+quantiles; see :mod:`repro.workloads.tailbench`.  A piecewise-linear
+CDF has exact closed forms for everything the scheduler needs —
+inverse, mean, vectorized sampling — which keeps the hot simulation
+loop fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution, validate_probability
+from repro.errors import DistributionError
+
+
+class PiecewiseLinearCDF(Distribution):
+    """A distribution defined by CDF knots ``(t_i, F_i)``.
+
+    Between knots the CDF is linear (density is uniform per segment).
+    The knot list must start at probability 0 and end at probability 1,
+    with strictly increasing times and non-decreasing probabilities.
+    """
+
+    def __init__(self, knots: Sequence[Tuple[float, float]]) -> None:
+        if len(knots) < 2:
+            raise DistributionError("need at least two knots")
+        times = np.asarray([k[0] for k in knots], dtype=float)
+        probs = np.asarray([k[1] for k in knots], dtype=float)
+        if np.any(np.diff(times) <= 0):
+            raise DistributionError("knot times must be strictly increasing")
+        if np.any(np.diff(probs) < 0):
+            raise DistributionError("knot probabilities must be non-decreasing")
+        if not np.isclose(probs[0], 0.0) or not np.isclose(probs[-1], 1.0):
+            raise DistributionError("knots must span probabilities 0 to 1")
+        if times[0] < 0:
+            raise DistributionError("latency support must be non-negative")
+        self._t = times
+        self._f = probs
+        # Collapse duplicate probabilities for the inverse: np.interp on a
+        # flat region would otherwise return the left edge, whereas the
+        # right edge of a flat CDF region is the conventional inverse.
+        keep = np.concatenate([np.diff(probs) > 0, [True]])
+        self._inv_f = probs[keep]
+        self._inv_t = times[keep]
+        if self._inv_f[0] > 0.0:
+            self._inv_f = np.concatenate([[0.0], self._inv_f])
+            self._inv_t = np.concatenate([[times[0]], self._inv_t])
+
+    @property
+    def knots(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self._t.tolist(), self._f.tolist()))
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        result = np.interp(np.asarray(t, dtype=float), self._t, self._f,
+                           left=0.0, right=1.0)
+        return float(result) if np.isscalar(t) else result
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = validate_probability(q)
+        result = np.interp(q, self._inv_f, self._inv_t)
+        return float(result) if np.ndim(q) == 0 else result
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
+        return self.quantile(rng.random(size))
+
+    def mean(self) -> float:
+        # E[X] = Σ segments (F_{i+1} - F_i) * (t_i + t_{i+1}) / 2 since the
+        # density is uniform on each segment.
+        seg_mass = np.diff(self._f)
+        seg_mid = 0.5 * (self._t[:-1] + self._t[1:])
+        return float(np.sum(seg_mass * seg_mid))
+
+    def variance(self) -> float:
+        seg_mass = np.diff(self._f)
+        a, b = self._t[:-1], self._t[1:]
+        second_moment = np.sum(seg_mass * (a * a + a * b + b * b) / 3.0)
+        mu = self.mean()
+        return float(second_moment - mu * mu)
+
+    def support(self) -> Tuple[float, float]:
+        return (float(self._t[0]), float(self._t[-1]))
+
+    def scaled(self, factor: float) -> "PiecewiseLinearCDF":
+        """A copy with all latencies multiplied by ``factor`` (used to
+        model faster/slower nodes in the heterogeneous SaS testbed)."""
+        if factor <= 0:
+            raise DistributionError(f"factor must be positive, got {factor}")
+        return PiecewiseLinearCDF(
+            [(t * factor, f) for t, f in zip(self._t, self._f)]
+        )
+
+
+def calibrated_piecewise_cdf(
+    body_anchors: Sequence[Tuple[float, float]],
+    fixed_anchors: Sequence[Tuple[float, float]],
+    minimum: float,
+    maximum: float,
+    target_mean: float,
+) -> PiecewiseLinearCDF:
+    """A piecewise CDF through published quantiles with an exact mean.
+
+    ``fixed_anchors`` are ``(probability, latency)`` points that must
+    not move (published tail statistics); ``body_anchors`` are
+    approximate shape points below them whose latencies (and the support
+    ``minimum``) are scaled by a common factor, found by bisection, so
+    that the distribution's exact mean equals ``target_mean``.  This is
+    how the Tailbench workloads (Table II) and the SaS cluster models
+    (§IV.E) are reconstructed from the paper's numbers.
+    """
+    if not body_anchors or not fixed_anchors:
+        raise DistributionError("need both body and fixed anchors")
+    first_fixed_time = fixed_anchors[0][1]
+    body_max = max(t for _, t in body_anchors)
+    alpha_lo = 0.05
+    alpha_hi = 0.999 * first_fixed_time / body_max
+
+    def build(alpha: float) -> PiecewiseLinearCDF:
+        anchors = [(p, t * alpha) for p, t in body_anchors] + list(fixed_anchors)
+        return from_anchors(anchors, minimum * alpha, maximum)
+
+    mean_lo = build(alpha_lo).mean()
+    mean_hi = build(alpha_hi).mean()
+    if not mean_lo <= target_mean <= mean_hi:
+        raise DistributionError(
+            f"target mean {target_mean} outside calibratable range "
+            f"[{mean_lo:.4f}, {mean_hi:.4f}]"
+        )
+    for _ in range(100):
+        alpha = 0.5 * (alpha_lo + alpha_hi)
+        if build(alpha).mean() < target_mean:
+            alpha_lo = alpha
+        else:
+            alpha_hi = alpha
+    return build(0.5 * (alpha_lo + alpha_hi))
+
+
+def from_anchors(
+    anchors: Sequence[Tuple[float, float]],
+    minimum: float,
+    maximum: float,
+) -> PiecewiseLinearCDF:
+    """Build a CDF through ``(probability, latency)`` anchors.
+
+    ``minimum``/``maximum`` close the support at probabilities 0 and 1.
+    Anchors must be sorted by probability.  This is the constructor used
+    by the Tailbench reconstructions: the anchors are the quantiles the
+    paper publishes (median-ish shape points from Fig. 3 plus the tail
+    points implied by Table II).
+    """
+    probs = [0.0] + [a[0] for a in anchors] + [1.0]
+    times = [minimum] + [a[1] for a in anchors] + [maximum]
+    if any(p2 <= p1 for p1, p2 in zip(probs, probs[1:])):
+        raise DistributionError("anchor probabilities must be strictly increasing "
+                                "and inside (0, 1)")
+    return PiecewiseLinearCDF(list(zip(times, probs)))

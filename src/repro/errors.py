@@ -1,0 +1,37 @@
+"""Exception hierarchy for the TailGuard reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, workload or scheduler configuration is invalid."""
+
+
+class DistributionError(ReproError):
+    """A probability-distribution operation received invalid input."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AdmissionRejected(ReproError):
+    """A query was rejected by admission control.
+
+    Raised by :meth:`repro.core.handler.QueryHandler.submit` when the
+    task deadline-miss ratio exceeds the configured threshold.  The
+    cluster simulator catches this and counts the query as rejected
+    rather than propagating it.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or its parameters are invalid."""

@@ -1,0 +1,32 @@
+"""Experiment harness: the paper's evaluation (§IV), reproducible.
+
+* :mod:`repro.experiments.maxload` — bisection search for the maximum
+  load at which every query type meets its SLO (the paper's headline
+  metric in Figs. 4–6);
+* :mod:`repro.experiments.sweep` — tail-latency-vs-load curves;
+* :mod:`repro.experiments.setups` — builders for the paper's workload
+  configurations;
+* :mod:`repro.experiments.registry` — one callable per table/figure.
+"""
+
+from repro.experiments.maxload import MaxLoadResult, find_max_load
+from repro.experiments.sweep import SweepPoint, load_sweep
+from repro.experiments.setups import (
+    paper_single_class_config,
+    paper_two_class_config,
+    paper_oldi_config,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "MaxLoadResult",
+    "SweepPoint",
+    "find_max_load",
+    "get_experiment",
+    "load_sweep",
+    "paper_oldi_config",
+    "paper_single_class_config",
+    "paper_two_class_config",
+    "run_experiment",
+]

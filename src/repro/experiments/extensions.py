@@ -1,0 +1,565 @@
+"""Extension and ablation experiments.
+
+These go beyond the paper's published plots, covering results the paper
+mentions only in passing (N=1000, four classes — §IV.D), robustness
+claims (inaccurate CDFs — §IV.E; online updating — §III.B.2), design
+knobs (admission threshold — §III.C), and the stated future work
+(request-level budget assignment — §III.B, Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig, ServicePerturbation
+from repro.cluster.simulation import simulate
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.requests import (
+    BudgetAssignment,
+    EqualSplit,
+    ProportionalToTail,
+    RequestPlanner,
+    SloSplit,
+)
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic, Distribution, Exponential
+from repro.experiments.maxload import find_max_load
+from repro.experiments.report import ExperimentReport
+from repro.experiments.setups import (
+    multi_class_config,
+    paper_oldi_config,
+    paper_single_class_config,
+    paper_two_class_config,
+)
+from repro.metrics.percentile import exact_percentile
+from repro.sim.engine import Environment
+from repro.types import QuerySpec, RequestSpec, ServiceClass
+from repro.workloads.tailbench import FIG6_CLASS_SLOS_MS, get_workload
+
+
+def ext_scale_n1000(
+    slo_ms: float = 1.0,
+    policies: Sequence[str] = ("tailguard", "fifo"),
+    n_queries: int = 40_000,
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """§IV.D: "simulation results for cluster size N=1,000 ... are
+    consistent" — single-class Masstree at N=1000 vs N=100."""
+    report = ExperimentReport(
+        experiment_id="ext_scale",
+        title="Cluster-size scaling: N=100 vs N=1000 (Masstree, single class)",
+        parameters={"slo_ms": slo_ms, "n_queries": n_queries, "tol": tol},
+        columns=["n_servers", "policy", "max_load"],
+    )
+    for n_servers in (100, 1000):
+        for policy in policies:
+            config = paper_single_class_config(
+                "masstree", slo_ms, policy=policy,
+                n_servers=n_servers, n_queries=n_queries,
+            )
+            outcome = find_max_load(config, tol=tol)
+            report.add_row(n_servers=n_servers, policy=policy,
+                           max_load=outcome.max_load)
+    return report
+
+
+def ext_four_classes(
+    slos_ms: Sequence[float] = (0.9, 1.2, 1.5, 1.8),
+    policies: Sequence[str] = ("tailguard", "t-edf", "priq", "wrr", "fifo"),
+    n_queries: int = 40_000,
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """§IV.D: four service classes (Masstree), all four policies."""
+    report = ExperimentReport(
+        experiment_id="ext_four_classes",
+        title="Four service classes: maximum load per policy (Masstree)",
+        parameters={"slos_ms": list(slos_ms), "n_queries": n_queries},
+        columns=["policy", "max_load"],
+        notes="the paper states 4-class results are consistent with 2-class; "
+              "we find the two deadline-based policies (TailGuard, T-EDFQ) "
+              "within ~2% of each other — with four classes the SLO spread "
+              "dominates Masstree's small fanout-tail spread (0.25 ms) — and "
+              "both far above PRIQ and FIFO",
+    )
+    for policy in policies:
+        config = multi_class_config("masstree", slos_ms, policy=policy,
+                                    n_queries=n_queries)
+        outcome = find_max_load(config, tol=tol)
+        report.add_row(policy=policy, max_load=outcome.max_load)
+    return report
+
+
+def ext_arrival_burstiness(
+    slo_high_ms: float = 1.0,
+    policies: Sequence[str] = ("tailguard", "t-edf", "priq", "fifo"),
+    arrivals: Sequence[str] = ("poisson", "pareto", "mmpp"),
+    n_queries: int = 40_000,
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Arrival-burstiness sensitivity beyond Fig. 5(b).
+
+    The paper probes burstiness with heavy-tailed (Pareto) *renewal*
+    interarrivals; an MMPP adds *correlated* arrivals (burst episodes).
+    Expected: burstier arrivals lower every policy's max load, and the
+    policy ordering is preserved under all three processes.
+    """
+    report = ExperimentReport(
+        experiment_id="ext_arrival_burstiness",
+        title="Max load vs arrival process (Masstree, two classes)",
+        parameters={"slo_high_ms": slo_high_ms, "n_queries": n_queries},
+        columns=["arrival", "policy", "max_load"],
+        notes="MMPP bursts are correlated episodes, a harsher stress than "
+              "the paper's Pareto renewal process",
+    )
+    for arrival in arrivals:
+        for policy in policies:
+            config = paper_two_class_config(
+                "masstree", slo_high_ms, policy=policy,
+                n_queries=n_queries, arrival=arrival,
+            )
+            outcome = find_max_load(config, tol=tol)
+            report.add_row(arrival=arrival, policy=policy,
+                           max_load=outcome.max_load)
+    return report
+
+
+def ablation_inaccurate_cdf(
+    slo_high_ms: float = 1.0,
+    scale_errors: Sequence[float] = (0.7, 0.85, 1.0, 1.15, 1.3),
+    n_queries: int = 40_000,
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Robustness to mis-estimated CDFs (the §IV.E stress concern).
+
+    Two error models, both with actual service times unchanged:
+
+    * *scale errors* — the estimator's CDF is a scaled copy of the
+      truth (systematic speed misjudgment);
+    * *shape errors* — the estimator fits a wrong family with the right
+      mean: an exponential (far heavier tail than Masstree's) and a
+      deterministic point mass (no tail at all).
+
+    Findings: TailGuard is remarkably insensitive to *uniform scaling*
+    (EDF ordering depends on deadline differences, and scaling shifts
+    all ``x_u(k_f)`` together).  Shape matters through the *spread* of
+    ``x_u`` across fanouts: a tail-free point-mass estimate collapses
+    the spread to zero, degenerating TF-EDFQ into T-EDFQ and giving up
+    the fanout-awareness gain, while a heavier-than-true tail estimate
+    exaggerates the spread and is harmless or mildly helpful.
+    """
+    report = ExperimentReport(
+        experiment_id="ablation_inaccurate_cdf",
+        title="TailGuard with mis-estimated CDFs (Masstree, two-class)",
+        parameters={"slo_high_ms": slo_high_ms, "n_queries": n_queries},
+        columns=["estimate", "max_load"],
+        notes="uniform scale errors barely move the max load; a tail-free "
+              "point-mass estimate degenerates TF-EDFQ toward T-EDFQ and "
+              "loses the fanout gain; a heavier tail estimate is harmless",
+    )
+    bench = get_workload("masstree")
+    truth = bench.service_time
+    estimates: List[Tuple[str, Distribution]] = [
+        (f"scaled-{error}", truth.scaled(error)) for error in scale_errors
+    ]
+    estimates.append(("exp-fit", Exponential.from_mean(truth.mean())))
+    estimates.append(("point-mass", Deterministic(truth.mean())))
+    for label, estimate in estimates:
+        estimator = DeadlineEstimator(estimate, n_servers=100)
+        config = replace(
+            paper_two_class_config("masstree", slo_high_ms,
+                                   policy="tailguard", n_queries=n_queries),
+            estimator=estimator,
+        )
+        outcome = find_max_load(config, tol=tol)
+        report.add_row(estimate=label, max_load=outcome.max_load)
+    return report
+
+
+def ablation_online_updating(
+    load: float = 0.35,
+    slo_high_ms: float = 1.2,
+    n_queries: int = 30_000,
+    seed: int = 1,
+    online_window: int = 10_000,
+    refresh_interval: int = 5_000,
+) -> ExperimentReport:
+    """Online CDF updating on a heterogeneous cluster (§III.B.2).
+
+    Servers come in four speed groups (0.7x to 1.4x Masstree).  Three
+    estimator modes: *oblivious* (homogeneous offline estimate, never
+    updated), *online* (same wrong start, per-group online updating),
+    and *oracle* (exact per-group CDFs).
+    """
+    bench = get_workload("masstree")
+    speed_factors = (0.7, 0.9, 1.1, 1.4)
+    n_servers = 100
+    group_size = n_servers // len(speed_factors)
+    group_dists: Dict[str, Distribution] = {
+        f"g{i}": bench.service_time.scaled(factor)
+        for i, factor in enumerate(speed_factors)
+    }
+    server_groups = {
+        sid: f"g{min(sid // group_size, len(speed_factors) - 1)}"
+        for sid in range(n_servers)
+    }
+    true_cdfs = {sid: group_dists[server_groups[sid]] for sid in range(n_servers)}
+
+    def estimator_for(mode: str) -> DeadlineEstimator:
+        if mode == "oblivious":
+            return DeadlineEstimator(bench.service_time, n_servers=n_servers)
+        if mode == "online":
+            wrong_offline = {sid: bench.service_time for sid in range(n_servers)}
+            return DeadlineEstimator(
+                wrong_offline,
+                online_window=online_window,
+                refresh_interval=refresh_interval,
+                server_groups=server_groups,
+            )
+        return DeadlineEstimator(dict(true_cdfs))  # oracle
+
+    report = ExperimentReport(
+        experiment_id="ablation_online_updating",
+        title="Online CDF updating under server heterogeneity",
+        parameters={"load": load, "slo_high_ms": slo_high_ms,
+                    "speed_factors": list(speed_factors),
+                    "n_queries": n_queries},
+        columns=["estimator", "class_name", "p99_ms", "slo_ms", "meets_slo",
+                 "deadline_miss_ratio"],
+        notes="online updating recovers most of the oracle's accuracy from "
+              "a deliberately wrong homogeneous start",
+    )
+    for mode in ("oblivious", "online", "oracle"):
+        config = replace(
+            paper_two_class_config("masstree", slo_high_ms,
+                                   policy="tailguard", n_queries=n_queries,
+                                   seed=seed),
+            estimator=estimator_for(mode),
+            server_cdfs=dict(true_cdfs),
+        )
+        result = simulate(config.at_load(load))
+        for cls in result.classes:
+            tail = result.tail(cls.percentile, cls.name)
+            report.add_row(estimator=mode, class_name=cls.name, p99_ms=tail,
+                           slo_ms=cls.slo_ms, meets_slo=tail <= cls.slo_ms,
+                           deadline_miss_ratio=result.deadline_miss_ratio())
+    return report
+
+
+def ablation_admission_threshold(
+    thresholds: Sequence[float] = (0.002, 0.009, 0.05, 0.10),
+    offered_load: float = 0.62,
+    n_queries: int = 20_000,
+    window_tasks: int = 100_000,
+    window_ms: float = 250.0,
+    seed: int = 1,
+) -> ExperimentReport:
+    """Sensitivity of admission control to the threshold R_th (§III.C)."""
+    slo1, slo2 = FIG6_CLASS_SLOS_MS["masstree"]
+    report = ExperimentReport(
+        experiment_id="ablation_admission_threshold",
+        title="Admission threshold sensitivity (Masstree OLDI, overload)",
+        parameters={"offered_load": offered_load, "n_queries": n_queries},
+        columns=["threshold", "accepted_load", "rejection_ratio",
+                 "p99_class1_ms", "p99_class2_ms", "meets_both"],
+        notes="tighter thresholds reject more load; looser thresholds risk "
+              "SLO violations under overload",
+    )
+    for threshold in thresholds:
+        config = paper_oldi_config("masstree", slo1, slo2,
+                                   policy="tailguard", n_queries=n_queries,
+                                   seed=seed)
+        config = replace(
+            config.at_load(offered_load),
+            admission=DeadlineMissRatioAdmission(
+                threshold, window_tasks=window_tasks, window_ms=window_ms,
+                min_samples=max(1000, window_tasks // 100),
+                mode="duty-cycle",
+            ),
+        )
+        result = simulate(config)
+        tail1 = result.tail(99.0, "class-I")
+        tail2 = result.tail(99.0, "class-II")
+        report.add_row(
+            threshold=threshold,
+            accepted_load=result.accepted_load(),
+            rejection_ratio=result.rejection_ratio(),
+            p99_class1_ms=tail1,
+            p99_class2_ms=tail2,
+            meets_both=(tail1 <= slo1) and (tail2 <= slo2),
+        )
+    return report
+
+
+def ablation_server_slowdown(
+    load: float = 0.40,
+    slo_high_ms: float = 1.2,
+    n_queries: int = 40_000,
+    slow_servers: int = 10,
+    slow_factor: float = 1.8,
+    seed: int = 1,
+) -> ExperimentReport:
+    """Failure injection: a rack of servers slows mid-run (§III.B.2's
+    "resource availability changes").
+
+    Ten of a hundred servers run ``slow_factor`` times slower during the
+    middle third of the run (1.8x keeps the slowed rack stable —
+    ordering policies cannot rescue an unstable queue).  Three schedulers are compared: FIFO,
+    TailGuard with static (now stale) CDFs, and TailGuard with online
+    updating per rack.  Reported per phase (before / during / after):
+    class-I p99 over queries arriving in that phase.
+    """
+    bench = get_workload("masstree")
+    n_servers = 100
+    base = paper_two_class_config("masstree", slo_high_ms,
+                                  policy="tailguard", n_queries=n_queries,
+                                  seed=seed).at_load(load)
+    # Probe the run's time span without perturbations to place the window.
+    probe = simulate(base)
+    horizon = float(probe.arrival.max())
+    window = (horizon / 3.0, 2.0 * horizon / 3.0)
+    perturbation = ServicePerturbation(
+        server_ids=tuple(range(slow_servers)),
+        start_ms=window[0],
+        end_ms=window[1],
+        factor=slow_factor,
+    )
+    groups = {sid: ("slow-rack" if sid < slow_servers else "rest")
+              for sid in range(n_servers)}
+
+    def online_estimator() -> DeadlineEstimator:
+        return DeadlineEstimator(
+            {sid: bench.service_time for sid in range(n_servers)},
+            online_window=8_000,
+            refresh_interval=4_000,
+            server_groups=groups,
+        )
+
+    report = ExperimentReport(
+        experiment_id="ablation_server_slowdown",
+        title="Injected rack slowdown: static vs online deadline estimation",
+        parameters={"load": load, "slow_servers": slow_servers,
+                    "slow_factor": slow_factor, "n_queries": n_queries,
+                    "window_ms": list(window)},
+        columns=["scheduler", "phase", "p99_class1_ms", "slo_ms",
+                 "deadline_miss_ratio"],
+        notes="the slowdown inflates every scheduler's tails; TailGuard "
+              "absorbs it best, and online updating adds a further margin "
+              "by re-estimating the slow rack's CDF during the transient",
+    )
+    schedulers = {
+        "fifo": replace(base, policy="fifo"),
+        "tailguard-static": base,
+        "tailguard-online": replace(base, estimator=online_estimator()),
+    }
+    phases = {
+        "before": (0.0, window[0]),
+        "during": window,
+        "after": (window[1], horizon + 1.0),
+    }
+    for name, config in schedulers.items():
+        result = simulate(replace(config, perturbations=(perturbation,)))
+        for phase, (start, end) in phases.items():
+            report.add_row(
+                scheduler=name,
+                phase=phase,
+                p99_class1_ms=result.tail_between(start, end, 99.0,
+                                                  "class-I"),
+                slo_ms=slo_high_ms,
+                deadline_miss_ratio=result.deadline_miss_ratio(),
+            )
+    return report
+
+
+def ext_replica_selection(
+    loads: Sequence[float] = (0.35, 0.45, 0.55),
+    policies: Sequence[str] = ("fifo", "tailguard"),
+    n_servers: int = 16,
+    n_shards: int = 160,
+    replication: int = 3,
+    popularity_alpha: float = 1.5,
+    n_queries: int = 25_000,
+    seed: int = 4,
+) -> ExperimentReport:
+    """Replica selection under hot shards (§II.B composability check).
+
+    With Zipf-popular shards, the servers hosting hot shards become the
+    §I "skewed workload" outlier source.  Replication lets the
+    dispatcher choose among replicas; this experiment compares uniform
+    random selection against least-loaded (power-of-choices) selection.
+
+    Finding: placement skew is a *placement* problem — queue ordering
+    cannot fix it (the single class and narrow fanout spread here make
+    TailGuard and FIFO nearly indistinguishable), while least-loaded
+    selection slashes the tail severalfold.  The two mechanisms are
+    orthogonal and compose: selection levels per-server load,
+    TF-EDFQ's contribution is the cross-fanout/SLO ordering measured in
+    the main experiments.
+    """
+    from repro.workloads.sharding import ShardMap, ShardedPlacement
+    from repro.workloads import (
+        PoissonArrivals,
+        Workload,
+        inverse_proportional_fanout,
+        single_class_mix,
+    )
+
+    bench = get_workload("masstree")
+    gold = ServiceClass("gold", slo_ms=10.0)
+    workload = Workload(
+        "sharded", PoissonArrivals(1.0),
+        inverse_proportional_fanout([1, 4]),
+        single_class_mix(gold), bench.service_time,
+    )
+    report = ExperimentReport(
+        experiment_id="ext_replica_selection",
+        title="Random vs least-loaded replica selection under hot shards",
+        parameters={"n_servers": n_servers, "n_shards": n_shards,
+                    "replication": replication,
+                    "popularity_alpha": popularity_alpha,
+                    "n_queries": n_queries},
+        columns=["policy", "selection", "load", "p99_ms", "mean_ms"],
+        notes="least-loaded selection absorbs shard-popularity skew that "
+              "queue ordering alone cannot (TailGuard ≈ FIFO here: one "
+              "class, narrow fanout spread); the mechanisms are orthogonal",
+    )
+    for policy in policies:
+        for selection in ("random", "least-loaded"):
+            for load in loads:
+                placement = ShardedPlacement(
+                    ShardMap(n_shards, n_servers, replication),
+                    popularity_alpha=popularity_alpha,
+                    select=selection,
+                )
+                config = ClusterConfig(
+                    n_servers=n_servers, policy=policy, workload=workload,
+                    n_queries=n_queries, seed=seed, placement=placement,
+                ).at_load(load)
+                result = simulate(config)
+                report.add_row(
+                    policy=policy, selection=selection, load=load,
+                    p99_ms=result.tail(99.0),
+                    mean_ms=float(result.latencies().mean()),
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Request-level decomposition (Eq. 7) on the DES kernel.
+# ----------------------------------------------------------------------
+def _simulate_requests(
+    strategy: BudgetAssignment,
+    n_requests: int,
+    load: float,
+    fanouts: Tuple[int, ...],
+    slo_slack: float,
+    n_servers: int,
+    seed: int,
+) -> Dict[str, float]:
+    """Run sequential multi-query requests through the coroutine model."""
+    bench = get_workload("masstree")
+    service = bench.service_time
+    rng = np.random.default_rng(seed)
+    server_rng, handler_rng, arrival_rng = rng.spawn(3)
+
+    env = Environment()
+    policy = get_policy("tailguard")
+    estimator = DeadlineEstimator(service, n_servers=n_servers)
+    servers = [
+        TaskServer(env, sid, policy, service, child)
+        for sid, child in zip(range(n_servers), server_rng.spawn(n_servers))
+    ]
+    handler = QueryHandler(env, servers, estimator, policy, handler_rng)
+
+    # Request SLO: unloaded request tail plus a slack fraction.
+    planner = RequestPlanner(estimator, strategy)
+    probe = RequestSpec(0, 0.0, fanouts, slo_ms=1e9)
+    unloaded_tail = planner.plan(probe).unloaded_request_tail_ms
+    slo_ms = unloaded_tail * (1.0 + slo_slack)
+    request = RequestSpec(0, 0.0, fanouts, slo_ms=slo_ms)
+    plan = planner.plan(request)
+    service_class = ServiceClass("request", slo_ms)
+
+    tasks_per_request = sum(fanouts)
+    rate = load * n_servers / (tasks_per_request * service.mean())
+    gaps = arrival_rng.exponential(1.0 / rate, n_requests)
+
+    latencies: List[float] = []
+    query_counter = [0]
+
+    def run_request():
+        start = env.now
+        for index, fanout in enumerate(fanouts):
+            query_counter[0] += 1
+            spec = QuerySpec(
+                query_id=query_counter[0],
+                arrival_time=env.now,
+                fanout=fanout,
+                service_class=service_class,
+            )
+            deadline = plan.query_deadline(index, env.now)
+            _, done = handler.submit(spec, deadline=deadline)
+            yield done
+        latencies.append(env.now - start)
+
+    def arrivals():
+        for gap in gaps:
+            yield env.timeout(gap)
+            env.process(run_request())
+
+    env.process(arrivals())
+    env.run()
+
+    warmup = int(0.1 * len(latencies))
+    measured = np.asarray(latencies[warmup:])
+    p99 = exact_percentile(measured, 99.0)
+    return {
+        "slo_ms": slo_ms,
+        "p99_ms": p99,
+        "meets_slo": float(p99 <= slo_ms),
+        "total_budget_ms": plan.total_budget_ms,
+        "min_query_budget_ms": min(plan.query_budgets_ms),
+    }
+
+
+def ext_request_decomposition(
+    strategies: Sequence[BudgetAssignment] = (
+        EqualSplit(), ProportionalToTail(), SloSplit(),
+    ),
+    loads: Sequence[float] = (0.30, 0.40),
+    fanouts: Tuple[int, ...] = (1, 4, 16),
+    n_requests: int = 2_500,
+    slo_slack: float = 1.0,
+    n_servers: int = 20,
+    seed: int = 1,
+) -> ExperimentReport:
+    """Eq. 7 in action: budget-assignment strategies for requests.
+
+    Each request issues its queries sequentially on the coroutine
+    cluster; task deadlines come from the per-query budgets of the
+    strategy under test rather than from the query-level Eq. 6.
+    """
+    report = ExperimentReport(
+        experiment_id="ext_request_decomposition",
+        title="Request-level budget assignment strategies (Eq. 7)",
+        parameters={"fanouts": list(fanouts), "n_requests": n_requests,
+                    "slo_slack": slo_slack, "n_servers": n_servers},
+        columns=["strategy", "load", "slo_ms", "p99_ms", "meets_slo",
+                 "total_budget_ms", "min_query_budget_ms"],
+        notes="any conserving assignment meets the SLO at low load (Eq. 7); "
+              "near capacity the equal split shows the lowest request p99, "
+              "matching the paper's equal-budget minimality argument, while "
+              "slo-split (which ignores additivity) is consistently worst",
+    )
+    for strategy in strategies:
+        for load in loads:
+            outcome = _simulate_requests(
+                strategy, n_requests, load, fanouts, slo_slack, n_servers, seed
+            )
+            report.add_row(strategy=strategy.name, load=load, **outcome)
+    return report

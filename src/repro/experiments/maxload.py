@@ -1,0 +1,87 @@
+"""Maximum-load search (the paper's headline metric).
+
+§IV.B: "we measure the tail latency for each type of queries and
+identify the maximum load at which all three types of queries meet
+their tail latency SLOs."  Feasibility in load is monotone for a
+work-conserving queue, so a bisection over the offered load finds the
+boundary; multiple seeds vote to damp percentile noise at the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import simulate
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class MaxLoadResult:
+    """Outcome of one maximum-load search."""
+
+    policy_name: str
+    max_load: float
+    #: (load, feasible) pairs probed by the bisection, in probe order.
+    history: Tuple[Tuple[float, bool], ...]
+
+    @property
+    def probes(self) -> int:
+        return len(self.history)
+
+
+def _feasible(config: ClusterConfig, load: float, seeds: Tuple[int, ...],
+              min_samples: int,
+              fanout_buckets: Optional[Tuple[int, ...]]) -> bool:
+    """Whether every seed's run meets all SLOs at this load."""
+    rated = config.at_load(load)
+    for seed in seeds:
+        result = simulate(replace(rated, seed=seed))
+        if not result.meets_all_slos(min_samples=min_samples,
+                                     fanout_buckets=fanout_buckets):
+            return False
+    return True
+
+
+def find_max_load(
+    config: ClusterConfig,
+    lo: float = 0.05,
+    hi: float = 0.95,
+    tol: float = 0.01,
+    seeds: Tuple[int, ...] = (1,),
+    min_samples: int = 100,
+    fanout_buckets: Optional[Tuple[int, ...]] = None,
+) -> MaxLoadResult:
+    """Bisection over offered load for the SLO-feasibility boundary.
+
+    Returns ``max_load = 0`` when even ``lo`` is infeasible, and ``hi``
+    when everything up to ``hi`` is feasible.  ``tol`` is the absolute
+    load resolution (the paper reports loads at percent granularity).
+    """
+    if not 0 < lo < hi:
+        raise ExperimentError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    if tol <= 0:
+        raise ExperimentError(f"tol must be positive, got {tol}")
+    policy_name = config.resolve_policy().name
+    history: List[Tuple[float, bool]] = []
+
+    lo_ok = _feasible(config, lo, seeds, min_samples, fanout_buckets)
+    history.append((lo, lo_ok))
+    if not lo_ok:
+        return MaxLoadResult(policy_name, 0.0, tuple(history))
+
+    hi_ok = _feasible(config, hi, seeds, min_samples, fanout_buckets)
+    history.append((hi, hi_ok))
+    if hi_ok:
+        return MaxLoadResult(policy_name, hi, tuple(history))
+
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        mid_ok = _feasible(config, mid, seeds, min_samples, fanout_buckets)
+        history.append((mid, mid_ok))
+        if mid_ok:
+            lo = mid
+        else:
+            hi = mid
+    return MaxLoadResult(policy_name, lo, tuple(history))

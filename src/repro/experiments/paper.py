@@ -1,0 +1,329 @@
+"""Reproductions of the paper's simulation tables and figures (§IV.A–D).
+
+Each function returns an :class:`~repro.experiments.report.ExperimentReport`
+whose rows mirror the corresponding table/figure series.  Scale knobs
+(``n_queries``, ``loads``, ``seeds``, ``tol``) default to values that
+finish in minutes; the registry's quick mode shrinks them further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.simulation import simulate
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.experiments.maxload import find_max_load
+from repro.experiments.report import ExperimentReport
+from repro.experiments.setups import (
+    paper_oldi_config,
+    paper_single_class_config,
+    paper_two_class_config,
+)
+from repro.experiments.sweep import load_sweep
+from repro.workloads.tailbench import (
+    FIG4_SLOS_MS,
+    FIG6_CLASS_SLOS_MS,
+    TAILBENCH_WORKLOADS,
+)
+
+#: Published reference points quoted in the paper's text, used to anchor
+#: EXPERIMENTS.md comparisons.  Fig. 4 Masstree at SLO 0.8 ms: FIFO 20%,
+#: TailGuard 28%.
+PAPER_FIG4_MASSTREE_08 = {"fifo": 0.20, "tailguard": 0.28}
+
+#: Paper Table III (Masstree): per-fanout 99th tails at max load.
+PAPER_TABLE3 = {
+    (0.8, "fifo"): {1: 0.439, 10: 0.394, 100: 0.798},
+    (0.8, "tailguard"): {1: 0.572, 10: 0.745, 100: 0.797},
+    (1.0, "fifo"): {1: 0.533, 10: 0.731, 100: 0.997},
+    (1.0, "tailguard"): {1: 0.705, 10: 0.941, 100: 0.994},
+    (1.2, "fifo"): {1: 0.647, 10: 0.889, 100: 1.192},
+    (1.2, "tailguard"): {1: 0.817, 10: 1.098, 100: 1.193},
+    (1.4, "fifo"): {1: 0.751, 10: 1.061, 100: 1.389},
+    (1.4, "tailguard"): {1: 0.945, 10: 1.262, 100: 1.392},
+}
+
+#: Paper Fig. 6: maximum loads (class I / class II) per workload, and
+#: resulting overall max loads per policy quoted in §IV.C.
+PAPER_FIG6_MAXLOADS = {
+    ("masstree", "fifo"): 0.45,
+    ("masstree", "priq"): 0.48,
+    ("masstree", "tailguard"): 0.54,
+    ("shore", "fifo"): 0.36,
+    ("shore", "priq"): 0.45,
+    ("shore", "tailguard"): 0.51,
+    ("xapian", "fifo"): 0.49,
+    ("xapian", "priq"): 0.45,
+    ("xapian", "tailguard"): 0.58,
+}
+
+
+def fig3_workload_cdfs(grid_points: int = 9) -> ExperimentReport:
+    """Fig. 3: service-time CDFs and unloaded 95/99th task tails."""
+    report = ExperimentReport(
+        experiment_id="fig3",
+        title="Tailbench service-time CDF statistics (model vs paper anchors)",
+        parameters={"grid_points": grid_points},
+        columns=["workload", "statistic", "model_ms", "paper_ms"],
+        notes="paper_ms = published anchors (Table II tails; Fig. 3 "
+              "p95 read off the plots); NaN where the paper gives no number",
+    )
+    paper_p95 = {"masstree": 0.210, "shore": 1.20, "xapian": 1.80}
+    for name, workload in TAILBENCH_WORKLOADS.items():
+        dist = workload.service_time
+        report.add_row(workload=name, statistic="mean",
+                       model_ms=dist.mean(), paper_ms=workload.paper_mean_ms)
+        report.add_row(workload=name, statistic="p95",
+                       model_ms=dist.percentile(95.0), paper_ms=paper_p95[name])
+        report.add_row(workload=name, statistic="p99",
+                       model_ms=dist.percentile(99.0),
+                       paper_ms=workload.paper_x99_ms[1])
+        for q in np.linspace(0.1, 0.9, grid_points):
+            report.add_row(workload=name, statistic=f"p{q * 100:.0f}",
+                           model_ms=float(dist.quantile(q)), paper_ms=float("nan"))
+    return report
+
+
+def table2_unloaded_tails() -> ExperimentReport:
+    """Table II: mean service time and x99^u at fanouts 1/10/100."""
+    report = ExperimentReport(
+        experiment_id="table2",
+        title="Unloaded 99th-percentile query tails (Eq. 1-2) vs Table II",
+        columns=["workload", "quantity", "model_ms", "paper_ms"],
+    )
+    for name, workload in TAILBENCH_WORKLOADS.items():
+        row = workload.table2_row()
+        report.add_row(workload=name, quantity="T_m",
+                       model_ms=row["T_m"], paper_ms=workload.paper_mean_ms)
+        for fanout in (1, 10, 100):
+            report.add_row(workload=name, quantity=f"x99({fanout})",
+                           model_ms=row[f"x99({fanout})"],
+                           paper_ms=workload.paper_x99_ms[fanout])
+    return report
+
+
+def fig4_single_class_maxload(
+    workloads: Sequence[str] = ("masstree", "shore", "xapian"),
+    policies: Sequence[str] = ("tailguard", "fifo"),
+    n_queries: int = 40_000,
+    seeds: Tuple[int, ...] = (1,),
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Fig. 4: max load meeting a single-class 99th SLO, per workload."""
+    report = ExperimentReport(
+        experiment_id="fig4",
+        title="Single-class maximum load: TailGuard vs FIFO",
+        parameters={"n_queries": n_queries, "seeds": list(seeds), "tol": tol},
+        columns=["workload", "slo_ms", "policy", "max_load"],
+        notes="with one class, PRIQ and T-EDFQ degenerate to FIFO (§III.A)",
+    )
+    for workload in workloads:
+        for slo in FIG4_SLOS_MS[workload]:
+            for policy in policies:
+                config = paper_single_class_config(
+                    workload, slo, policy=policy, n_queries=n_queries
+                )
+                outcome = find_max_load(config, tol=tol, seeds=seeds)
+                report.add_row(workload=workload, slo_ms=slo, policy=policy,
+                               max_load=outcome.max_load)
+    return report
+
+
+def table3_per_fanout_tails(
+    slos_ms: Sequence[float] = (0.8, 1.0, 1.2, 1.4),
+    policies: Sequence[str] = ("fifo", "tailguard"),
+    n_queries: int = 80_000,
+    search_queries: int = 40_000,
+    seeds: Tuple[int, ...] = (1,),
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Table III: per-fanout 99th tails at each policy's max load
+    (Masstree)."""
+    report = ExperimentReport(
+        experiment_id="table3",
+        title="99th tails of the three query types at maximum load (Masstree)",
+        parameters={"n_queries": n_queries, "tol": tol},
+        columns=["slo_ms", "policy", "max_load", "fanout",
+                 "p99_ms", "paper_p99_ms"],
+        notes="TailGuard equalizes per-type tails; kf=100 binds both policies",
+    )
+    for slo in slos_ms:
+        for policy in policies:
+            config = paper_single_class_config(
+                "masstree", slo, policy=policy, n_queries=search_queries
+            )
+            max_load = find_max_load(config, tol=tol, seeds=seeds).max_load
+            measured = simulate(
+                replace(config, n_queries=n_queries).at_load(max(max_load, 0.05))
+            )
+            paper_row = PAPER_TABLE3.get((slo, policy), {})
+            for fanout in (1, 10, 100):
+                report.add_row(
+                    slo_ms=slo,
+                    policy=policy,
+                    max_load=max_load,
+                    fanout=fanout,
+                    p99_ms=measured.tail(99.0, fanout=fanout),
+                    paper_p99_ms=paper_row.get(fanout, float("nan")),
+                )
+    return report
+
+
+def fig5_two_class_maxload(
+    slos_high_ms: Sequence[float] = (0.8, 1.0, 1.2, 1.4),
+    policies: Sequence[str] = ("tailguard", "fifo", "priq", "t-edf"),
+    arrivals: Sequence[str] = ("poisson", "pareto"),
+    n_queries: int = 40_000,
+    seeds: Tuple[int, ...] = (1,),
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Fig. 5: two-class max loads under Poisson and Pareto arrivals
+    (Masstree; SLO ratio 1.5)."""
+    report = ExperimentReport(
+        experiment_id="fig5",
+        title="Two-class maximum load, four policies, two arrival processes",
+        parameters={"n_queries": n_queries, "tol": tol, "seeds": list(seeds)},
+        columns=["arrival", "slo_high_ms", "policy", "max_load"],
+        notes="paper: gains up to 80% vs FIFO, 40% vs PRIQ, 22% vs T-EDFQ; "
+              "Pareto arrivals cost every policy a few points of load",
+    )
+    for arrival in arrivals:
+        for slo_high in slos_high_ms:
+            for policy in policies:
+                config = paper_two_class_config(
+                    "masstree", slo_high, policy=policy,
+                    n_queries=n_queries, arrival=arrival,
+                )
+                outcome = find_max_load(config, tol=tol, seeds=seeds)
+                report.add_row(arrival=arrival, slo_high_ms=slo_high,
+                               policy=policy, max_load=outcome.max_load)
+    return report
+
+
+def fig6_two_class_sweep(
+    workloads: Sequence[str] = ("masstree", "shore", "xapian"),
+    policies: Sequence[str] = ("tailguard", "fifo", "priq"),
+    loads: Sequence[float] = tuple(np.arange(0.20, 0.651, 0.05)),
+    n_queries: int = 12_000,
+    seed: int = 1,
+) -> ExperimentReport:
+    """Fig. 6: per-class p99 vs load with fanout fixed at 100 (OLDI)."""
+    report = ExperimentReport(
+        experiment_id="fig6",
+        title="OLDI two-class tail latency vs load",
+        parameters={"n_queries": n_queries, "loads": [float(x) for x in loads],
+                    "seed": seed},
+        columns=["workload", "policy", "load", "class_name", "p99_ms",
+                 "slo_ms", "meets_slo"],
+        notes="fanout == N for every query, so T-EDFQ behaves exactly like "
+              "TailGuard (§IV.C) and is omitted",
+    )
+    for workload in workloads:
+        slo1, slo2 = FIG6_CLASS_SLOS_MS[workload]
+        for policy in policies:
+            config = paper_oldi_config(workload, slo1, slo2, policy=policy,
+                                       n_queries=n_queries)
+            points = load_sweep(config, loads, seed=seed)
+            for point in points:
+                for class_name, slo in (("class-I", slo1), ("class-II", slo2)):
+                    tail = point.class_tails_ms[class_name]
+                    report.add_row(workload=workload, policy=policy,
+                                   load=point.offered_load,
+                                   class_name=class_name, p99_ms=tail,
+                                   slo_ms=slo, meets_slo=tail <= slo)
+    return report
+
+
+def fig6_summary_maxload(
+    workloads: Sequence[str] = ("masstree", "shore", "xapian"),
+    policies: Sequence[str] = ("tailguard", "fifo", "priq"),
+    n_queries: int = 12_000,
+    seeds: Tuple[int, ...] = (1,),
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Fig. 6 arrows: the max load meeting both class SLOs, per policy."""
+    report = ExperimentReport(
+        experiment_id="fig6_summary",
+        title="OLDI two-class maximum loads (the arrows in Fig. 6)",
+        parameters={"n_queries": n_queries, "tol": tol},
+        columns=["workload", "policy", "max_load", "paper_max_load"],
+    )
+    for workload in workloads:
+        slo1, slo2 = FIG6_CLASS_SLOS_MS[workload]
+        for policy in policies:
+            config = paper_oldi_config(workload, slo1, slo2, policy=policy,
+                                       n_queries=n_queries)
+            outcome = find_max_load(config, tol=tol, seeds=seeds)
+            report.add_row(
+                workload=workload, policy=policy, max_load=outcome.max_load,
+                paper_max_load=PAPER_FIG6_MAXLOADS.get((workload, policy),
+                                                       float("nan")),
+            )
+    return report
+
+
+def fig7_admission_control(
+    offered_loads: Sequence[float] = tuple(np.arange(0.44, 0.701, 0.02)),
+    n_queries: int = 20_000,
+    seed: int = 1,
+    window_tasks: int = 100_000,
+    window_ms: float = 250.0,
+    threshold: Optional[float] = None,
+    maxload_queries: int = 12_000,
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Fig. 7: TailGuard with query admission control (Masstree OLDI).
+
+    Follows the paper's procedure: first find the maximum acceptable
+    load without admission control and measure the deadline-miss ratio
+    there (that ratio becomes ``R_th``, 1.7% in the paper); then sweep
+    offered loads beyond it with the controller enabled (duty-cycle
+    mode — see :class:`~repro.core.admission.DeadlineMissRatioAdmission`).
+    """
+    slo1, slo2 = FIG6_CLASS_SLOS_MS["masstree"]
+    base = paper_oldi_config("masstree", slo1, slo2, policy="tailguard",
+                             n_queries=maxload_queries)
+    max_acceptable = find_max_load(base, tol=tol).max_load
+    if threshold is None:
+        at_max = simulate(base.at_load(max(max_acceptable, 0.05)))
+        threshold = max(at_max.deadline_miss_ratio(), 1e-4)
+
+    report = ExperimentReport(
+        experiment_id="fig7",
+        title="TailGuard with query admission control (Masstree)",
+        parameters={
+            "n_queries": n_queries,
+            "window_tasks": window_tasks,
+            "window_ms": window_ms,
+            "threshold": threshold,
+            "max_acceptable_load": max_acceptable,
+        },
+        columns=["offered_load", "accepted_load", "rejected_load",
+                 "p99_class1_ms", "p99_class2_ms", "rejection_ratio"],
+        notes=f"R_th={threshold:.4f} calibrated at max acceptable load "
+              f"{max_acceptable:.3f} (paper: 1.7% at 54%)",
+    )
+    sweep_config = replace(base, n_queries=n_queries)
+    points = load_sweep(
+        sweep_config,
+        offered_loads,
+        seed=seed,
+        admission_factory=lambda: DeadlineMissRatioAdmission(
+            threshold, window_tasks=window_tasks, window_ms=window_ms,
+            min_samples=max(1000, window_tasks // 100),
+            mode="duty-cycle",
+        ),
+    )
+    for point in points:
+        report.add_row(
+            offered_load=point.offered_load,
+            accepted_load=point.accepted_load,
+            rejected_load=point.offered_load * point.rejection_ratio,
+            p99_class1_ms=point.class_tails_ms.get("class-I", float("nan")),
+            p99_class2_ms=point.class_tails_ms.get("class-II", float("nan")),
+            rejection_ratio=point.rejection_ratio,
+        )
+    return report

@@ -1,0 +1,204 @@
+"""Experiment registry: one entry per reproduced table/figure.
+
+Each entry maps an experiment id to a zero-config callable.  ``quick``
+mode shrinks query counts, grids and bisection tolerances so the whole
+suite runs in a few minutes (used by tests); full mode matches the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ExperimentError
+from repro.experiments import extensions, paper, sas_experiments
+from repro.experiments.report import ExperimentReport
+
+ExperimentFn = Callable[[bool], ExperimentReport]
+
+
+def _fig3(quick: bool) -> ExperimentReport:
+    return paper.fig3_workload_cdfs()
+
+
+def _table2(quick: bool) -> ExperimentReport:
+    return paper.table2_unloaded_tails()
+
+
+def _fig4(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.fig4_single_class_maxload(
+            workloads=("masstree",), n_queries=12_000, tol=0.02,
+        )
+    return paper.fig4_single_class_maxload()
+
+
+def _table3(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.table3_per_fanout_tails(
+            slos_ms=(0.8, 1.4), n_queries=20_000,
+            search_queries=12_000, tol=0.02,
+        )
+    return paper.table3_per_fanout_tails()
+
+
+def _fig5(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.fig5_two_class_maxload(
+            slos_high_ms=(1.0,), n_queries=12_000, tol=0.02,
+        )
+    return paper.fig5_two_class_maxload()
+
+
+def _fig6(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.fig6_two_class_sweep(
+            workloads=("masstree",),
+            loads=(0.30, 0.45, 0.60),
+            n_queries=4_000,
+        )
+    return paper.fig6_two_class_sweep()
+
+
+def _fig6_summary(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.fig6_summary_maxload(
+            workloads=("masstree",), n_queries=4_000, tol=0.02,
+        )
+    return paper.fig6_summary_maxload()
+
+
+def _fig7(quick: bool) -> ExperimentReport:
+    if quick:
+        return paper.fig7_admission_control(
+            offered_loads=(0.50, 0.58, 0.66),
+            n_queries=8_000, maxload_queries=4_000,
+            window_tasks=20_000, tol=0.02,
+        )
+    return paper.fig7_admission_control()
+
+
+def _fig9a(quick: bool) -> ExperimentReport:
+    return sas_experiments.fig9a_cluster_cdfs()
+
+
+def _fig9(quick: bool) -> ExperimentReport:
+    if quick:
+        return sas_experiments.fig9_sas_testbed(
+            loads=(0.25, 0.40, 0.50), n_queries=6_000,
+        )
+    return sas_experiments.fig9_sas_testbed()
+
+
+def _fig9_summary(quick: bool) -> ExperimentReport:
+    if quick:
+        return sas_experiments.fig9_summary_maxload(n_queries=6_000, tol=0.02)
+    return sas_experiments.fig9_summary_maxload()
+
+
+def _ext_scale(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ext_scale_n1000(n_queries=12_000, tol=0.02)
+    return extensions.ext_scale_n1000()
+
+
+def _ext_four_classes(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ext_four_classes(
+            policies=("tailguard", "fifo"), n_queries=12_000, tol=0.02,
+        )
+    return extensions.ext_four_classes()
+
+
+def _ablation_inaccurate_cdf(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ablation_inaccurate_cdf(
+            scale_errors=(0.8, 1.0), n_queries=12_000, tol=0.02,
+        )
+    return extensions.ablation_inaccurate_cdf()
+
+
+def _ablation_online_updating(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ablation_online_updating(n_queries=10_000)
+    return extensions.ablation_online_updating()
+
+
+def _ablation_admission_threshold(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ablation_admission_threshold(
+            thresholds=(0.009, 0.10), n_queries=6_000, window_tasks=20_000,
+        )
+    return extensions.ablation_admission_threshold()
+
+
+def _ext_arrival_burstiness(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ext_arrival_burstiness(
+            policies=("tailguard", "fifo"), arrivals=("poisson", "mmpp"),
+            n_queries=12_000, tol=0.02,
+        )
+    return extensions.ext_arrival_burstiness()
+
+
+def _ext_replica_selection(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ext_replica_selection(
+            loads=(0.45,), n_queries=10_000,
+        )
+    return extensions.ext_replica_selection()
+
+
+def _ablation_server_slowdown(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ablation_server_slowdown(n_queries=10_000)
+    return extensions.ablation_server_slowdown()
+
+
+def _ext_request_decomposition(quick: bool) -> ExperimentReport:
+    if quick:
+        return extensions.ext_request_decomposition(
+            loads=(0.35,), n_requests=800,
+        )
+    return extensions.ext_request_decomposition()
+
+
+#: Registry of all experiments, keyed by the paper artifact they
+#: reproduce (see DESIGN.md's per-experiment index).
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "fig3": _fig3,
+    "table2": _table2,
+    "fig4": _fig4,
+    "table3": _table3,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig6_summary": _fig6_summary,
+    "fig7": _fig7,
+    "fig9a": _fig9a,
+    "fig9": _fig9,
+    "fig9_summary": _fig9_summary,
+    "ext_arrival_burstiness": _ext_arrival_burstiness,
+    "ext_replica_selection": _ext_replica_selection,
+    "ext_scale": _ext_scale,
+    "ext_four_classes": _ext_four_classes,
+    "ext_request_decomposition": _ext_request_decomposition,
+    "ablation_inaccurate_cdf": _ablation_inaccurate_cdf,
+    "ablation_online_updating": _ablation_online_updating,
+    "ablation_admission_threshold": _ablation_admission_threshold,
+    "ablation_server_slowdown": _ablation_server_slowdown,
+}
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentReport:
+    """Run one registered experiment and return its report."""
+    return get_experiment(name)(quick)

@@ -1,0 +1,97 @@
+"""Structured experiment reports.
+
+Every experiment in the registry returns an :class:`ExperimentReport`:
+a named table of rows plus the parameters that produced it.  The CLI
+and the benchmark suite print them via :meth:`ExperimentReport.format_table`,
+and EXPERIMENTS.md records paper-vs-measured from the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ExperimentError(
+                f"{self.experiment_id}: row missing columns {missing}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise ExperimentError(
+                f"{self.experiment_id}: unknown column {name!r}"
+            )
+        return [row[name] for row in self.rows]
+
+    def select(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Rows matching all equality filters."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in filters.items())
+        ]
+
+    def format_table(self, float_format: str = "{:.4g}") -> str:
+        """Render as an aligned plain-text table."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row[c]) for c in header] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(header)
+        ]
+        lines = [
+            f"# {self.experiment_id}: {self.title}",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in body
+        )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self, path) -> None:
+        """Write the rows as a CSV file (one column per report column)."""
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({c: row[c] for c in self.columns})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "parameters": dict(self.parameters),
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }

@@ -1,0 +1,103 @@
+"""Reproduction of the SaS testbed evaluation (paper §IV.E, Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.report import ExperimentReport
+from repro.sas.testbed import CLUSTER_NAMES, SaSTestbed
+
+#: Max Server-room loads reported in §IV.E.
+PAPER_FIG9_MAXLOADS = {
+    "tailguard": 0.48,
+    "fifo": 0.38,
+    "priq": 0.36,
+    "t-edf": 0.42,
+}
+
+#: Published per-cluster statistics (mean, p95, p99 in ms) — Fig. 9(a).
+PAPER_CLUSTER_STATS = {
+    "server-room": (82.0, 235.0, 300.0),
+    "wet-lab": (31.0, 112.0, 136.0),
+    "faculty": (92.0, 226.0, 306.0),
+    "gta": (91.0, 228.0, 304.0),
+}
+
+
+def fig9a_cluster_cdfs() -> ExperimentReport:
+    """Fig. 9(a): the four clusters' post-queuing-time statistics."""
+    testbed = SaSTestbed()
+    report = ExperimentReport(
+        experiment_id="fig9a",
+        title="SaS per-cluster post-queuing time statistics (model vs paper)",
+        columns=["cluster", "statistic", "model_ms", "paper_ms"],
+    )
+    for cluster in CLUSTER_NAMES:
+        cdf = testbed.cluster_cdfs[cluster]
+        mean, p95, p99 = PAPER_CLUSTER_STATS[cluster]
+        report.add_row(cluster=cluster, statistic="mean",
+                       model_ms=cdf.mean(), paper_ms=mean)
+        report.add_row(cluster=cluster, statistic="p95",
+                       model_ms=cdf.percentile(95.0), paper_ms=p95)
+        report.add_row(cluster=cluster, statistic="p99",
+                       model_ms=cdf.percentile(99.0), paper_ms=p99)
+    return report
+
+
+def fig9_sas_testbed(
+    policies: Sequence[str] = ("tailguard", "fifo", "priq", "t-edf"),
+    loads: Sequence[float] = tuple(np.arange(0.20, 0.551, 0.05)),
+    n_queries: int = 20_000,
+    seed: int = 1,
+) -> ExperimentReport:
+    """Fig. 9(b–d): per-class p99 vs Server-room load, four policies."""
+    testbed = SaSTestbed()
+    report = ExperimentReport(
+        experiment_id="fig9",
+        title="SaS testbed: class A/B/C 99th tails vs Server-room load",
+        parameters={"n_queries": n_queries, "seed": seed,
+                    "loads": [float(x) for x in loads]},
+        columns=["policy", "server_room_load", "class_name", "p99_ms",
+                 "slo_ms", "meets_slo"],
+        notes="heterogeneous 4x8-node cluster; deadline estimation shares "
+              "one CDF per cluster as in the paper's stress test",
+    )
+    slos = {
+        case.service_class.name: case.service_class.slo_ms
+        for case in testbed.use_cases
+    }
+    for policy in policies:
+        rows = testbed.sweep(policy, loads, n_queries=n_queries, seed=seed)
+        for row in rows:
+            for class_name, slo in slos.items():
+                tail = row[class_name]
+                report.add_row(policy=policy,
+                               server_room_load=row["server_room_load"],
+                               class_name=class_name, p99_ms=tail,
+                               slo_ms=slo, meets_slo=tail <= slo)
+    return report
+
+
+def fig9_summary_maxload(
+    policies: Sequence[str] = ("tailguard", "fifo", "priq", "t-edf"),
+    n_queries: int = 20_000,
+    seeds: Tuple[int, ...] = (1,),
+    tol: float = 0.01,
+) -> ExperimentReport:
+    """Fig. 9 headline: max Server-room load per policy vs the paper's
+    48/38/36/42% (TailGuard/FIFO/PRIQ/T-EDFQ)."""
+    testbed = SaSTestbed()
+    report = ExperimentReport(
+        experiment_id="fig9_summary",
+        title="SaS testbed maximum Server-room loads",
+        parameters={"n_queries": n_queries, "tol": tol},
+        columns=["policy", "max_load", "paper_max_load"],
+    )
+    for policy in policies:
+        max_load = testbed.max_load(policy, tol=tol, n_queries=n_queries,
+                                    seeds=seeds)
+        report.add_row(policy=policy, max_load=max_load,
+                       paper_max_load=PAPER_FIG9_MAXLOADS[policy])
+    return report

@@ -1,0 +1,137 @@
+"""Builders for the paper's evaluation configurations (§IV.B–D).
+
+Common choices across §IV.B/§IV.C: cluster size N=100; Poisson arrivals
+(Pareto for the burstiness case); the fanout mix {1, 10, 100} with
+P(k) ∝ 1/k; classes assigned uniformly at random; 99th-percentile SLOs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.cluster.config import ClusterConfig
+from repro.core.policies import Policy
+from repro.errors import ExperimentError
+from repro.types import ServiceClass, two_classes
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.classes import ClassMix, single_class_mix, uniform_class_mix
+from repro.workloads.fanout import FixedFanout, inverse_proportional_fanout
+from repro.workloads.generator import Workload
+from repro.workloads.tailbench import get_workload
+
+#: The §IV.B fanout types.
+PAPER_FANOUTS = (1, 10, 100)
+
+
+def _arrival_process(kind: str) -> ArrivalProcess:
+    """Arrival process with a placeholder rate (re-rated by ``at_load``)."""
+    if kind == "poisson":
+        return PoissonArrivals(1.0)
+    if kind == "pareto":
+        return ParetoArrivals(1.0)
+    if kind == "mmpp":
+        return MMPPArrivals(1.0)
+    raise ExperimentError(f"unknown arrival process {kind!r}")
+
+
+def _config(
+    workload_name: str,
+    class_mix: ClassMix,
+    fanout,
+    policy: Union[str, Policy],
+    n_servers: int,
+    n_queries: int,
+    arrival: str,
+    seed: int,
+) -> ClusterConfig:
+    bench = get_workload(workload_name)
+    workload = Workload(
+        name=workload_name,
+        arrivals=_arrival_process(arrival),
+        fanout=fanout,
+        class_mix=class_mix,
+        service_time=bench.service_time,
+    )
+    return ClusterConfig(
+        n_servers=n_servers,
+        policy=policy,
+        workload=workload,
+        n_queries=n_queries,
+        seed=seed,
+    )
+
+
+def paper_single_class_config(
+    workload_name: str,
+    slo_ms: float,
+    policy: Union[str, Policy] = "tailguard",
+    n_servers: int = 100,
+    n_queries: int = 50_000,
+    arrival: str = "poisson",
+    seed: int = 1,
+) -> ClusterConfig:
+    """§IV.B single-class case: one SLO, fanout mix {1, 10, 100}."""
+    mix = single_class_mix(ServiceClass("single", slo_ms))
+    return _config(workload_name, mix, inverse_proportional_fanout(PAPER_FANOUTS),
+                   policy, n_servers, n_queries, arrival, seed)
+
+
+def paper_two_class_config(
+    workload_name: str,
+    slo_high_ms: float,
+    ratio: float = 1.5,
+    policy: Union[str, Policy] = "tailguard",
+    n_servers: int = 100,
+    n_queries: int = 50_000,
+    arrival: str = "poisson",
+    seed: int = 1,
+) -> ClusterConfig:
+    """§IV.B two-class case: SLO_low = ratio × SLO_high, same fanout mix."""
+    high, low = two_classes(slo_high_ms, ratio)
+    mix = uniform_class_mix([high, low])
+    return _config(workload_name, mix, inverse_proportional_fanout(PAPER_FANOUTS),
+                   policy, n_servers, n_queries, arrival, seed)
+
+
+def paper_oldi_config(
+    workload_name: str,
+    slo_class1_ms: float,
+    slo_class2_ms: float,
+    policy: Union[str, Policy] = "tailguard",
+    n_servers: int = 100,
+    n_queries: int = 20_000,
+    arrival: str = "poisson",
+    seed: int = 1,
+) -> ClusterConfig:
+    """§IV.C OLDI case: every query fans out to all N servers."""
+    class1 = ServiceClass("class-I", slo_class1_ms, priority=0)
+    class2 = ServiceClass("class-II", slo_class2_ms, priority=1)
+    mix = uniform_class_mix([class1, class2])
+    return _config(workload_name, mix, FixedFanout(n_servers),
+                   policy, n_servers, n_queries, arrival, seed)
+
+
+def multi_class_config(
+    workload_name: str,
+    slos_ms: Sequence[float],
+    policy: Union[str, Policy] = "tailguard",
+    n_servers: int = 100,
+    n_queries: int = 50_000,
+    arrival: str = "poisson",
+    seed: int = 1,
+) -> ClusterConfig:
+    """Generalization to any number of classes (§IV.D mentions 4)."""
+    if not slos_ms:
+        raise ExperimentError("need at least one SLO")
+    classes = [
+        ServiceClass(f"class-{i + 1}", slo, priority=i)
+        for i, slo in enumerate(sorted(slos_ms))
+    ]
+    mix = uniform_class_mix(classes)
+    return _config(workload_name, mix, inverse_proportional_fanout(PAPER_FANOUTS),
+                   policy, n_servers, n_queries, arrival, seed)

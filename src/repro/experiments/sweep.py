@@ -1,0 +1,72 @@
+"""Tail-latency-versus-load sweeps (paper Figs. 6, 7, 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.core.admission import AdmissionController
+from repro.cluster.results import SimulationResult
+from repro.cluster.simulation import simulate
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Per-class tails (and admission stats) at one offered load."""
+
+    offered_load: float
+    policy_name: str
+    #: class name -> measured tail at the class's SLO percentile.
+    class_tails_ms: Dict[str, float]
+    accepted_load: float
+    rejection_ratio: float
+    deadline_miss_ratio: float
+
+    def tail(self, class_name: str) -> float:
+        try:
+            return self.class_tails_ms[class_name]
+        except KeyError:
+            raise ExperimentError(f"no class {class_name!r} in sweep point") from None
+
+
+def _point(result: SimulationResult, load: float) -> SweepPoint:
+    tails = {
+        cls.name: result.tail(cls.percentile, cls.name)
+        for cls in result.classes
+        if result.count(cls.name) > 0
+    }
+    return SweepPoint(
+        offered_load=load,
+        policy_name=result.policy_name,
+        class_tails_ms=tails,
+        accepted_load=result.accepted_load(),
+        rejection_ratio=result.rejection_ratio(),
+        deadline_miss_ratio=result.deadline_miss_ratio(),
+    )
+
+
+def load_sweep(
+    config: ClusterConfig,
+    loads: Sequence[float],
+    seed: Optional[int] = None,
+    admission_factory: Optional[Callable[[], AdmissionController]] = None,
+) -> Tuple[SweepPoint, ...]:
+    """Simulate at each load and collect per-class tails.
+
+    Admission controllers are stateful, so sweeps that use admission
+    control pass ``admission_factory`` and get a fresh controller per
+    load instead of carrying one in ``config``.
+    """
+    if not loads:
+        raise ExperimentError("need at least one load")
+    points = []
+    for load in loads:
+        rated = config.at_load(load)
+        if seed is not None:
+            rated = replace(rated, seed=seed)
+        if admission_factory is not None:
+            rated = replace(rated, admission=admission_factory())
+        points.append(_point(simulate(rated), load))
+    return tuple(points)

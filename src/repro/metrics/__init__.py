@@ -1,0 +1,18 @@
+"""Latency metrics: exact and streaming percentiles, collectors."""
+
+from repro.metrics.percentile import (
+    P2QuantileEstimator,
+    exact_percentile,
+    tail_latency,
+)
+from repro.metrics.collector import LatencyCollector
+from repro.metrics.bootstrap import bootstrap_percentile_ci, tail_with_ci
+
+__all__ = [
+    "LatencyCollector",
+    "bootstrap_percentile_ci",
+    "tail_with_ci",
+    "P2QuantileEstimator",
+    "exact_percentile",
+    "tail_latency",
+]

@@ -1,0 +1,60 @@
+"""Bootstrap confidence intervals for tail latencies.
+
+A p99 over a few hundred samples is noisy; the max-load bisection and
+the benchmark assertions absorb that with tolerances, but when a single
+number needs an honest error bar — e.g. reporting a measured tail in
+EXPERIMENTS.md — a percentile-bootstrap interval is the standard tool.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bootstrap_percentile_ci(
+    values: Union[Sequence[float], np.ndarray],
+    percentile: float = 99.0,
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """(point estimate, lower, upper) for a percentile.
+
+    Percentile bootstrap: resample with replacement, recompute the
+    percentile, take the ``(1±confidence)/2`` quantiles of the
+    resampled statistics.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ConfigurationError("need at least two samples for a CI")
+    if not 0 <= percentile <= 100:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {percentile}")
+    if not 0 < confidence < 1:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ConfigurationError(f"n_resamples too small: {n_resamples}")
+
+    rng = np.random.default_rng(seed)
+    point = float(np.percentile(arr, percentile))
+    indices = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.percentile(arr[indices], percentile, axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower = float(np.quantile(stats, alpha))
+    upper = float(np.quantile(stats, 1.0 - alpha))
+    return point, lower, upper
+
+
+def tail_with_ci(
+    values: Union[Sequence[float], np.ndarray],
+    percentile: float = 99.0,
+    confidence: float = 0.95,
+) -> str:
+    """Human-readable ``"p99 = x [lo, hi]"`` string for reports."""
+    point, lower, upper = bootstrap_percentile_ci(values, percentile,
+                                                  confidence)
+    return (f"p{percentile:g} = {point:.4g} "
+            f"[{lower:.4g}, {upper:.4g}] @ {confidence:.0%}")

@@ -1,0 +1,75 @@
+"""Grouped latency collection.
+
+Experiments measure tail latency *per query type* — a (service class,
+fanout) pair (§IV.B: "we measure the tail latency for each type of
+queries").  :class:`LatencyCollector` groups observations by type and
+answers percentile queries per group or overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.percentile import exact_percentile
+
+GroupKey = Tuple[str, int]
+
+
+class LatencyCollector:
+    """Latency samples grouped by (class name, fanout)."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[GroupKey, List[float]] = {}
+
+    def record(self, class_name: str, fanout: int, latency: float) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"negative latency {latency}")
+        key = (class_name, fanout)
+        bucket = self._groups.get(key)
+        if bucket is None:
+            bucket = []
+            self._groups[key] = bucket
+        bucket.append(latency)
+
+    def groups(self) -> Tuple[GroupKey, ...]:
+        return tuple(sorted(self._groups))
+
+    def count(self, class_name: Optional[str] = None,
+              fanout: Optional[int] = None) -> int:
+        return sum(
+            len(bucket)
+            for (name, k), bucket in self._groups.items()
+            if (class_name is None or name == class_name)
+            and (fanout is None or k == fanout)
+        )
+
+    def _select(self, class_name: Optional[str],
+                fanout: Optional[int]) -> np.ndarray:
+        matches = [
+            bucket
+            for (name, k), bucket in self._groups.items()
+            if (class_name is None or name == class_name)
+            and (fanout is None or k == fanout)
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"no samples for class={class_name!r}, fanout={fanout!r}"
+            )
+        return np.concatenate([np.asarray(b, dtype=float) for b in matches])
+
+    def percentile(self, percentile: float, class_name: Optional[str] = None,
+                   fanout: Optional[int] = None) -> float:
+        return exact_percentile(self._select(class_name, fanout), percentile)
+
+    def mean(self, class_name: Optional[str] = None,
+             fanout: Optional[int] = None) -> float:
+        return float(self._select(class_name, fanout).mean())
+
+    def per_group_percentile(self, percentile: float) -> Dict[GroupKey, float]:
+        return {
+            key: exact_percentile(np.asarray(bucket, dtype=float), percentile)
+            for key, bucket in sorted(self._groups.items())
+        }

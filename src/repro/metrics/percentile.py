@@ -1,0 +1,122 @@
+"""Percentile estimation.
+
+Offline analysis uses exact percentiles over collected samples
+(:func:`exact_percentile`).  Long-running services cannot retain every
+sample, so a constant-memory streaming estimator is provided too: the
+P² algorithm of Jain & Chlamtac (CACM 1985), which tracks a single
+quantile with five markers.  The SaS testbed's monitoring path uses it,
+and a property test checks it against the exact value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def exact_percentile(values: Union[Sequence[float], np.ndarray],
+                     percentile: float) -> float:
+    """Exact percentile (numpy linear interpolation) of a sample set."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot take a percentile of no samples")
+    if not 0 <= percentile <= 100:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {percentile}")
+    return float(np.percentile(arr, percentile))
+
+
+def tail_latency(values: Union[Sequence[float], np.ndarray],
+                 percentile: float = 99.0) -> float:
+    """Alias of :func:`exact_percentile` with the paper's default p=99."""
+    return exact_percentile(values, percentile)
+
+
+class P2QuantileEstimator:
+    """Streaming quantile estimation with the P² algorithm.
+
+    Maintains five markers whose heights converge to the ``q``-quantile
+    without storing observations.  Accuracy is excellent for central
+    quantiles and reasonable for p99 once a few thousand samples have
+    been seen.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0 < quantile < 1:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = float(quantile)
+        self._initial: list = []
+        self._heights: Optional[np.ndarray] = None
+        self._positions: Optional[np.ndarray] = None
+        self._desired: Optional[np.ndarray] = None
+        q = self.quantile
+        self._increments = np.array([0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0])
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(float(value))
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = np.asarray(self._initial, dtype=float)
+                self._positions = np.arange(1.0, 6.0)
+                self._desired = 1.0 + 4.0 * self._increments
+            return
+
+        heights = self._heights
+        positions = self._positions
+        # Find the cell the observation falls into and bump marker
+        # positions above it.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = int(np.searchsorted(heights, value, side="right")) - 1
+        positions[cell + 1:] += 1.0
+        self._desired += self._increments
+
+        # Adjust the three interior markers with parabolic (or linear)
+        # interpolation when they have drifted a full position.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(direction)
+        return h[i] + direction * (h[j] - h[i]) / (n[j] - n[i])
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.count == 0:
+            raise ConfigurationError("no observations yet")
+        if self._heights is None:
+            data = sorted(self._initial)
+            return float(np.quantile(np.asarray(data), self.quantile))
+        return float(self._heights[2])

@@ -1,0 +1,118 @@
+"""Closed-form queueing theory used for validation and bracketing.
+
+The simulator is validated against these formulas (see
+``tests/integration/test_queueing_theory.py``), and the max-load search
+uses the M/G/1 approximation to pick an informed initial bracket.
+
+All formulas are for a single-server FIFO queue with Poisson arrivals:
+
+* M/M/1 — exponential service: ``E[T] = 1/(μ−λ)``; T ~ Exp(μ−λ).
+* M/D/1 — deterministic service (Pollaczek–Khinchine special case).
+* M/G/1 — general service via the P-K formula:
+  ``E[W] = λ E[S²] / (2 (1−ρ))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import Distribution
+from repro.errors import ConfigurationError
+
+
+def _check_rho(rho: float) -> None:
+    if not 0 <= rho < 1:
+        raise ConfigurationError(
+            f"utilization must be in [0, 1) for a stable queue, got {rho}"
+        )
+
+
+def mm1_mean_response(rho: float, mu: float = 1.0) -> float:
+    """E[T] for M/M/1 at utilization ``rho`` and service rate ``mu``."""
+    _check_rho(rho)
+    if mu <= 0:
+        raise ConfigurationError(f"service rate must be positive, got {mu}")
+    return 1.0 / (mu * (1.0 - rho))
+
+def mm1_response_quantile(rho: float, q: float, mu: float = 1.0) -> float:
+    """Response-time quantile for M/M/1 (T is exponential)."""
+    _check_rho(rho)
+    if not 0 <= q < 1:
+        raise ConfigurationError(f"q must be in [0, 1), got {q}")
+    return float(-np.log(1.0 - q) / (mu * (1.0 - rho)))
+
+
+def md1_mean_wait(rho: float, service: float = 1.0) -> float:
+    """E[W] for M/D/1 (Pollaczek–Khinchine with zero service variance)."""
+    _check_rho(rho)
+    if service <= 0:
+        raise ConfigurationError(f"service time must be positive, got {service}")
+    return rho * service / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_wait(rho: float, service_dist: Distribution) -> float:
+    """E[W] for M/G/1 via the Pollaczek–Khinchine formula.
+
+    ``E[W] = λ E[S²] / (2 (1−ρ))`` with ``λ = ρ / E[S]``.  The second
+    moment is computed numerically from the distribution's quantile
+    function.
+    """
+    _check_rho(rho)
+    mean = service_dist.mean()
+    if mean <= 0:
+        raise ConfigurationError("service distribution must have positive mean")
+    u = (np.arange(50_000) + 0.5) / 50_000
+    second_moment = float(np.mean(np.square(service_dist.quantile(u))))
+    arrival_rate = rho / mean
+    return arrival_rate * second_moment / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_response(rho: float, service_dist: Distribution) -> float:
+    """E[T] = E[W] + E[S] for M/G/1."""
+    return mg1_mean_wait(rho, service_dist) + service_dist.mean()
+
+
+def approximate_max_load(
+    service_dist: Distribution,
+    budget_ms: float,
+    percentile: float = 99.0,
+) -> float:
+    """Rough upper bound on the load sustaining a queuing-time budget.
+
+    Treats each task server as an M/G/1 queue and asks: at what
+    utilization does the *exponential approximation* of the waiting
+    time put its ``percentile`` below ``budget_ms``?  The waiting-time
+    tail of M/G/1 is approximately ``P(W > t) ≈ ρ exp(−t/E[W|W>0])``;
+    inverting for the target percentile gives a closed form in ρ that
+    we solve by bisection.  Used to seed the max-load bisection with a
+    tight upper bracket — not as a guarantee.
+    """
+    if budget_ms <= 0:
+        return 0.0
+    if not 0 < percentile < 100:
+        raise ConfigurationError(
+            f"percentile must be in (0, 100), got {percentile}"
+        )
+    epsilon = 1.0 - percentile / 100.0
+
+    def tail_ok(rho: float) -> bool:
+        if rho <= 0:
+            return True
+        mean_wait = mg1_mean_wait(rho, service_dist)
+        if mean_wait <= 0:
+            return True
+        # P(W > budget) ≈ ρ exp(−budget (1−ρ)... ) — use the busy
+        # probability times the conditional-exponential tail.
+        conditional_mean = mean_wait / rho
+        return rho * np.exp(-budget_ms / conditional_mean) <= epsilon
+
+    lo, hi = 0.0, 0.999
+    if tail_ok(hi):
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if tail_ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

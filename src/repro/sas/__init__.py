@@ -1,0 +1,31 @@
+"""Sensing-as-a-Service testbed simulation (paper §IV.E).
+
+The paper evaluates TailGuard on a physical 4-cluster Raspberry-Pi
+testbed serving temperature/humidity sensing queries.  We have no such
+hardware, so this package reproduces the testbed as a model:
+
+* :mod:`repro.sas.testbed` — the 32-node heterogeneous cluster, class
+  A/B/C use cases and placement rules, driving the cluster simulator
+  (reproduces Fig. 9);
+* :mod:`repro.sas.sensing` — a generative sensing-record datastore
+  whose retrieval cost model explains the testbed's service times
+  (used by the edge-sensing example on the DES kernel);
+* :mod:`repro.sas.network` — per-cluster communication delay model.
+"""
+
+from repro.sas.network import NetworkModel
+from repro.sas.sensing import SensingDataStore, SensingTaskModel
+from repro.sas.testbed import (
+    CLUSTER_NAMES,
+    SaSTestbed,
+    UseCase,
+)
+
+__all__ = [
+    "CLUSTER_NAMES",
+    "NetworkModel",
+    "SaSTestbed",
+    "SensingDataStore",
+    "SensingTaskModel",
+    "UseCase",
+]

@@ -1,0 +1,66 @@
+"""Communication-delay model for the SaS testbed.
+
+The paper's clusters sit in two buildings; the Wet-lab cluster is
+co-located with the query handler ("to minimize the communication
+delay") and the Server-room cluster is in the same building.  Task
+post-queuing times measured at the handler therefore include one
+round trip over keep-alive HTTP/1.1.  :class:`NetworkModel` provides
+per-cluster RTT distributions for the generative example path; the
+calibrated testbed CDFs already include these delays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributions import Distribution, Shifted, Weibull
+from repro.errors import ConfigurationError
+
+#: Default per-cluster round-trip profile: (floor ms, typical extra ms).
+_DEFAULT_RTT = {
+    "wet-lab": (0.3, 0.5),        # co-located with the query handler
+    "server-room": (1.0, 2.0),    # same building, through a switch
+    "faculty": (2.0, 4.0),        # different building
+    "gta": (2.0, 4.0),
+}
+
+
+class NetworkModel:
+    """Per-cluster RTT distributions (floor + Weibull-tailed jitter)."""
+
+    def __init__(self, rtt_profile: Optional[Dict[str, tuple]] = None) -> None:
+        profile = rtt_profile if rtt_profile is not None else _DEFAULT_RTT
+        if not profile:
+            raise ConfigurationError("need at least one cluster RTT profile")
+        self._rtts: Dict[str, Distribution] = {}
+        for cluster, (floor, scale) in profile.items():
+            if floor < 0 or scale <= 0:
+                raise ConfigurationError(
+                    f"invalid RTT profile for {cluster!r}: ({floor}, {scale})"
+                )
+            # Shape 1.5 gives a mild but real tail (TCP retransmits,
+            # interpreter pauses) without dominating service time.
+            self._rtts[cluster] = Shifted(Weibull(1.5, scale), floor)
+
+    def clusters(self) -> tuple:
+        return tuple(sorted(self._rtts))
+
+    def rtt(self, cluster: str) -> Distribution:
+        try:
+            return self._rtts[cluster]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown cluster {cluster!r}; known: {self.clusters()}"
+            ) from None
+
+    def sample_rtt(self, cluster: str, rng: np.random.Generator) -> float:
+        return float(self.rtt(cluster).sample(rng))
+
+    def end_to_end(self, cluster: str, service: Distribution) -> Distribution:
+        """Service time plus this cluster's RTT *floor* as a shifted
+        distribution (a cheap composition adequate for estimation; the
+        simulation example samples RTT and service independently)."""
+        floor = float(self.rtt(cluster).quantile(0.0))
+        return Shifted(service, floor)

@@ -1,0 +1,175 @@
+"""A generative model of the edge sensing datastore (paper §IV.E).
+
+Each edge node keeps "up to eighteen-month-worth" of temperature and
+humidity records and a task "has an equal probability of retrieving one
+to up to thirty-day-worth of consecutive records starting from a random
+time in the eighteen-month period".  :class:`SensingDataStore` models
+the record store; :class:`SensingTaskModel` turns a retrieval into a
+service time:
+
+    service = base_overhead + records_scanned * per_record_cost * speed
+
+with a lognormal noise factor capturing OS/interpreter jitter on the
+Raspberry-Pi-class nodes.  The model is the *explanatory* counterpart
+of the calibrated per-cluster CDFs in :mod:`repro.sas.testbed`: the
+``edge_sensing_sas`` example runs it live on the DES kernel, and a test
+checks that a calibrated task model's statistics land near a target
+cluster's published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions import Distribution, LogNormal
+from repro.distributions.base import ArrayLike
+from repro.errors import ConfigurationError
+
+#: Records per sensor per day ("receives sensing data periodically"):
+#: one reading every 5 minutes.
+RECORDS_PER_SENSOR_PER_DAY = 24 * 12
+SENSORS_PER_NODE = 2  # temperature + humidity
+RETENTION_DAYS = 18 * 30
+
+
+@dataclass(frozen=True)
+class SensingDataStore:
+    """One edge node's local record database."""
+
+    retention_days: int = RETENTION_DAYS
+    records_per_sensor_per_day: int = RECORDS_PER_SENSOR_PER_DAY
+    sensors: int = SENSORS_PER_NODE
+
+    def __post_init__(self) -> None:
+        if self.retention_days < 1 or self.records_per_sensor_per_day < 1:
+            raise ConfigurationError("retention and record rate must be >= 1")
+        if self.sensors < 1:
+            raise ConfigurationError("need at least one sensor")
+
+    @property
+    def total_records(self) -> int:
+        return self.retention_days * self.records_per_sensor_per_day * self.sensors
+
+    def records_for_days(self, days: float) -> int:
+        """Records returned by a query spanning ``days`` of history."""
+        if days <= 0:
+            raise ConfigurationError(f"days must be positive, got {days}")
+        days = min(days, float(self.retention_days))
+        return int(round(days * self.records_per_sensor_per_day * self.sensors))
+
+    def sample_request_days(self, rng: np.random.Generator,
+                            max_days: int = 30) -> int:
+        """Uniform 1..max_days-worth of consecutive records (§IV.E)."""
+        return int(rng.integers(1, max_days + 1))
+
+
+class SensingTaskModel(Distribution):
+    """Service-time distribution induced by the retrieval-cost model.
+
+    Implemented as a :class:`Distribution` so it can plug directly into
+    the deadline estimator, task servers and the cluster simulator.
+    """
+
+    def __init__(
+        self,
+        store: SensingDataStore,
+        base_overhead_ms: float,
+        per_record_us: float,
+        speed_factor: float = 1.0,
+        jitter_sigma: float = 0.35,
+        max_request_days: int = 30,
+    ) -> None:
+        if base_overhead_ms < 0 or per_record_us <= 0 or speed_factor <= 0:
+            raise ConfigurationError("cost parameters must be positive")
+        if jitter_sigma < 0:
+            raise ConfigurationError(f"jitter_sigma must be >= 0, got {jitter_sigma}")
+        self.store = store
+        self.base_overhead_ms = float(base_overhead_ms)
+        self.per_record_us = float(per_record_us)
+        self.speed_factor = float(speed_factor)
+        self.jitter_sigma = float(jitter_sigma)
+        self.max_request_days = int(max_request_days)
+        # Lognormal with unit median; mean exp(sigma^2/2).
+        self._jitter = LogNormal(0.0, jitter_sigma) if jitter_sigma > 0 else None
+
+    def _base_cost_ms(self, days: np.ndarray) -> np.ndarray:
+        records = (
+            days * self.store.records_per_sensor_per_day * self.store.sensors
+        )
+        return (
+            self.base_overhead_ms
+            + records * self.per_record_us / 1000.0 * self.speed_factor
+        )
+
+    def sample(self, rng: np.random.Generator,
+               size: Optional[int] = None) -> ArrayLike:
+        n = 1 if size is None else size
+        days = rng.integers(1, self.max_request_days + 1, size=n).astype(float)
+        cost = self._base_cost_ms(days)
+        if self._jitter is not None:
+            cost = cost * np.asarray(self._jitter.sample(rng, n), dtype=float)
+        return float(cost[0]) if size is None else cost
+
+    # The analytic CDF mixes the discrete day count with the lognormal
+    # jitter; evaluate it by mixture over day values (exact).
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        days = np.arange(1, self.max_request_days + 1, dtype=float)
+        base = self._base_cost_ms(days)  # (D,)
+        if self._jitter is None:
+            probs = (t_arr[:, None] >= base[None, :]).mean(axis=1)
+        else:
+            ratio = np.maximum(t_arr[:, None], 1e-12) / base[None, :]
+            probs = np.asarray(self._jitter.cdf(ratio), dtype=float).mean(axis=1)
+            probs = np.where(t_arr <= 0, 0.0, probs)
+        scalar = np.isscalar(t) or np.asarray(t).ndim == 0
+        return float(probs[0]) if scalar else probs
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        from repro.distributions.base import bisect_quantile, validate_probability
+
+        q_arr = validate_probability(q)
+        hi_base = float(self._base_cost_ms(np.asarray([self.max_request_days]))[0])
+        hi = hi_base * (50.0 if self._jitter is not None else 1.0)
+        scalar = np.ndim(q) == 0
+        values = np.array(
+            [bisect_quantile(self.cdf, float(qi), 0.0, hi)
+             for qi in np.atleast_1d(q_arr)]
+        )
+        return float(values[0]) if scalar else values
+
+    def mean(self) -> float:
+        days = np.arange(1, self.max_request_days + 1, dtype=float)
+        base = float(self._base_cost_ms(days).mean())
+        if self._jitter is None:
+            return base
+        return base * float(np.exp(0.5 * self.jitter_sigma**2))
+
+    @classmethod
+    def calibrated_to_mean(
+        cls,
+        target_mean_ms: float,
+        store: Optional[SensingDataStore] = None,
+        base_fraction: float = 0.25,
+        jitter_sigma: float = 0.35,
+        speed_factor: float = 1.0,
+    ) -> "SensingTaskModel":
+        """Choose costs so the model's mean equals a cluster's published
+        mean post-queuing time (e.g. 82 ms for the Server-room)."""
+        if target_mean_ms <= 0:
+            raise ConfigurationError("target mean must be positive")
+        if not 0 <= base_fraction < 1:
+            raise ConfigurationError("base_fraction must be in [0, 1)")
+        store = store if store is not None else SensingDataStore()
+        jitter_mean = float(np.exp(0.5 * jitter_sigma**2)) if jitter_sigma else 1.0
+        base = target_mean_ms * base_fraction / jitter_mean
+        mean_days = (1 + 30) / 2.0
+        mean_records = (
+            mean_days * store.records_per_sensor_per_day * store.sensors
+        )
+        variable = target_mean_ms * (1 - base_fraction) / jitter_mean
+        per_record_us = variable * 1000.0 / (mean_records * speed_factor)
+        return cls(store, base, per_record_us, speed_factor, jitter_sigma)

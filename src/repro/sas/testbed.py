@@ -1,0 +1,316 @@
+"""The SaS testbed model (paper §IV.E, Figs. 8–9).
+
+Topology: four clusters of 8 edge nodes — Server-room, Wet-lab,
+Faculty and GTA.  Each cluster's unloaded task post-queuing-time CDF is
+reconstructed from the published statistics (mean / 95th / 99th in ms):
+
+    Server-room  82 / 235 / 300
+    Wet-lab      31 / 112 / 136
+    Faculty      92 / 226 / 306
+    GTA          91 / 228 / 304
+
+Use cases (classes):
+
+* **A** — device monitoring; fanout 1; 99th-SLO 800 ms; 50% of
+  queries; 80% of them hit a random Server-room node, the rest a
+  random node in one of the other clusters.
+* **B** — area overview; fanout 4, one random node per cluster;
+  SLO 1300 ms; 40% of queries.
+* **C** — long-term records; fanout 32 (every node); SLO 1800 ms;
+  10% of queries.
+
+The x-axis of Fig. 9 is the load *of the Server-room cluster* (the
+bottleneck); :meth:`SaSTestbed.arrival_rate_for_load` converts it to a
+query arrival rate using the expected Server-room tasks per query.
+
+Deadline estimation shares one CDF per cluster ("we let all 8 edge
+nodes in each cluster share the same CDF"), exercising TailGuard's
+tolerance to approximate CDFs exactly as the paper's stress test does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import SimulationResult
+from repro.cluster.simulation import simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.distributions import Distribution, PiecewiseLinearCDF
+from repro.distributions.piecewise import calibrated_piecewise_cdf
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec, ServiceClass
+
+CLUSTER_NAMES: Tuple[str, ...] = ("server-room", "wet-lab", "faculty", "gta")
+
+#: Published post-queuing-time statistics per cluster: mean, p95, p99 (ms).
+_CLUSTER_STATS: Dict[str, Tuple[float, float, float]] = {
+    "server-room": (82.0, 235.0, 300.0),
+    "wet-lab": (31.0, 112.0, 136.0),
+    "faculty": (92.0, 226.0, 306.0),
+    "gta": (91.0, 228.0, 304.0),
+}
+
+
+def _cluster_cdf(mean: float, p95: float, p99: float) -> PiecewiseLinearCDF:
+    """Reconstruct one cluster's post-queuing CDF from its statistics."""
+    return calibrated_piecewise_cdf(
+        body_anchors=[(0.50, mean * 0.75), (0.90, mean * 1.9)],
+        fixed_anchors=[(0.95, p95), (0.99, p99)],
+        minimum=mean * 0.1,
+        maximum=p99 * 1.3,
+        target_mean=mean,
+    )
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One SaS use case: a service class plus its placement behaviour."""
+
+    service_class: ServiceClass
+    probability: float
+    fanout: int
+    description: str
+
+
+class SaSTestbed:
+    """The 32-node heterogeneous SaS testbed driving Fig. 9."""
+
+    def __init__(
+        self,
+        nodes_per_cluster: int = 8,
+        server_room_bias: float = 0.8,
+        class_probabilities: Tuple[float, float, float] = (0.5, 0.4, 0.1),
+        slos_ms: Tuple[float, float, float] = (800.0, 1300.0, 1800.0),
+    ) -> None:
+        if nodes_per_cluster < 1:
+            raise ConfigurationError("need at least one node per cluster")
+        if not 0 <= server_room_bias <= 1:
+            raise ConfigurationError(
+                f"server_room_bias must be in [0, 1], got {server_room_bias}"
+            )
+        if len(class_probabilities) != 3 or not np.isclose(
+            sum(class_probabilities), 1.0
+        ):
+            raise ConfigurationError("class probabilities must be 3 values summing to 1")
+        self.nodes_per_cluster = nodes_per_cluster
+        self.server_room_bias = server_room_bias
+        self.n_nodes = nodes_per_cluster * len(CLUSTER_NAMES)
+
+        self.cluster_nodes: Dict[str, Tuple[int, ...]] = {}
+        self.node_cluster: Dict[int, str] = {}
+        node = 0
+        for name in CLUSTER_NAMES:
+            ids = tuple(range(node, node + nodes_per_cluster))
+            self.cluster_nodes[name] = ids
+            for nid in ids:
+                self.node_cluster[nid] = name
+            node += nodes_per_cluster
+
+        self.cluster_cdfs: Dict[str, PiecewiseLinearCDF] = {
+            name: _cluster_cdf(*_CLUSTER_STATS[name]) for name in CLUSTER_NAMES
+        }
+        self.node_cdfs: Dict[int, Distribution] = {
+            nid: self.cluster_cdfs[self.node_cluster[nid]]
+            for nid in range(self.n_nodes)
+        }
+
+        class_a = ServiceClass("class-A", slos_ms[0], 99.0, priority=0)
+        class_b = ServiceClass("class-B", slos_ms[1], 99.0, priority=1)
+        class_c = ServiceClass("class-C", slos_ms[2], 99.0, priority=2)
+        self.use_cases: Tuple[UseCase, ...] = (
+            UseCase(class_a, class_probabilities[0], 1,
+                    "per-device monitoring, Server-room-heavy"),
+            UseCase(class_b, class_probabilities[1], len(CLUSTER_NAMES),
+                    "all-area overview, one node per cluster"),
+            UseCase(class_c, class_probabilities[2], self.n_nodes,
+                    "long-term records from every node"),
+        )
+
+    # ------------------------------------------------------------------
+    # Load accounting on the bottleneck cluster.
+    # ------------------------------------------------------------------
+    def expected_server_room_tasks_per_query(self) -> float:
+        """E[tasks landing on the Server-room cluster per query]."""
+        case_a, case_b, case_c = self.use_cases
+        return (
+            case_a.probability * self.server_room_bias
+            + case_b.probability * 1.0
+            + case_c.probability * self.nodes_per_cluster
+        )
+
+    def arrival_rate_for_load(self, server_room_load: float) -> float:
+        """Query rate (queries/ms) giving the target Server-room load."""
+        if server_room_load <= 0:
+            raise ConfigurationError(
+                f"load must be positive, got {server_room_load}"
+            )
+        mean_service = self.cluster_cdfs["server-room"].mean()
+        per_query = self.expected_server_room_tasks_per_query()
+        return (
+            server_room_load * self.nodes_per_cluster / (per_query * mean_service)
+        )
+
+    def cluster_load(self, server_room_load: float, cluster: str) -> float:
+        """Offered load of any cluster at a given Server-room load."""
+        if cluster not in self.cluster_nodes:
+            raise ConfigurationError(
+                f"unknown cluster {cluster!r}; known: {CLUSTER_NAMES}"
+            )
+        rate = self.arrival_rate_for_load(server_room_load)
+        case_a, case_b, case_c = self.use_cases
+        if cluster == "server-room":
+            tasks = self.expected_server_room_tasks_per_query()
+        else:
+            tasks = (
+                case_a.probability * (1 - self.server_room_bias) / 3.0
+                + case_b.probability * 1.0
+                + case_c.probability * self.nodes_per_cluster
+            )
+        mean_service = self.cluster_cdfs[cluster].mean()
+        return rate * tasks * mean_service / self.nodes_per_cluster
+
+    # ------------------------------------------------------------------
+    # Query generation with use-case placement.
+    # ------------------------------------------------------------------
+    def generate_specs(
+        self,
+        n_queries: int,
+        server_room_load: float,
+        rng: np.random.Generator,
+    ) -> List[QuerySpec]:
+        """Poisson arrivals with per-use-case fanout and placement."""
+        if n_queries < 1:
+            raise ConfigurationError(f"need >= 1 query, got {n_queries}")
+        rate = self.arrival_rate_for_load(server_room_load)
+        arrival_rng, case_rng, place_rng = rng.spawn(3)
+        times = np.cumsum(arrival_rng.exponential(1.0 / rate, n_queries))
+        probs = np.asarray([case.probability for case in self.use_cases])
+        case_idx = case_rng.choice(len(self.use_cases), size=n_queries, p=probs)
+
+        other_clusters = [c for c in CLUSTER_NAMES if c != "server-room"]
+        specs: List[QuerySpec] = []
+        for i in range(n_queries):
+            case = self.use_cases[case_idx[i]]
+            if case.fanout == 1:
+                if place_rng.random() < self.server_room_bias:
+                    cluster = "server-room"
+                else:
+                    cluster = other_clusters[place_rng.integers(len(other_clusters))]
+                nodes = self.cluster_nodes[cluster]
+                servers: Tuple[int, ...] = (
+                    int(nodes[place_rng.integers(len(nodes))]),
+                )
+            elif case.fanout == len(CLUSTER_NAMES):
+                servers = tuple(
+                    int(self.cluster_nodes[c][place_rng.integers(
+                        self.nodes_per_cluster)])
+                    for c in CLUSTER_NAMES
+                )
+            else:
+                servers = tuple(range(self.n_nodes))
+            specs.append(
+                QuerySpec(
+                    query_id=i,
+                    arrival_time=float(times[i]),
+                    fanout=len(servers),
+                    service_class=case.service_class,
+                    servers=servers,
+                )
+            )
+        return specs
+
+    # ------------------------------------------------------------------
+    # Simulation plumbing.
+    # ------------------------------------------------------------------
+    def estimator(self, online_window: Optional[int] = None) -> DeadlineEstimator:
+        """A deadline estimator sharing one CDF per cluster (§IV.E)."""
+        return DeadlineEstimator(
+            dict(self.node_cdfs),
+            online_window=online_window,
+            server_groups=dict(self.node_cluster),
+        )
+
+    def config(
+        self,
+        policy: str,
+        server_room_load: float,
+        n_queries: int = 20_000,
+        seed: int = 1,
+        online_window: Optional[int] = None,
+    ) -> ClusterConfig:
+        rng = np.random.default_rng(seed)
+        specs = self.generate_specs(n_queries, server_room_load, rng)
+        return ClusterConfig(
+            n_servers=self.n_nodes,
+            policy=policy,
+            specs=specs,
+            seed=seed,
+            server_cdfs=dict(self.node_cdfs),
+            estimator=self.estimator(online_window=online_window),
+        )
+
+    def run(
+        self,
+        policy: str,
+        server_room_load: float,
+        n_queries: int = 20_000,
+        seed: int = 1,
+        online_window: Optional[int] = None,
+    ) -> SimulationResult:
+        return simulate(
+            self.config(policy, server_room_load, n_queries, seed, online_window)
+        )
+
+    def sweep(
+        self,
+        policy: str,
+        server_room_loads: Sequence[float],
+        n_queries: int = 20_000,
+        seed: int = 1,
+    ) -> List[Dict[str, float]]:
+        """Per-class 99th tails at each Server-room load (Fig. 9 b–d)."""
+        rows: List[Dict[str, float]] = []
+        for load in server_room_loads:
+            result = self.run(policy, load, n_queries, seed)
+            row: Dict[str, float] = {"server_room_load": load}
+            for case in self.use_cases:
+                name = case.service_class.name
+                row[name] = result.tail(case.service_class.percentile, name)
+            rows.append(row)
+        return rows
+
+    def max_load(
+        self,
+        policy: str,
+        lo: float = 0.10,
+        hi: float = 0.70,
+        tol: float = 0.01,
+        n_queries: int = 20_000,
+        seeds: Tuple[int, ...] = (1,),
+    ) -> float:
+        """Bisection for the max Server-room load meeting all SLOs."""
+
+        def feasible(load: float) -> bool:
+            for seed in seeds:
+                result = self.run(policy, load, n_queries, seed)
+                for case in self.use_cases:
+                    cls = case.service_class
+                    if result.tail(cls.percentile, cls.name) > cls.slo_ms:
+                        return False
+            return True
+
+        if not feasible(lo):
+            return 0.0
+        if feasible(hi):
+            return hi
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if feasible(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo

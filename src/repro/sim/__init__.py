@@ -1,0 +1,41 @@
+"""A small discrete-event simulation kernel in the style of SimPy.
+
+The TailGuard paper evaluates by simulation; this package is the
+simulation substrate, built from scratch.  It provides:
+
+* :class:`~repro.sim.engine.Environment` — the event calendar and clock;
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`
+  and :class:`~repro.sim.engine.Process` — generator-based coroutine
+  processes that ``yield`` events to wait on;
+* :class:`~repro.sim.resources.Resource` and
+  :class:`~repro.sim.resources.Store` — contended-capacity primitives
+  with pluggable queue disciplines, which is exactly where TailGuard's
+  queuing policies hook in.
+
+The optimized cluster simulator (:mod:`repro.cluster.simulation`) uses a
+flat event calendar for speed; an equivalence test in
+``tests/integration`` drives both on the same trace.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,381 @@
+"""Discrete-event simulation engine.
+
+The model follows SimPy's design: an :class:`Environment` owns a heap of
+scheduled events ordered by ``(time, priority, insertion order)``, and a
+:class:`Process` wraps a Python generator that ``yield``\\ s events.  When
+a yielded event triggers, the engine resumes the generator with the
+event's value (or throws its exception into it).
+
+Determinism: ties in time are broken first by priority (``URGENT``
+before ``NORMAL``) and then by insertion order, so a simulation with the
+same inputs always produces the same event ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Scheduling priorities.  URGENT events (process resumptions triggered
+#: by an already-triggered event) run before NORMAL events at equal time.
+URGENT = 0
+NORMAL = 1
+
+#: Sentinel stored in ``Event._value`` before the event is triggered.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary user context (e.g. which server failed),
+    which makes this the failure-injection mechanism used by the
+    fault-tolerance tests.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An occurrence that processes can wait on.
+
+    An event is *triggered* when :meth:`succeed` or :meth:`fail` is
+    called, which schedules it on the environment's calendar; it is
+    *processed* once its callbacks have run.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event that no process waits on raises when processed,
+        unless :meth:`defused` was called — mirroring SimPy's "errors
+        should never pass silently" behaviour.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running process: wraps a generator that yields events.
+
+    The process *is itself an event* that triggers when the generator
+    returns (value = the generator's return value) or raises.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+        # Unsubscribe from the event we were waiting on: the interrupt
+        # supersedes it.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the triggered event's outcome."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+            if next_event.env is not self.env:
+                raise SimulationError("cannot wait on an event from another environment")
+
+            if next_event.callbacks is not None:
+                # Event still pending (or triggered but unprocessed):
+                # subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite waits."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers when every component event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(ConditionEvent):
+    """Triggers as soon as any component event triggers successfully."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event calendar."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``until is None`` — run until the calendar is empty.
+        * ``until`` is a number — run until the clock reaches it.
+        * ``until`` is an :class:`Event` — run until it is processed and
+          return its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while stop.callbacks is not None and self._queue:
+                self.step()
+            if not stop.triggered:
+                raise SimulationError(
+                    "ran out of events before the awaited event triggered"
+                )
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}: clock is already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

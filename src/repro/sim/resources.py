@@ -1,0 +1,217 @@
+"""Contended-capacity primitives for the simulation kernel.
+
+:class:`Resource` models a server (or pool of servers) with a waiting
+line.  The waiting line's *discipline* is pluggable via a tiny
+``WaitQueue`` protocol — this is exactly the hook TailGuard's queuing
+policies (FIFO / PRIQ / T-EDFQ / TF-EDFQ) plug into when the coroutine
+simulation path is used.
+
+:class:`Store` models a producer/consumer buffer of Python objects and
+is used by the SaS sensing-datastore model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class WaitQueue:
+    """Minimal queue-discipline protocol for :class:`Resource`.
+
+    Subclasses order pending requests; the default is FIFO.  ``key`` is
+    an arbitrary sort key supplied by the requester (TailGuard passes
+    the task queuing deadline ``t_D``).
+    """
+
+    def push(self, item: Any, key: float) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Any:
+        raise NotImplementedError
+
+    def remove(self, item: Any) -> None:
+        """Remove ``item`` if still queued (used by request cancellation)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoWaitQueue(WaitQueue):
+    """First-in-first-out waiting line."""
+
+    def __init__(self) -> None:
+        self._items: Deque[Any] = deque()
+
+    def push(self, item: Any, key: float) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def remove(self, item: Any) -> None:
+        try:
+            self._items.remove(item)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class SortedWaitQueue(WaitQueue):
+    """Waiting line ordered by ascending ``key`` (EDF when the key is a
+    deadline), with FIFO tie-breaking by insertion order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = count()
+        self._cancelled: set = set()
+
+    def push(self, item: Any, key: float) -> None:
+        heapq.heappush(self._heap, (key, next(self._seq), item))
+
+    def pop(self) -> Any:
+        while self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            if id(item) not in self._cancelled:
+                return item
+            self._cancelled.discard(id(item))
+        raise IndexError("pop from empty queue")
+
+    def remove(self, item: Any) -> None:
+        self._cancelled.add(id(item))
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+
+class Request(Event):
+    """A pending or granted claim on one unit of a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with server.request(key=deadline) as req:
+            yield req          # waits until granted
+            yield env.timeout(service_time)
+    """
+
+    __slots__ = ("resource", "key")
+
+    def __init__(self, resource: "Resource", key: float) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.key = key
+        resource._admit(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the waiting line."""
+        if not self.triggered:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """``capacity`` identical servers sharing one waiting line."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = 1,
+        queue: Optional[WaitQueue] = None,
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._queue = queue if queue is not None else FifoWaitQueue()
+        self._users: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, key: float = 0.0) -> Request:
+        return Request(self, key)
+
+    def _admit(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._queue.push(request, request.key)
+
+    def release(self, request: Request) -> None:
+        """Return a granted unit and hand it to the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold the resource")
+        while len(self._queue) > 0:
+            nxt = self._queue.pop()
+            if not nxt.triggered:
+                self._users.append(nxt)
+                nxt.succeed()
+                break
+
+
+class Store:
+    """An unbounded-or-bounded buffer of items with blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            self._getters.popleft().succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()

@@ -1,0 +1,67 @@
+"""Workload generation (paper §IV.A).
+
+A DU workload is characterized by a query arrival process, a query
+fanout distribution and a task service-time distribution.  This package
+provides all three plus service-class mixes, the reconstructed
+Tailbench workload models, and trace record/replay.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.fanout import (
+    CategoricalFanout,
+    FanoutDistribution,
+    FixedFanout,
+    UniformFanout,
+    ZipfFanout,
+    inverse_proportional_fanout,
+)
+from repro.workloads.classes import ClassMix, single_class_mix, uniform_class_mix
+from repro.workloads.tailbench import (
+    TAILBENCH_WORKLOADS,
+    TailbenchWorkload,
+    get_workload,
+)
+from repro.workloads.generator import (
+    QueryStream,
+    Workload,
+    arrival_rate_for_load,
+    generate_queries,
+    offered_load,
+)
+from repro.workloads.sharding import ShardMap, ShardedPlacement
+from repro.workloads.traces import load_trace, save_trace
+
+__all__ = [
+    "ArrivalProcess",
+    "CategoricalFanout",
+    "ClassMix",
+    "DeterministicArrivals",
+    "FanoutDistribution",
+    "FixedFanout",
+    "MMPPArrivals",
+    "ParetoArrivals",
+    "PoissonArrivals",
+    "QueryStream",
+    "ShardMap",
+    "ShardedPlacement",
+    "TAILBENCH_WORKLOADS",
+    "TailbenchWorkload",
+    "UniformFanout",
+    "Workload",
+    "ZipfFanout",
+    "arrival_rate_for_load",
+    "generate_queries",
+    "get_workload",
+    "inverse_proportional_fanout",
+    "load_trace",
+    "offered_load",
+    "save_trace",
+    "single_class_mix",
+    "uniform_class_mix",
+]

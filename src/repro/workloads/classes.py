@@ -1,0 +1,69 @@
+"""Service-class mixes.
+
+A query belongs to one service class that carries its tail-latency SLO
+(paper §I: "a DU service that supports multiple classes of queries").
+A :class:`ClassMix` assigns classes to queries with given probabilities;
+the paper's two-class experiments assign each query to either class
+with equal probability (§IV.B, §IV.C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+class ClassMix:
+    """A categorical distribution over service classes."""
+
+    def __init__(self, entries: Sequence[Tuple[ServiceClass, float]]) -> None:
+        if not entries:
+            raise ConfigurationError("need at least one service class")
+        probs = np.asarray([p for _, p in entries], dtype=float)
+        if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0):
+            raise ConfigurationError("class probabilities must be non-negative "
+                                     "and sum to 1")
+        names = [cls.name for cls, _ in entries]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate class names in mix: {names}")
+        self._classes: List[ServiceClass] = [cls for cls, _ in entries]
+        self._probs = probs / probs.sum()
+
+    @property
+    def classes(self) -> Tuple[ServiceClass, ...]:
+        return tuple(self._classes)
+
+    def probabilities(self) -> Dict[str, float]:
+        return {cls.name: float(p) for cls, p in zip(self._classes, self._probs)}
+
+    def sample_indices(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Class *indices* (cheap for the hot loop; map via ``classes``)."""
+        if len(self._classes) == 1:
+            return np.zeros(size, dtype=np.int64)
+        return rng.choice(len(self._classes), size=size, p=self._probs)
+
+    def sample(self, rng: np.random.Generator, size: int) -> List[ServiceClass]:
+        return [self._classes[i] for i in self.sample_indices(rng, size)]
+
+    def strictest_slo(self) -> float:
+        return min(cls.slo_ms for cls in self._classes)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+def single_class_mix(service_class: ServiceClass) -> ClassMix:
+    """All queries share one SLO (paper §IV.B single-class case)."""
+    return ClassMix([(service_class, 1.0)])
+
+
+def uniform_class_mix(classes: Sequence[ServiceClass]) -> ClassMix:
+    """Equal probability per class (the paper's two/four-class cases)."""
+    if not classes:
+        raise ConfigurationError("need at least one service class")
+    p = 1.0 / len(classes)
+    return ClassMix([(cls, p) for cls in classes])

@@ -1,0 +1,153 @@
+"""Query fanout distributions.
+
+The paper's main simulation uses three fanout types {1, 10, 100} with
+probabilities inversely proportional to the fanout (P(1)=100/111,
+P(10)=10/111, P(100)=1/111 — §IV.B), which equalizes the expected task
+volume per type, "similar to the one observed by Facebook".  OLDI
+services use a fixed fanout equal to the cluster size (§IV.C).  A
+truncated-Zipf model covers social-network-style long-tailed fanouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FanoutDistribution:
+    """Discrete distribution over fanout values ``k >= 1``."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def support(self) -> Tuple[int, ...]:
+        """The distinct fanout values with non-zero probability."""
+        raise NotImplementedError
+
+    def pmf(self) -> Dict[int, float]:
+        """Mapping fanout -> probability."""
+        raise NotImplementedError
+
+
+class FixedFanout(FanoutDistribution):
+    """Every query fans out to exactly ``k`` servers (OLDI)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {k}")
+        self.k = int(k)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.k, dtype=np.int64)
+
+    def mean(self) -> float:
+        return float(self.k)
+
+    def support(self) -> Tuple[int, ...]:
+        return (self.k,)
+
+    def pmf(self) -> Dict[int, float]:
+        return {self.k: 1.0}
+
+
+class CategoricalFanout(FanoutDistribution):
+    """Arbitrary finite fanout distribution given as ``{k: prob}``."""
+
+    def __init__(self, probabilities: Dict[int, float]) -> None:
+        if not probabilities:
+            raise ConfigurationError("need at least one fanout value")
+        ks = sorted(probabilities)
+        ps = np.asarray([probabilities[k] for k in ks], dtype=float)
+        if any(k < 1 for k in ks):
+            raise ConfigurationError("fanouts must be >= 1")
+        if np.any(ps < 0) or not np.isclose(ps.sum(), 1.0):
+            raise ConfigurationError("probabilities must be non-negative and sum to 1")
+        self._ks = np.asarray(ks, dtype=np.int64)
+        self._ps = ps / ps.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(self._ks, size=size, p=self._ps)
+
+    def mean(self) -> float:
+        return float(np.dot(self._ks, self._ps))
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(int(k) for k in self._ks)
+
+    def pmf(self) -> Dict[int, float]:
+        return {int(k): float(p) for k, p in zip(self._ks, self._ps)}
+
+
+def inverse_proportional_fanout(fanouts: Sequence[int]) -> CategoricalFanout:
+    """P(k) ∝ 1/k over the given fanouts (the paper's §IV.B mix).
+
+    ``inverse_proportional_fanout([1, 10, 100])`` gives exactly
+    P(1)=100/111, P(10)=10/111, P(100)=1/111.
+    """
+    if not fanouts:
+        raise ConfigurationError("need at least one fanout value")
+    weights = {int(k): 1.0 / k for k in fanouts}
+    total = sum(weights.values())
+    return CategoricalFanout({k: w / total for k, w in weights.items()})
+
+
+class UniformFanout(FanoutDistribution):
+    """Uniform over integers ``[low, high]``."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 1 <= low <= high:
+            raise ConfigurationError(f"need 1 <= low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=size, dtype=np.int64)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(range(self.low, self.high + 1))
+
+    def pmf(self) -> Dict[int, float]:
+        n = self.high - self.low + 1
+        return {k: 1.0 / n for k in self.support()}
+
+
+class ZipfFanout(FanoutDistribution):
+    """Truncated Zipf: P(k) ∝ k^-alpha for k in [1, k_max].
+
+    Models social-networking fanouts ("one to several hundreds with 65%
+    under 20" — paper §II.A); ``alpha≈1.3, k_max≈300`` roughly matches
+    that description and is used by the social-network example.
+    """
+
+    def __init__(self, alpha: float, k_max: int) -> None:
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        if k_max < 1:
+            raise ConfigurationError(f"k_max must be >= 1, got {k_max}")
+        self.alpha = float(alpha)
+        self.k_max = int(k_max)
+        ks = np.arange(1, k_max + 1, dtype=np.int64)
+        ps = ks.astype(float) ** -alpha
+        self._ks = ks
+        self._ps = ps / ps.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(self._ks, size=size, p=self._ps)
+
+    def mean(self) -> float:
+        return float(np.dot(self._ks, self._ps))
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(int(k) for k in self._ks)
+
+    def pmf(self) -> Dict[int, float]:
+        return {int(k): float(p) for k, p in zip(self._ks, self._ps)}

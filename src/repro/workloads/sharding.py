@@ -1,0 +1,183 @@
+"""Data-shard placement (paper §II.A).
+
+The paper's model has each task server "hosting a piece of the total
+dataset, also known as a shard"; a query's fanout is determined by
+*which shards it touches*, not by a free choice of servers.  The main
+experiments abstract this away (uniform random selection is equivalent
+when shards are spread uniformly and queries touch random shards), but
+a shard map matters when:
+
+* shards are replicated (a task can go to any replica — the scheduler
+  can pick the least loaded);
+* shard popularity is skewed (hot shards concentrate load on their
+  hosts, the §I "skewed workloads" outlier source).
+
+:class:`ShardMap` assigns ``n_shards`` to ``n_servers`` round-robin
+with ``replication`` copies; :class:`ShardedPlacement` is a
+``ClusterConfig.placement`` hook that maps a query's fanout to a set of
+distinct servers hosting the shards it touches, with optional Zipf
+shard popularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec
+
+
+class ShardMap:
+    """Static shard-to-server assignment with replication."""
+
+    def __init__(self, n_shards: int, n_servers: int,
+                 replication: int = 1) -> None:
+        if n_shards < 1 or n_servers < 1:
+            raise ConfigurationError("need at least one shard and one server")
+        if not 1 <= replication <= n_servers:
+            raise ConfigurationError(
+                f"replication must be in [1, {n_servers}], got {replication}"
+            )
+        self.n_shards = int(n_shards)
+        self.n_servers = int(n_servers)
+        self.replication = int(replication)
+        # Shard s lives on servers (s + r·stride) mod N for r replicas;
+        # a prime-free stride of max(1, N // replication) spreads copies.
+        stride = max(1, n_servers // replication)
+        self._replicas: List[Tuple[int, ...]] = [
+            tuple((shard + r * stride) % n_servers
+                  for r in range(replication))
+            for shard in range(n_shards)
+        ]
+
+    def replicas(self, shard: int) -> Tuple[int, ...]:
+        """Servers hosting a shard."""
+        try:
+            return self._replicas[shard]
+        except IndexError:
+            raise ConfigurationError(
+                f"shard {shard} outside [0, {self.n_shards})"
+            ) from None
+
+    def shards_on(self, server: int) -> Tuple[int, ...]:
+        """Shards hosted by a server."""
+        if not 0 <= server < self.n_servers:
+            raise ConfigurationError(
+                f"server {server} outside [0, {self.n_servers})"
+            )
+        return tuple(
+            shard for shard in range(self.n_shards)
+            if server in self._replicas[shard]
+        )
+
+
+class ShardedPlacement:
+    """A placement hook resolving fanouts through a shard map.
+
+    A query with fanout ``k`` touches ``k`` distinct shards — uniformly
+    or Zipf-distributed by popularity — and each task goes to one
+    replica of its shard.  When multiple shards resolve to the same
+    server, further shards are drawn so the query still occupies ``k``
+    distinct servers (the paper's model has one task per server).
+
+    Replica selection (`select`):
+
+    * ``"random"`` — uniform among the shard's free replicas;
+    * ``"least-loaded"`` — the free replica with the shortest queue
+      (needs queue depths; the simulator provides them because this
+      object sets ``needs_queue_depths``).  This is the
+      replica-selection idea of the outlier-alleviation literature the
+      paper surveys (§II.B, e.g. C3), composable under any queuing
+      policy.
+
+    Use as ``ClusterConfig(placement=ShardedPlacement(shard_map))``.
+    """
+
+    def __init__(self, shard_map: ShardMap,
+                 popularity_alpha: Optional[float] = None,
+                 select: str = "random") -> None:
+        self.shard_map = shard_map
+        if popularity_alpha is not None and popularity_alpha <= 0:
+            raise ConfigurationError(
+                f"popularity_alpha must be positive, got {popularity_alpha}"
+            )
+        if select not in ("random", "least-loaded"):
+            raise ConfigurationError(
+                f"select must be 'random' or 'least-loaded', got {select!r}"
+            )
+        self.select = select
+        #: Protocol flag: the cluster simulator passes per-server queue
+        #: depths as a third argument when this is True.
+        self.needs_queue_depths = select == "least-loaded"
+        self._probs: Optional[np.ndarray] = None
+        if popularity_alpha is not None:
+            weights = np.arange(1, shard_map.n_shards + 1,
+                                dtype=float) ** -popularity_alpha
+            self._probs = weights / weights.sum()
+
+    def server_load_profile(self, samples: int,
+                            rng: np.random.Generator) -> Dict[int, float]:
+        """Expected fraction of single-shard lookups hitting each server
+        (diagnostic for skew)."""
+        counts: Dict[int, int] = {}
+        shards = self._draw_shards(rng, samples)
+        for shard in shards:
+            replicas = self.shard_map.replicas(int(shard))
+            server = replicas[int(rng.integers(len(replicas)))]
+            counts[server] = counts.get(server, 0) + 1
+        return {server: count / samples for server, count in counts.items()}
+
+    def _draw_shards(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self._probs is None:
+            return rng.integers(0, self.shard_map.n_shards, size=size)
+        return rng.choice(self.shard_map.n_shards, size=size, p=self._probs)
+
+    def __call__(self, spec: QuerySpec, rng: np.random.Generator,
+                 queue_depths: Optional[Tuple[int, ...]] = None
+                 ) -> Tuple[int, ...]:
+        k = spec.fanout
+        if k > self.shard_map.n_servers:
+            raise ConfigurationError(
+                f"fanout {k} exceeds {self.shard_map.n_servers} servers"
+            )
+        if self.select == "least-loaded" and queue_depths is None:
+            raise ConfigurationError(
+                "least-loaded selection needs queue depths; drive this "
+                "placement through the cluster simulator"
+            )
+        chosen: List[int] = []
+        seen = set()
+        # Draw shards until k distinct servers are covered; cap the
+        # attempts to stay robust under extreme popularity skew.
+        attempts = 0
+        limit = 50 * k + 100
+        while len(chosen) < k:
+            attempts += 1
+            if attempts > limit:
+                # Fall back to uniform servers for the remainder.
+                for server in rng.permutation(self.shard_map.n_servers):
+                    if int(server) not in seen:
+                        seen.add(int(server))
+                        chosen.append(int(server))
+                        if len(chosen) == k:
+                            break
+                break
+            shard = int(self._draw_shards(rng, 1)[0])
+            replicas = self.shard_map.replicas(shard)
+            # Prefer an unused replica (replication gives the scheduler
+            # freedom); skip the shard if all replicas are taken.
+            free = [s for s in replicas if s not in seen]
+            if not free:
+                continue
+            if self.select == "least-loaded" and len(free) > 1:
+                depth_of = queue_depths  # local alias
+                best = min(depth_of[s] for s in free)
+                candidates = [s for s in free if depth_of[s] == best]
+                server = candidates[int(rng.integers(len(candidates)))]
+            else:
+                server = free[int(rng.integers(len(free)))]
+            seen.add(server)
+            chosen.append(server)
+        return tuple(chosen)

@@ -1,0 +1,103 @@
+"""Trace record and replay.
+
+Traces decouple workload generation from simulation: a trace recorded
+once can drive every queuing policy identically (the paper compares
+policies on "three traces generated from the Tailbench benchmark
+suite").  Format: JSON lines — a header object describing the service
+classes followed by one compact object per query.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.types import QuerySpec, ServiceClass
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(specs: Sequence[QuerySpec], path: Union[str, Path]) -> None:
+    """Write query specs as a JSONL trace file."""
+    specs = list(specs)
+    classes: Dict[str, ServiceClass] = {}
+    for spec in specs:
+        existing = classes.get(spec.service_class.name)
+        if existing is not None and existing != spec.service_class:
+            raise ConfigurationError(
+                f"two different classes named {spec.service_class.name!r}"
+            )
+        classes[spec.service_class.name] = spec.service_class
+
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "version": _FORMAT_VERSION,
+            "classes": [
+                {
+                    "name": cls.name,
+                    "slo_ms": cls.slo_ms,
+                    "percentile": cls.percentile,
+                    "priority": cls.priority,
+                }
+                for cls in classes.values()
+            ],
+        }
+        fh.write(json.dumps(header) + "\n")
+        for spec in specs:
+            row = {
+                "id": spec.query_id,
+                "t": spec.arrival_time,
+                "k": spec.fanout,
+                "c": spec.service_class.name,
+            }
+            if spec.servers is not None:
+                row["s"] = list(spec.servers)
+            fh.write(json.dumps(row) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> List[QuerySpec]:
+    """Read a JSONL trace back into query specs."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ConfigurationError(f"empty trace file: {path}")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        classes = {
+            entry["name"]: ServiceClass(
+                name=entry["name"],
+                slo_ms=entry["slo_ms"],
+                percentile=entry["percentile"],
+                priority=entry["priority"],
+            )
+            for entry in header["classes"]
+        }
+        specs: List[QuerySpec] = []
+        for line in fh:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            try:
+                service_class = classes[row["c"]]
+            except KeyError:
+                raise ConfigurationError(
+                    f"query {row['id']} references unknown class {row['c']!r}"
+                ) from None
+            servers = tuple(row["s"]) if "s" in row else None
+            specs.append(
+                QuerySpec(
+                    query_id=row["id"],
+                    arrival_time=row["t"],
+                    fanout=row["k"],
+                    service_class=service_class,
+                    servers=servers,
+                )
+            )
+    return specs

@@ -1,0 +1,54 @@
+"""Shared fixtures for the TailGuard reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.types import ServiceClass
+from repro.workloads import (
+    PoissonArrivals,
+    Workload,
+    get_workload,
+    inverse_proportional_fanout,
+    single_class_mix,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def masstree():
+    return get_workload("masstree")
+
+
+@pytest.fixture
+def single_class() -> ServiceClass:
+    return ServiceClass("single", slo_ms=1.0)
+
+
+@pytest.fixture
+def small_workload(masstree, single_class) -> Workload:
+    """A small paper-style workload (fanouts {1, 10, 100}, one class)."""
+    return Workload(
+        name="small",
+        arrivals=PoissonArrivals(1.0),
+        fanout=inverse_proportional_fanout([1, 10, 100]),
+        class_mix=single_class_mix(single_class),
+        service_time=masstree.service_time,
+    )
+
+
+@pytest.fixture
+def small_config(small_workload) -> ClusterConfig:
+    return ClusterConfig(
+        n_servers=100,
+        policy="tailguard",
+        workload=small_workload,
+        n_queries=3_000,
+        seed=7,
+    ).at_load(0.30)

@@ -1,0 +1,78 @@
+"""Stress the coroutine path with all features enabled at once.
+
+Runs the composable model (kernel + handler + servers) with admission
+control, online estimation and every policy on a moderately contended
+workload, checking global invariants rather than exact values — a
+crash/regression canary for feature interactions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import POLICIES, get_policy
+from repro.core.server import TaskServer
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+from repro.workloads import get_workload
+
+N_SERVERS = 10
+N_QUERIES = 600
+
+
+def build_specs(seed=17):
+    rng = np.random.default_rng(seed)
+    classes = [
+        ServiceClass("gold", slo_ms=1.0, priority=0),
+        ServiceClass("silver", slo_ms=2.0, priority=1),
+    ]
+    t = 0.0
+    specs = []
+    for qid in range(N_QUERIES):
+        t += float(rng.exponential(0.08))
+        fanout = int(rng.choice([1, 2, 5, 10]))
+        specs.append(
+            QuerySpec(qid, t, fanout, classes[int(rng.integers(2))])
+        )
+    return specs
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_all_features_together(policy_name):
+    bench = get_workload("masstree")
+    env = Environment()
+    policy = get_policy(policy_name)
+    rng = np.random.default_rng(3)
+    servers = [
+        TaskServer(env, sid, policy, bench.service_time, child)
+        for sid, child in zip(range(N_SERVERS), rng.spawn(N_SERVERS))
+    ]
+    estimator = DeadlineEstimator(
+        bench.service_time, n_servers=N_SERVERS,
+        online_window=2_000, refresh_interval=500,
+        server_groups={sid: "all" for sid in range(N_SERVERS)},
+    )
+    admission = DeadlineMissRatioAdmission(
+        0.05, window_tasks=5_000, window_ms=50.0,
+        min_samples=100, mode="duty-cycle",
+    )
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(5), admission=admission)
+    specs = build_specs()
+    env.process(handler.drive(specs))
+    env.run()
+
+    # Conservation: every query either completed or was rejected.
+    assert len(handler.completed) + len(handler.rejected) == N_QUERIES
+    assert handler.inflight == 0
+    # Latencies are sane.
+    for record in handler.completed:
+        assert record.latency > 0
+    # Online estimator absorbed observations.
+    assert estimator.server_cdf(0).total_updates > 0
+    # Servers did real work and the books balance.
+    total_tasks = sum(server.tasks_served for server in servers)
+    expected_tasks = sum(r.spec.fanout for r in handler.completed)
+    assert total_tasks == expected_tasks

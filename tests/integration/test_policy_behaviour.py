@@ -1,0 +1,160 @@
+"""Behavioural integration tests for the queuing policies (§III.A, §IV.B).
+
+These check the paper's qualitative claims end-to-end on the simulator:
+degeneracy of PRIQ/T-EDFQ to FIFO with a single class, TailGuard's
+advantage over FIFO, and per-type tail equalization.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.experiments import find_max_load
+from repro.experiments.setups import (
+    paper_oldi_config,
+    paper_single_class_config,
+    paper_two_class_config,
+)
+
+
+class TestSingleClassDegeneracy:
+    """§III.A: 'both PRIQ and T-EDFQ degenerate to FIFO ... with a
+    single class'."""
+
+    @pytest.mark.parametrize("other_policy", ["priq", "t-edf"])
+    def test_identical_latencies_to_fifo(self, other_policy):
+        fifo = simulate(
+            paper_single_class_config("masstree", 1.0, policy="fifo",
+                                      n_queries=4_000, seed=11).at_load(0.4)
+        )
+        other = simulate(
+            paper_single_class_config("masstree", 1.0, policy=other_policy,
+                                      n_queries=4_000, seed=11).at_load(0.4)
+        )
+        assert np.allclose(fifo.latency, other.latency)
+
+    def test_tailguard_differs_from_fifo(self):
+        fifo = simulate(
+            paper_single_class_config("masstree", 1.0, policy="fifo",
+                                      n_queries=4_000, seed=11).at_load(0.4)
+        )
+        tailguard = simulate(
+            paper_single_class_config("masstree", 1.0, policy="tailguard",
+                                      n_queries=4_000, seed=11).at_load(0.4)
+        )
+        assert not np.allclose(fifo.latency, tailguard.latency)
+
+
+class TestOldiDegeneracy:
+    """§IV.C: with a single fanout, T-EDFQ behaves the same as
+    TailGuard (deadlines differ by a constant)."""
+
+    def test_tedf_equals_tailguard_with_fixed_fanout(self):
+        tailguard = simulate(
+            paper_oldi_config("masstree", 1.0, 1.5, policy="tailguard",
+                              n_queries=1_500, seed=4).at_load(0.45)
+        )
+        tedf = simulate(
+            paper_oldi_config("masstree", 1.0, 1.5, policy="t-edf",
+                              n_queries=1_500, seed=4).at_load(0.45)
+        )
+        assert np.allclose(tailguard.latency, tedf.latency)
+
+
+class TestTailGuardAdvantage:
+    def test_higher_max_load_than_fifo_single_class(self):
+        """Fig. 4's headline on a reduced scale.
+
+        Two seeds and 20k queries damp the p99 noise of the rare
+        fanout-100 type at the feasibility boundary; a small tolerance
+        absorbs what remains.
+        """
+        kwargs = dict(n_queries=20_000, seed=1)
+        seeds = (1, 2)
+        tg = find_max_load(
+            paper_single_class_config("masstree", 0.8, policy="tailguard",
+                                      **kwargs),
+            tol=0.02, seeds=seeds,
+        )
+        fifo = find_max_load(
+            paper_single_class_config("masstree", 0.8, policy="fifo",
+                                      **kwargs),
+            tol=0.02, seeds=seeds,
+        )
+        assert tg.max_load >= fifo.max_load - 0.011
+
+    def test_equalizes_per_type_tails(self):
+        """Table III: TailGuard narrows the spread of per-fanout tails."""
+        load = 0.35
+        fifo = simulate(
+            paper_single_class_config("masstree", 0.8, policy="fifo",
+                                      n_queries=40_000, seed=2).at_load(load)
+        )
+        tailguard = simulate(
+            paper_single_class_config("masstree", 0.8, policy="tailguard",
+                                      n_queries=40_000, seed=2).at_load(load)
+        )
+
+        def spread(result):
+            tails = [result.tail(99.0, fanout=k) for k in (1, 10, 100)]
+            return max(tails) - min(tails)
+
+        assert spread(tailguard) < spread(fifo)
+
+    def test_tailguard_reduces_high_fanout_tail(self):
+        """TailGuard trades k=1 latency for k=100 latency (the binding
+        type), which is what raises the feasible load."""
+        load = 0.35
+        fifo = simulate(
+            paper_single_class_config("masstree", 0.8, policy="fifo",
+                                      n_queries=40_000, seed=2).at_load(load)
+        )
+        tailguard = simulate(
+            paper_single_class_config("masstree", 0.8, policy="tailguard",
+                                      n_queries=40_000, seed=2).at_load(load)
+        )
+        assert (tailguard.tail(99.0, fanout=100)
+                <= fifo.tail(99.0, fanout=100))
+        assert tailguard.tail(99.0, fanout=1) >= fifo.tail(99.0, fanout=1)
+
+
+class TestTwoClassOrdering:
+    def test_priq_favors_high_class(self):
+        """PRIQ starves class II relative to class I (§IV.C)."""
+        result = simulate(
+            paper_two_class_config("masstree", 1.0, policy="priq",
+                                   n_queries=20_000, seed=5).at_load(0.5)
+        )
+        assert (result.tail(99.0, "class-I")
+                < result.tail(99.0, "class-II"))
+
+    def test_fifo_is_class_blind(self):
+        """Under FIFO both classes see statistically similar latency."""
+        result = simulate(
+            paper_two_class_config("masstree", 1.0, policy="fifo",
+                                   n_queries=30_000, seed=5).at_load(0.5)
+        )
+        tail1 = result.tail(95.0, "class-I")
+        tail2 = result.tail(95.0, "class-II")
+        assert tail1 == pytest.approx(tail2, rel=0.15)
+
+
+class TestWorkConservation:
+    def test_all_queries_complete(self, small_config):
+        result = simulate(small_config)
+        completed = ~np.isnan(result.latency) | result.rejected
+        assert completed.all()
+
+    def test_busy_time_invariant_across_policies(self, small_config):
+        """Work conservation: identical traces produce identical total
+        service demand regardless of ordering policy."""
+        results = {
+            policy: simulate(replace(small_config, policy=policy))
+            for policy in ("fifo", "tailguard")
+        }
+        assert results["fifo"].tasks_total == results["tailguard"].tasks_total
+        assert results["fifo"].busy_time_total == pytest.approx(
+            results["tailguard"].busy_time_total, rel=0.02
+        )

@@ -1,0 +1,89 @@
+"""Validate the simulator against closed-form queueing theory.
+
+These are ground-truth checks: an M/M/1 queue (Poisson arrivals,
+exponential service, one server, FIFO) has known mean response time
+``1/(μ−λ)`` and response-time distribution ``Exp(μ−λ)``; an M/D/1 queue
+has the Pollaczek–Khinchine mean wait.  If the event-calendar simulator
+reproduces them, its queueing mechanics are right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.distributions import Deterministic, Exponential
+from repro.types import ServiceClass
+from repro.workloads import (
+    FixedFanout,
+    PoissonArrivals,
+    Workload,
+    single_class_mix,
+)
+
+
+def mm1_config(rho: float, mu: float = 1.0, n_queries: int = 120_000,
+               service=None):
+    service = service if service is not None else Exponential(mu)
+    workload = Workload(
+        name="mm1",
+        arrivals=PoissonArrivals(rho * mu),
+        fanout=FixedFanout(1),
+        class_mix=single_class_mix(ServiceClass("only", slo_ms=1e9)),
+        service_time=service,
+    )
+    return ClusterConfig(n_servers=1, policy="fifo", workload=workload,
+                         n_queries=n_queries, seed=42,
+                         warmup_fraction=0.2)
+
+
+class TestMM1:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+    def test_mean_response_time(self, rho):
+        """E[T] = 1 / (μ − λ) for M/M/1."""
+        result = simulate(mm1_config(rho))
+        expected = 1.0 / (1.0 - rho)
+        measured = float(np.mean(result.latencies()))
+        assert measured == pytest.approx(expected, rel=0.06)
+
+    def test_response_time_distribution_is_exponential(self):
+        """T ~ Exp(μ−λ): check two quantiles."""
+        rho = 0.5
+        result = simulate(mm1_config(rho))
+        latencies = result.latencies()
+        rate = 1.0 - rho
+        for q in (0.5, 0.9):
+            expected = -np.log(1 - q) / rate
+            measured = float(np.quantile(latencies, q))
+            assert measured == pytest.approx(expected, rel=0.08), q
+
+    def test_utilization_equals_rho(self):
+        result = simulate(mm1_config(0.6))
+        assert result.utilization() == pytest.approx(0.6, abs=0.02)
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho", [0.4, 0.7])
+    def test_pollaczek_khinchine_mean_wait(self, rho):
+        """M/D/1: E[W] = ρ / (2 μ (1 − ρ)); E[T] = E[W] + 1/μ."""
+        result = simulate(mm1_config(rho, service=Deterministic(1.0)))
+        expected = rho / (2.0 * (1.0 - rho)) + 1.0
+        measured = float(np.mean(result.latencies()))
+        assert measured == pytest.approx(expected, rel=0.06)
+
+
+class TestForkJoin:
+    def test_two_way_fork_join_unloaded(self):
+        """With negligible load the fanout-2 query latency is the max of
+        two service draws: E[max] = 3/(2μ) for exponential service."""
+        workload = Workload(
+            name="fork",
+            arrivals=PoissonArrivals(0.001),
+            fanout=FixedFanout(2),
+            class_mix=single_class_mix(ServiceClass("only", slo_ms=1e9)),
+            service_time=Exponential(1.0),
+        )
+        config = ClusterConfig(n_servers=2, policy="fifo",
+                               workload=workload, n_queries=40_000, seed=7)
+        result = simulate(config)
+        measured = float(np.mean(result.latencies()))
+        assert measured == pytest.approx(1.5, rel=0.05)

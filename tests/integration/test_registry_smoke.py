@@ -1,0 +1,44 @@
+"""Smoke tests: every registered experiment runs end-to-end in quick
+mode (the cheapest ones run here; the expensive ones are exercised by
+the benchmark suite, which asserts their shapes)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+CHEAP_EXPERIMENTS = [
+    "fig3",
+    "table2",
+    "fig9a",
+    "fig6",
+    "fig9",
+    "ablation_admission_threshold",
+    "ext_request_decomposition",
+]
+
+
+@pytest.mark.parametrize("name", CHEAP_EXPERIMENTS)
+def test_quick_experiment_produces_rows(name):
+    report = run_experiment(name, quick=True)
+    assert report.experiment_id == name
+    assert report.rows, f"{name} produced no rows"
+    for row in report.rows:
+        assert set(report.columns) <= set(row)
+
+
+def test_quick_fig6_has_both_classes():
+    report = run_experiment("fig6", quick=True)
+    classes = {row["class_name"] for row in report.rows}
+    assert classes == {"class-I", "class-II"}
+
+
+def test_quick_fig9_covers_all_policies():
+    report = run_experiment("fig9", quick=True)
+    policies = {row["policy"] for row in report.rows}
+    assert policies == {"tailguard", "fifo", "priq", "t-edf"}
+
+
+def test_quick_request_decomposition_strategies():
+    report = run_experiment("ext_request_decomposition", quick=True)
+    strategies = {row["strategy"] for row in report.rows}
+    assert strategies == {"equal", "proportional", "slo-split"}

@@ -1,0 +1,74 @@
+"""Property tests for deadline estimation (Eq. 5-6) invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline import DeadlineEstimator
+from repro.distributions import Exponential
+from repro.types import ServiceClass
+from repro.workloads import get_workload
+
+slos = st.floats(min_value=0.1, max_value=100.0)
+fanouts = st.integers(min_value=1, max_value=100)
+arrivals = st.floats(min_value=0.0, max_value=1e6)
+
+
+def make_estimator():
+    return DeadlineEstimator(get_workload("masstree").service_time,
+                             n_servers=100)
+
+
+class TestDeadlineProperties:
+    @given(slos, fanouts, arrivals)
+    @settings(max_examples=200)
+    def test_deadline_decomposition(self, slo, fanout, arrival):
+        """t_D − t_0 equals the budget, independent of arrival time."""
+        estimator = make_estimator()
+        cls = ServiceClass("c", slo)
+        budget = estimator.budget(cls, fanout=fanout)
+        deadline = estimator.deadline(arrival, cls, fanout=fanout)
+        assert np.isclose(deadline - arrival, budget, atol=1e-6)
+
+    @given(slos, st.integers(min_value=1, max_value=99))
+    @settings(max_examples=100)
+    def test_budget_monotone_in_fanout(self, slo, fanout):
+        estimator = make_estimator()
+        cls = ServiceClass("c", slo)
+        assert (estimator.budget(cls, fanout=fanout + 1)
+                <= estimator.budget(cls, fanout=fanout) + 1e-12)
+
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.01, max_value=50.0), fanouts)
+    @settings(max_examples=100)
+    def test_budget_monotone_in_slo(self, slo, extra, fanout):
+        """A looser SLO can only enlarge the budget, by exactly the
+        SLO difference (Eq. 5 is affine in the SLO)."""
+        estimator = make_estimator()
+        tight = ServiceClass("tight", slo)
+        loose = ServiceClass("loose", slo + extra)
+        difference = (estimator.budget(loose, fanout=fanout)
+                      - estimator.budget(tight, fanout=fanout))
+        assert np.isclose(difference, extra, atol=1e-9)
+
+    @given(fanouts, st.floats(min_value=50.0, max_value=99.9))
+    @settings(max_examples=100)
+    def test_unloaded_tail_monotone_in_percentile(self, fanout, percentile):
+        estimator = make_estimator()
+        low = estimator.unloaded_tail(percentile, fanout=fanout)
+        high = estimator.unloaded_tail(min(percentile + 0.05, 99.99),
+                                       fanout=fanout)
+        assert low <= high + 1e-12
+
+    @given(fanouts)
+    @settings(max_examples=50)
+    def test_cache_consistency(self, fanout):
+        """Cached and freshly computed tails agree."""
+        shared = Exponential(3.0)
+        cached = DeadlineEstimator(shared, n_servers=100)
+        first = cached.unloaded_tail(99.0, fanout=fanout)
+        second = cached.unloaded_tail(99.0, fanout=fanout)
+        fresh = DeadlineEstimator(shared, n_servers=100).unloaded_tail(
+            99.0, fanout=fanout
+        )
+        assert first == second == fresh

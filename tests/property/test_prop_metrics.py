@@ -1,0 +1,86 @@
+"""Property tests for percentile estimators and empirical CDFs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import EmpiricalDistribution, OnlineEmpiricalCDF
+from repro.metrics import P2QuantileEstimator, exact_percentile
+
+sample_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=300,
+)
+
+
+class TestExactPercentileProperties:
+    @given(sample_lists, st.floats(min_value=0.0, max_value=100.0))
+    def test_within_range(self, values, p):
+        result = exact_percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    @given(sample_lists)
+    def test_extremes(self, values):
+        assert exact_percentile(values, 0.0) == min(values)
+        assert exact_percentile(values, 100.0) == max(values)
+
+    @given(sample_lists, st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    def test_monotone_in_percentile(self, values, p1, p2):
+        lo, hi = sorted([p1, p2])
+        assert exact_percentile(values, lo) <= exact_percentile(values, hi)
+
+
+class TestP2Properties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                              allow_nan=False),
+                    min_size=5, max_size=500),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=100)
+    def test_estimate_within_observed_range(self, values, q):
+        estimator = P2QuantileEstimator(q)
+        estimator.update_many(values)
+        assert min(values) - 1e-9 <= estimator.value() <= max(values) + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_converges_on_uniform(self, seed, q):
+        rng = np.random.default_rng(seed)
+        samples = rng.random(20_000)
+        estimator = P2QuantileEstimator(q)
+        estimator.update_many(samples)
+        assert abs(estimator.value() - q) < 0.05
+
+
+class TestEmpiricalProperties:
+    @given(sample_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_samples(self, values, q):
+        dist = EmpiricalDistribution(values)
+        assert min(values) <= dist.quantile(q) <= max(values)
+
+    @given(sample_lists)
+    def test_cdf_monotone_on_samples(self, values):
+        dist = EmpiricalDistribution(values)
+        grid = np.sort(np.asarray(values))
+        cdfs = dist.cdf(grid)
+        assert np.all(np.diff(cdfs) >= -1e-12)
+
+    @given(sample_lists)
+    def test_cdf_hits_one_at_max(self, values):
+        dist = EmpiricalDistribution(values)
+        assert dist.cdf(max(values)) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False),
+                    min_size=1, max_size=50),
+           st.integers(min_value=2, max_value=64))
+    def test_online_window_matches_tail_of_stream(self, values, window):
+        online = OnlineEmpiricalCDF(window=window)
+        for value in values:
+            online.update(value)
+        expected = sorted(values[-window:])
+        assert online.n == len(expected)
+        assert online.quantile(0.0) == expected[0]
+        assert online.quantile(1.0) == expected[-1]

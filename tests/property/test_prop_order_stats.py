@@ -1,0 +1,108 @@
+"""Property tests for order statistics and convolution (Eq. 1-2, Eq. 7)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Exponential,
+    MaxOfIID,
+    MaxOfIndependent,
+    SumOfIndependent,
+    Uniform,
+    iid_max_quantile,
+)
+
+rates = st.floats(min_value=0.1, max_value=20.0)
+fanouts = st.integers(min_value=1, max_value=500)
+probabilities = st.floats(min_value=0.01, max_value=0.999)
+
+
+class TestIidMaxProperties:
+    @given(rates, fanouts, probabilities)
+    def test_closed_form_matches_power_rule(self, rate, k, q):
+        base = Exponential(rate)
+        assert np.isclose(
+            iid_max_quantile(base, k, q),
+            float(base.quantile(q ** (1.0 / k))),
+            rtol=1e-12,
+        )
+
+    @given(rates, st.integers(min_value=1, max_value=99), probabilities)
+    def test_monotone_in_fanout(self, rate, k, q):
+        base = Exponential(rate)
+        assert iid_max_quantile(base, k, q) <= iid_max_quantile(
+            base, k + 1, q
+        ) + 1e-12
+
+    @given(rates, fanouts, probabilities)
+    def test_max_cdf_roundtrip(self, rate, k, q):
+        dist = MaxOfIID(Exponential(rate), k)
+        assert np.isclose(float(dist.cdf(dist.quantile(q))), q, atol=1e-9)
+
+    @given(rates, fanouts)
+    def test_budget_decreases_with_fanout(self, rate, k):
+        """Paper's core claim: larger fanout => larger unloaded tail =>
+        smaller pre-dequeuing budget for the same SLO."""
+        base = Exponential(rate)
+        slo = iid_max_quantile(base, 1000, 0.99) * 1.5
+        budget_k = slo - iid_max_quantile(base, k, 0.99)
+        budget_1 = slo - iid_max_quantile(base, 1, 0.99)
+        assert budget_k <= budget_1 + 1e-12
+
+
+class TestHeterogeneousMax:
+    @given(st.lists(rates, min_size=1, max_size=5), probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_product_quantile_roundtrip(self, component_rates, q):
+        dist = MaxOfIndependent([Exponential(r) for r in component_rates])
+        x = float(dist.quantile(q))
+        assert np.isclose(float(dist.cdf(x)), q, atol=1e-6)
+
+    @given(rates, st.integers(min_value=1, max_value=20), probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_reduces_to_iid(self, rate, k, q):
+        base = Exponential(rate)
+        het = MaxOfIndependent([base] * k)
+        assert np.isclose(
+            float(het.quantile(q)),
+            iid_max_quantile(base, k, q),
+            rtol=1e-6,
+        )
+
+    @given(st.lists(rates, min_size=2, max_size=4), probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_dominated_by_slowest_component(self, component_rates, q):
+        components = [Exponential(r) for r in component_rates]
+        dist = MaxOfIndependent(components)
+        slowest = max(float(c.quantile(q)) for c in components)
+        assert float(dist.quantile(q)) >= slowest - 1e-9
+
+
+class TestConvolutionProperties:
+    @given(st.lists(rates, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_additive(self, component_rates):
+        dist = SumOfIndependent([Exponential(r) for r in component_rates],
+                                resolution=1024)
+        assert np.isclose(dist.mean(), sum(1.0 / r for r in component_rates))
+
+    @given(st.lists(st.floats(min_value=0.2, max_value=5.0),
+                    min_size=2, max_size=4), probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_tail_subadditive(self, widths, q):
+        """x_q(sum) <= sum of x_q's for q >= 0.5 (Eq. 7 motivation)."""
+        components = [Uniform(0.0, w) for w in widths]
+        dist = SumOfIndependent(components, resolution=2048)
+        if q >= 0.5:
+            bound = sum(float(c.quantile(q)) for c in components)
+            assert float(dist.quantile(q)) <= bound + 1e-6
+
+    @given(st.lists(rates, min_size=1, max_size=3),
+           probabilities, probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone(self, component_rates, q1, q2):
+        dist = SumOfIndependent([Exponential(r) for r in component_rates],
+                                resolution=1024)
+        lo, hi = sorted([q1, q2])
+        assert float(dist.quantile(lo)) <= float(dist.quantile(hi)) + 1e-9

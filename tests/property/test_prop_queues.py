@@ -1,0 +1,94 @@
+"""Property tests for queue disciplines and admission control."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.policies import EDFTaskQueue, FIFOTaskQueue, PriorityTaskQueue
+
+keys = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+class TestEDFQueueProperties:
+    @given(st.lists(keys, min_size=1, max_size=200))
+    def test_pops_in_key_order(self, key_list):
+        queue = EDFTaskQueue()
+        for i, key in enumerate(key_list):
+            queue.push(i, (key,))
+        popped_keys = [key_list[queue.pop()] for _ in range(len(key_list))]
+        assert popped_keys == sorted(popped_keys)
+
+    @given(st.lists(keys, min_size=1, max_size=100))
+    def test_conservation(self, key_list):
+        queue = EDFTaskQueue()
+        for i, key in enumerate(key_list):
+            queue.push(i, (key,))
+        popped = {queue.pop() for _ in range(len(key_list))}
+        assert popped == set(range(len(key_list)))
+
+    @given(st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=200))
+    def test_interleaved_push_pop_never_violates_order(self, operations):
+        """Any interleaving of pushes and pops yields locally sorted pops."""
+        queue = EDFTaskQueue()
+        counter = 0
+        for key, do_pop in operations:
+            queue.push(counter, (key,))
+            counter += 1
+            if do_pop and len(queue) >= 2:
+                first_key = queue._heap[0][0]
+                queue.pop()
+                second_key = queue._heap[0][0]
+                assert first_key <= second_key
+
+
+class TestFIFOQueueProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=100))
+    def test_matches_deque(self, items):
+        queue = FIFOTaskQueue()
+        reference = deque()
+        for item in items:
+            queue.push(item, (0.0,))
+            reference.append(item)
+        assert [queue.pop() for _ in range(len(items))] == list(reference)
+
+
+class TestPriorityQueueProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=4), keys),
+                    min_size=1, max_size=200))
+    def test_strict_priority_then_fifo(self, entries):
+        queue = PriorityTaskQueue()
+        for i, (priority, arrival) in enumerate(entries):
+            queue.push((i, priority), (priority, arrival))
+        popped = [queue.pop() for _ in range(len(entries))]
+        # Priorities must be non-decreasing relative to what remains:
+        # simulate a reference implementation.
+        reference = sorted(
+            range(len(entries)),
+            key=lambda i: (entries[i][0], i),
+        )
+        assert [index for index, _ in popped] == reference
+
+
+class TestAdmissionProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=500),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200)
+    def test_ratio_matches_brute_force(self, outcomes, window):
+        controller = DeadlineMissRatioAdmission(0.5, window_tasks=window,
+                                                min_samples=1)
+        for outcome in outcomes:
+            controller.record_task(outcome)
+        recent = outcomes[-window:]
+        expected = sum(recent) / len(recent)
+        assert abs(controller.miss_ratio() - expected) < 1e-12
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_admit_consistent_with_ratio(self, outcomes, threshold):
+        controller = DeadlineMissRatioAdmission(threshold, window_tasks=100,
+                                                min_samples=1)
+        for outcome in outcomes:
+            controller.record_task(outcome)
+        assert controller.admit() == (controller.miss_ratio() <= threshold)

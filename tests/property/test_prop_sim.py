@@ -1,0 +1,71 @@
+"""Property tests for the DES kernel: ordering and conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+delays = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+class TestKernelProperties:
+    @given(st.lists(delays, min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_timeouts_complete_in_sorted_order(self, delay_list):
+        env = Environment()
+        completions = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            completions.append(delay)
+
+        for delay in delay_list:
+            env.process(proc(delay))
+        env.run()
+        assert completions == sorted(delay_list)
+        assert env.now == max(delay_list)
+
+    @given(st.lists(delays, min_size=1, max_size=50))
+    def test_every_process_completes(self, delay_list):
+        env = Environment()
+        done = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            done.append(tag)
+
+        for tag, delay in enumerate(delay_list):
+            env.process(proc(tag, delay))
+        env.run()
+        assert sorted(done) == list(range(len(delay_list)))
+
+    @given(st.lists(delays, min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_sequential_delays_accumulate(self, delay_list):
+        env = Environment()
+
+        def proc():
+            for delay in delay_list:
+                yield env.timeout(delay)
+            return env.now
+
+        total = env.run(until=env.process(proc()))
+        assert abs(total - sum(delay_list)) < 1e-6 * max(1.0, sum(delay_list))
+
+    @given(st.lists(delays, min_size=1, max_size=30), delays)
+    @settings(max_examples=50)
+    def test_run_until_horizon_only_processes_past_events(
+        self, delay_list, horizon
+    ):
+        env = Environment()
+        fired = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            fired.append(delay)
+
+        for delay in delay_list:
+            env.process(proc(delay))
+        env.run(until=horizon)
+        assert all(delay <= horizon for delay in fired)
+        assert env.now == horizon

@@ -1,0 +1,61 @@
+"""Property tests for the weighted round-robin queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import WeightedRoundRobinTaskQueue
+
+lane_ids = st.integers(min_value=0, max_value=3)
+weights = st.dictionaries(
+    lane_ids, st.floats(min_value=0.1, max_value=10.0),
+    min_size=1, max_size=4,
+)
+
+
+class TestWRRProperties:
+    @given(weights, st.lists(lane_ids, min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_conservation(self, weight_map, lanes):
+        queue = WeightedRoundRobinTaskQueue(weight_map)
+        for i, lane in enumerate(lanes):
+            queue.push(i, (lane, 0.0))
+        popped = {queue.pop() for _ in range(len(lanes))}
+        assert popped == set(range(len(lanes)))
+        assert len(queue) == 0
+
+    @given(weights, st.lists(lane_ids, min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_fifo_within_lane(self, weight_map, lanes):
+        queue = WeightedRoundRobinTaskQueue(weight_map)
+        for i, lane in enumerate(lanes):
+            queue.push((lane, i), (lane, 0.0))
+        per_lane_sequences = {}
+        for _ in range(len(lanes)):
+            lane, index = queue.pop()
+            per_lane_sequences.setdefault(lane, []).append(index)
+        for sequence in per_lane_sequences.values():
+            assert sequence == sorted(sequence)
+
+    @given(st.floats(min_value=0.5, max_value=8.0),
+           st.integers(min_value=50, max_value=200))
+    @settings(max_examples=50)
+    def test_share_ratio_long_run(self, ratio, n_per_lane):
+        """With both lanes backlogged, service shares track weights."""
+        queue = WeightedRoundRobinTaskQueue({0: ratio, 1: 1.0})
+        for i in range(n_per_lane):
+            queue.push(("a", i), (0, 0.0))
+            queue.push(("b", i), (1, 0.0))
+        # Pop while both lanes are non-empty.
+        drained = []
+        while len(queue) > 0:
+            item = queue.pop()
+            drained.append(item[0])
+            remaining_a = sum(1 for x in drained if x == "a")
+            if remaining_a == n_per_lane or (len(drained) - remaining_a
+                                             == n_per_lane):
+                break
+        count_a = drained.count("a")
+        count_b = drained.count("b")
+        if count_b > 10:
+            observed = count_a / count_b
+            assert abs(observed - ratio) / ratio < 0.25

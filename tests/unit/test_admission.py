@@ -1,0 +1,182 @@
+"""Unit tests for query admission control (paper §III.C)."""
+
+import pytest
+
+from repro.core.admission import DeadlineMissRatioAdmission, NoAdmission
+from repro.errors import ConfigurationError
+
+
+class TestNoAdmission:
+    def test_always_admits(self):
+        controller = NoAdmission()
+        controller.record_task(True)
+        assert controller.admit()
+        assert controller.miss_ratio() == 0.0
+
+
+class TestDeadlineMissRatioAdmission:
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.0)
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.02, window_tasks=0)
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.02, window_tasks=10, min_samples=11)
+
+    def test_empty_ratio_is_zero(self):
+        controller = DeadlineMissRatioAdmission(0.02)
+        assert controller.miss_ratio() == 0.0
+
+    def test_ratio_over_partial_window(self):
+        controller = DeadlineMissRatioAdmission(0.5, window_tasks=100,
+                                                min_samples=1)
+        for missed in (True, False, False, False):
+            controller.record_task(missed)
+        assert controller.miss_ratio() == pytest.approx(0.25)
+
+    def test_window_eviction(self):
+        controller = DeadlineMissRatioAdmission(0.5, window_tasks=4,
+                                                min_samples=1)
+        for _ in range(4):
+            controller.record_task(True)
+        assert controller.miss_ratio() == 1.0
+        for _ in range(4):
+            controller.record_task(False)
+        assert controller.miss_ratio() == 0.0
+
+    def test_admits_below_threshold(self):
+        controller = DeadlineMissRatioAdmission(0.10, window_tasks=100,
+                                                min_samples=10)
+        for i in range(100):
+            controller.record_task(i % 20 == 0)  # 5% misses
+        assert controller.admit()
+
+    def test_rejects_above_threshold(self):
+        controller = DeadlineMissRatioAdmission(0.10, window_tasks=100,
+                                                min_samples=10)
+        for i in range(100):
+            controller.record_task(i % 5 == 0)  # 20% misses
+        assert not controller.admit()
+
+    def test_recovers_when_ratio_falls(self):
+        controller = DeadlineMissRatioAdmission(0.10, window_tasks=50,
+                                                min_samples=10)
+        for _ in range(50):
+            controller.record_task(True)
+        assert not controller.admit()
+        for _ in range(50):
+            controller.record_task(False)
+        assert controller.admit()
+
+    def test_grace_period_before_min_samples(self):
+        controller = DeadlineMissRatioAdmission(0.01, window_tasks=1000,
+                                                min_samples=100)
+        for _ in range(50):
+            controller.record_task(True)  # 100% misses but few samples
+        assert controller.admit()
+
+    def test_decision_counters(self):
+        controller = DeadlineMissRatioAdmission(0.10, window_tasks=10,
+                                                min_samples=1)
+        controller.record_task(True)
+        assert not controller.admit()
+        controller.record_task(False)
+        for _ in range(20):
+            controller.record_task(False)
+        assert controller.admit()
+        assert controller.rejected == 1
+        assert controller.admitted == 1
+        assert controller.rejection_rate() == pytest.approx(0.5)
+
+    def test_exact_threshold_admits(self):
+        controller = DeadlineMissRatioAdmission(0.5, window_tasks=10,
+                                                min_samples=2)
+        controller.record_task(True)
+        controller.record_task(False)
+        assert controller.admit()  # ratio == threshold is acceptable
+
+    def test_time_window_evicts_stale_entries(self):
+        controller = DeadlineMissRatioAdmission(0.5, window_tasks=100,
+                                                window_ms=10.0,
+                                                min_samples=1)
+        controller.record_task(True, now=0.0)
+        controller.record_task(True, now=1.0)
+        assert controller.miss_ratio() == 1.0
+        # By t=20 both entries are stale; the window empties and the
+        # controller recovers.
+        assert controller.admit(now=20.0)
+        assert controller.miss_ratio() == 0.0
+
+    def test_invalid_window_ms(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.5, window_ms=0.0)
+
+
+class TestDutyCycleMode:
+    def _controller(self, threshold=0.1, **kwargs):
+        defaults = dict(window_tasks=1_000, window_ms=100.0,
+                        min_samples=10, mode="duty-cycle",
+                        ctl_interval_ms=1.0)
+        defaults.update(kwargs)
+        return DeadlineMissRatioAdmission(threshold, **defaults)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.1, mode="random")
+
+    def test_invalid_tuning(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.1, mode="duty-cycle", decrease=1.5)
+        with pytest.raises(ConfigurationError):
+            DeadlineMissRatioAdmission(0.1, mode="duty-cycle",
+                                       ctl_interval_ms=0.0)
+
+    def test_admits_everything_when_healthy(self):
+        controller = self._controller()
+        for i in range(50):
+            controller.record_task(False, now=float(i))
+        decisions = [controller.admit(now=50.0 + i) for i in range(20)]
+        assert all(decisions)
+        assert controller.admit_probability == 1.0
+
+    def test_probability_decreases_under_misses(self):
+        controller = self._controller()
+        for i in range(50):
+            controller.record_task(True, now=float(i))
+        for i in range(10):
+            controller.admit(now=50.0 + i * 2.0)
+        assert controller.admit_probability < 1.0
+
+    def test_thinning_approximates_probability(self):
+        controller = self._controller(threshold=0.01)
+        # Saturate with misses so the probability drops to ~0.5 range.
+        for i in range(100):
+            controller.record_task(True, now=float(i))
+        for i in range(5):
+            controller.admit(now=100.0 + i * 2.0)
+        # One more decision starts a fresh control interval; the
+        # remaining 999 land inside it, so the probability is constant.
+        controller.admit(now=110.0)
+        probability = controller.admit_probability
+        decisions = [controller.admit(now=110.0 + (i + 1) * 1e-7)
+                     for i in range(999)]
+        admitted_fraction = sum(decisions) / len(decisions)
+        assert admitted_fraction == pytest.approx(probability, abs=0.05)
+
+    def test_probability_recovers_after_quiet_period(self):
+        controller = self._controller()
+        for i in range(100):
+            controller.record_task(True, now=float(i))
+        for i in range(10):
+            controller.admit(now=100.0 + i * 2.0)
+        depressed = controller.admit_probability
+        # Misses age out (window_ms=100); fresh successes dominate.
+        for i in range(100):
+            controller.record_task(False, now=300.0 + i)
+        for i in range(30):
+            controller.admit(now=400.0 + i * 2.0)
+        assert controller.admit_probability > depressed

@@ -1,0 +1,58 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import bootstrap_percentile_ci, tail_with_ci
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_point(self):
+        rng = np.random.default_rng(1)
+        samples = rng.exponential(1.0, 5_000)
+        point, lower, upper = bootstrap_percentile_ci(samples, 99.0)
+        assert lower <= point <= upper
+
+    def test_interval_covers_true_value_usually(self):
+        """Coverage check: the 95% CI contains the true p90 for most of
+        a batch of independent sample sets."""
+        true_p90 = -np.log(1 - 0.9)
+        hits = 0
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            samples = rng.exponential(1.0, 2_000)
+            _, lower, upper = bootstrap_percentile_ci(samples, 90.0,
+                                                      seed=seed)
+            if lower <= true_p90 <= upper:
+                hits += 1
+        assert hits >= 16  # ~95% nominal; allow slack for 20 trials
+
+    def test_wider_for_smaller_samples(self):
+        rng = np.random.default_rng(3)
+        big = rng.exponential(1.0, 20_000)
+        small = big[:500]
+        _, lo_big, hi_big = bootstrap_percentile_ci(big, 99.0)
+        _, lo_small, hi_small = bootstrap_percentile_ci(small, 99.0)
+        assert (hi_small - lo_small) > (hi_big - lo_big)
+
+    def test_deterministic_given_seed(self):
+        samples = list(range(100))
+        a = bootstrap_percentile_ci(samples, 95.0, seed=7)
+        b = bootstrap_percentile_ci(samples, 95.0, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_percentile_ci([1.0], 99.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_percentile_ci([1.0, 2.0], 101.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_percentile_ci([1.0, 2.0], 99.0, confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_percentile_ci([1.0, 2.0], 99.0, n_resamples=5)
+
+    def test_human_readable_string(self):
+        text = tail_with_ci([float(x) for x in range(1000)], 99.0)
+        assert text.startswith("p99 = ")
+        assert "@ 95%" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "table2" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "masstree" in out
+        assert "x99(100)" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "table2", "--quick", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "table2"
+        assert data["rows"]
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--queries", "2000", "--load", "0.3",
+            "--slo-ms", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy=tailguard" in out
+        assert "p99=" in out
+
+    def test_run_csv_output(self, capsys, tmp_path):
+        path = tmp_path / "rows.csv"
+        assert main(["run", "table2", "--quick", "--csv", str(path)]) == 0
+        content = path.read_text().splitlines()
+        assert content[0] == "workload,quantity,model_ms,paper_ms"
+        assert len(content) == 13  # header + 12 rows
+
+    def test_trace_record_and_replay(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "record", "--out", str(trace),
+            "--queries", "500", "--load", "0.3",
+        ]) == 0
+        assert trace.exists()
+        assert main([
+            "trace", "replay", "--trace", str(trace),
+            "--policy", "fifo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 500 queries under fifo" in out
+
+    def test_trace_replay_is_policy_paired(self, capsys, tmp_path):
+        """The same trace replayed twice gives identical summaries."""
+        trace = tmp_path / "trace.jsonl"
+        main(["trace", "record", "--out", str(trace), "--queries", "500"])
+        capsys.readouterr()
+        main(["trace", "replay", "--trace", str(trace)])
+        first = capsys.readouterr().out
+        main(["trace", "replay", "--trace", str(trace)])
+        second = capsys.readouterr().out
+        assert first == second

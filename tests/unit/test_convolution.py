@@ -1,0 +1,87 @@
+"""Unit tests for numerical convolution (paper Eq. 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    SumOfIndependent,
+    Uniform,
+)
+from repro.errors import DistributionError
+
+
+class TestSumOfIndependent:
+    def test_mean_is_additive(self):
+        s = SumOfIndependent([Exponential(1.0), Exponential(0.5), Uniform(0, 1)])
+        assert s.mean() == pytest.approx(1.0 + 2.0 + 0.5)
+
+    def test_deterministic_sum(self):
+        s = SumOfIndependent([Deterministic(1.0), Deterministic(2.0)],
+                             resolution=4096)
+        assert float(s.quantile(0.5)) == pytest.approx(3.0, abs=0.01)
+
+    def test_sum_of_uniforms_is_triangular(self):
+        s = SumOfIndependent([Uniform(0.0, 1.0), Uniform(0.0, 1.0)],
+                             resolution=8192)
+        # Triangular distribution on [0, 2]: CDF(1.0) = 0.5.
+        assert float(s.cdf(1.0)) == pytest.approx(0.5, abs=0.01)
+        assert float(s.cdf(0.5)) == pytest.approx(0.125, abs=0.01)
+
+    def test_matches_monte_carlo_tail(self):
+        components = [Exponential(1.0), Exponential(2.0), Uniform(0.0, 0.5)]
+        s = SumOfIndependent(components, resolution=8192)
+        rng = np.random.default_rng(17)
+        draws = sum(np.asarray(c.sample(rng, 200_000)) for c in components)
+        assert float(s.quantile(0.99)) == pytest.approx(
+            np.percentile(draws, 99), rel=0.02
+        )
+
+    def test_quantile_monotone(self):
+        s = SumOfIndependent([Exponential(1.0), Uniform(0, 1)])
+        qs = [float(s.quantile(q)) for q in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_sampling_is_exact_sum(self):
+        s = SumOfIndependent([Deterministic(1.5), Deterministic(2.5)])
+        rng = np.random.default_rng(1)
+        assert float(np.asarray(s.sample(rng, 3)).min()) == pytest.approx(4.0)
+
+    def test_needs_components(self):
+        with pytest.raises(DistributionError):
+            SumOfIndependent([])
+
+    def test_resolution_validation(self):
+        with pytest.raises(DistributionError):
+            SumOfIndependent([Exponential(1.0)], resolution=4)
+
+    def test_paper_subadditivity(self):
+        """Eq. 7 context: x_p of a sum is below the sum of the x_p's."""
+        a, b = Exponential(1.0), Exponential(1.0)
+        s = SumOfIndependent([a, b], resolution=8192)
+        sum_of_tails = float(a.quantile(0.99)) + float(b.quantile(0.99))
+        assert float(s.quantile(0.99)) < sum_of_tails
+
+
+class TestSampleStream:
+    def test_stream_yields_distribution_samples(self):
+        from repro.distributions import SampleStream
+
+        rng = np.random.default_rng(0)
+        stream = SampleStream(Deterministic(2.0), rng, block=4)
+        assert [stream.next() for _ in range(10)] == [2.0] * 10
+
+    def test_stream_statistics(self):
+        from repro.distributions import SampleStream
+
+        rng = np.random.default_rng(0)
+        stream = SampleStream(Exponential(1.0), rng, block=1024)
+        values = [stream.next() for _ in range(50_000)]
+        assert np.mean(values) == pytest.approx(1.0, rel=0.03)
+
+    def test_invalid_block(self):
+        from repro.distributions import SampleStream
+
+        with pytest.raises(DistributionError):
+            SampleStream(Exponential(1.0), np.random.default_rng(0), block=0)

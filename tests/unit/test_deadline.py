@@ -1,0 +1,179 @@
+"""Unit tests for the deadline estimator (paper §III.B, Eq. 1-6)."""
+
+import pytest
+
+from repro.core.deadline import DeadlineEstimator
+from repro.distributions import Exponential, iid_max_quantile
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+@pytest.fixture
+def service():
+    return Exponential(10.0)  # mean 0.1 ms
+
+
+@pytest.fixture
+def estimator(service):
+    return DeadlineEstimator(service, n_servers=100)
+
+
+@pytest.fixture
+def gold():
+    return ServiceClass("gold", slo_ms=1.0)
+
+
+class TestConstruction:
+    def test_shared_requires_n_servers(self, service):
+        with pytest.raises(ConfigurationError):
+            DeadlineEstimator(service)
+
+    def test_mapping_defines_n_servers(self, service):
+        estimator = DeadlineEstimator({0: service, 1: service})
+        assert estimator.n_servers == 2
+
+    def test_mapping_n_servers_mismatch(self, service):
+        with pytest.raises(ConfigurationError):
+            DeadlineEstimator({0: service}, n_servers=5)
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineEstimator({})
+
+    def test_homogeneous_flag(self, service):
+        assert DeadlineEstimator(service, n_servers=3).homogeneous
+        hetero = DeadlineEstimator({0: service, 1: Exponential(5.0)})
+        assert not hetero.homogeneous
+
+
+class TestUnloadedTail:
+    def test_matches_order_statistics(self, estimator, service):
+        assert estimator.unloaded_tail(99.0, fanout=10) == pytest.approx(
+            iid_max_quantile(service, 10, 0.99)
+        )
+
+    def test_monotone_in_fanout(self, estimator):
+        tails = [estimator.unloaded_tail(99.0, fanout=k)
+                 for k in (1, 10, 50, 100)]
+        assert tails == sorted(tails)
+
+    def test_caching_returns_same_value(self, estimator):
+        first = estimator.unloaded_tail(99.0, fanout=10)
+        second = estimator.unloaded_tail(99.0, fanout=10)
+        assert first == second
+
+    def test_fanout_bounds(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(99.0, fanout=0)
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(99.0, fanout=101)
+
+    def test_needs_fanout_or_servers(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(99.0)
+
+    def test_heterogeneous_requires_servers(self, service):
+        hetero = DeadlineEstimator({0: service, 1: Exponential(5.0)})
+        with pytest.raises(ConfigurationError):
+            hetero.unloaded_tail(99.0, fanout=2)
+        tail = hetero.unloaded_tail(99.0, servers=[0, 1])
+        assert tail > 0
+
+    def test_heterogeneous_matches_product(self, service):
+        slow = Exponential(2.0)
+        hetero = DeadlineEstimator({0: service, 1: slow})
+        from repro.distributions import MaxOfIndependent
+
+        expected = float(MaxOfIndependent([service, slow]).quantile(0.99))
+        assert hetero.unloaded_tail(99.0, servers=[0, 1]) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_unknown_server_rejected(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(99.0, servers=[0, 999])
+
+    def test_invalid_percentile(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(0.0, fanout=1)
+
+
+class TestBudgetAndDeadline:
+    def test_eq6(self, estimator, gold):
+        """t_D = t_0 + SLO − x_p^u(k_f)."""
+        tail = estimator.unloaded_tail(99.0, fanout=10)
+        assert estimator.deadline(5.0, gold, fanout=10) == pytest.approx(
+            5.0 + 1.0 - tail
+        )
+
+    def test_budget_decreases_with_fanout(self, estimator, gold):
+        budgets = [estimator.budget(gold, fanout=k) for k in (1, 10, 100)]
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_negative_budget_allowed(self, estimator):
+        tight = ServiceClass("impossible", slo_ms=0.001)
+        assert estimator.budget(tight, fanout=100) < 0
+
+    def test_budget_table(self, estimator, gold):
+        table = estimator.budget_table(gold, [1, 10, 100])
+        assert set(table) == {1, 10, 100}
+        assert table[1] > table[100]
+
+
+class TestOnlineUpdating:
+    def test_disabled_by_default(self, estimator):
+        assert not estimator.online_enabled
+        estimator.record(0, 0.5)  # silently ignored
+
+    def test_online_updates_shift_tail(self, service, gold):
+        estimator = DeadlineEstimator(service, n_servers=2,
+                                      online_window=100, refresh_interval=10)
+        # Per-server online estimators make the cluster formally
+        # heterogeneous, so the explicit server selection is required.
+        before = estimator.unloaded_tail(99.0, servers=[0, 1])
+        # Feed much slower observations to both servers.
+        for _ in range(120):
+            estimator.record(0, 5.0)
+            estimator.record(1, 5.0)
+        after = estimator.unloaded_tail(99.0, servers=[0, 1])
+        assert after > before
+
+    def test_per_server_online_is_heterogeneous(self, service):
+        estimator = DeadlineEstimator(service, n_servers=2, online_window=50)
+        assert not estimator.homogeneous
+        grouped = DeadlineEstimator(service, n_servers=2, online_window=50,
+                                    server_groups={0: "g", 1: "g"})
+        assert grouped.homogeneous
+
+    def test_online_unknown_server(self, service):
+        estimator = DeadlineEstimator(service, n_servers=2, online_window=50)
+        with pytest.raises(ConfigurationError):
+            estimator.record(9, 1.0)
+
+    def test_grouped_online_shares_estimators(self, service):
+        groups = {0: "g", 1: "g"}
+        estimator = DeadlineEstimator(
+            {0: service, 1: service}, online_window=50,
+            refresh_interval=1, server_groups=groups,
+        )
+        estimator.record(0, 7.0)
+        # Server 1 shares server 0's estimator through the group.
+        assert estimator.server_cdf(1) is estimator.server_cdf(0)
+
+    def test_groups_must_cover_servers(self, service):
+        with pytest.raises(ConfigurationError):
+            DeadlineEstimator({0: service, 1: service}, online_window=50,
+                              server_groups={0: "g"})
+
+    def test_invalidate_clears_cache(self, service, gold):
+        estimator = DeadlineEstimator(service, n_servers=2,
+                                      online_window=100,
+                                      refresh_interval=10_000,
+                                      server_groups={0: "g", 1: "g"})
+        before = estimator.unloaded_tail(99.0, fanout=2)
+        for _ in range(99):
+            estimator.record(0, 50.0)
+        # Cache not refreshed yet (interval 10k): same value.
+        assert estimator.unloaded_tail(99.0, fanout=2) == before
+        estimator.invalidate()
+        assert estimator.unloaded_tail(99.0, fanout=2) > before

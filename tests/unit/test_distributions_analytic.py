@@ -1,0 +1,198 @@
+"""Unit tests for the analytic distribution family."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BoundedPareto,
+    Deterministic,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+from repro.errors import DistributionError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDeterministic:
+    def test_mean_is_value(self):
+        assert Deterministic(3.0).mean() == 3.0
+
+    def test_cdf_step(self):
+        d = Deterministic(2.0)
+        assert d.cdf(1.9) == 0.0
+        assert d.cdf(2.0) == 1.0
+
+    def test_quantile_constant(self):
+        d = Deterministic(2.0)
+        assert d.quantile(0.01) == 2.0
+        assert d.quantile(0.99) == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean() == 2.0
+
+    def test_quantile_endpoints(self):
+        u = Uniform(1.0, 3.0)
+        assert u.quantile(0.0) == 1.0
+        assert u.quantile(1.0) == 3.0
+
+    def test_cdf_midpoint(self):
+        assert Uniform(0.0, 4.0).cdf(1.0) == 0.25
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(3.0, 1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(2.0).mean() == 0.5
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(0.25).rate == 4.0
+
+    def test_quantile_cdf_roundtrip(self):
+        d = Exponential(1.7)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert d.cdf(d.quantile(q)) == pytest.approx(q, rel=1e-9)
+
+    def test_sample_mean(self, rng):
+        d = Exponential(2.0)
+        samples = d.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.02)
+
+    def test_invalid_rate(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_mean_closed_form(self):
+        d = LogNormal(mu=0.0, sigma=0.5)
+        assert d.mean() == pytest.approx(np.exp(0.125), rel=1e-9)
+
+    def test_quantile_cdf_roundtrip(self):
+        d = LogNormal(mu=-1.0, sigma=0.8)
+        for q in (0.05, 0.5, 0.95, 0.99):
+            assert d.cdf(d.quantile(q)) == pytest.approx(q, abs=2e-4)
+
+    def test_median(self):
+        d = LogNormal(mu=1.0, sigma=0.3)
+        assert d.quantile(0.5) == pytest.approx(np.e, rel=1e-4)
+
+    def test_cdf_zero_below_support(self):
+        assert LogNormal(0.0, 1.0).cdf(0.0) == 0.0
+
+
+class TestWeibull:
+    def test_mean_gamma_form(self):
+        import math
+
+        d = Weibull(shape=2.0, scale=3.0)
+        assert d.mean() == pytest.approx(3.0 * math.gamma(1.5), rel=1e-9)
+
+    def test_quantile_cdf_roundtrip(self):
+        d = Weibull(1.5, 2.0)
+        for q in (0.1, 0.5, 0.9):
+            assert d.cdf(d.quantile(q)) == pytest.approx(q, rel=1e-9)
+
+
+class TestPareto:
+    def test_mean(self):
+        assert Pareto(shape=2.0, xm=1.0).mean() == 2.0
+
+    def test_infinite_mean_for_small_shape(self):
+        assert Pareto(shape=0.9, xm=1.0).mean() == float("inf")
+
+    def test_cdf_below_xm_is_zero(self):
+        assert Pareto(2.0, 1.0).cdf(0.5) == 0.0
+
+
+class TestBoundedPareto:
+    def test_support_respected(self, rng):
+        d = BoundedPareto(shape=1.1, low=1.0, high=100.0)
+        samples = d.sample(rng, 10_000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 100.0
+
+    def test_from_mean_hits_mean(self):
+        d = BoundedPareto.from_mean(5.0)
+        assert d.mean() == pytest.approx(5.0, rel=1e-9)
+
+    def test_sample_mean_close(self, rng):
+        d = BoundedPareto.from_mean(2.0, shape=1.3, spread=100.0)
+        samples = d.sample(rng, 300_000)
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_quantile_cdf_roundtrip(self):
+        d = BoundedPareto(1.1, 1.0, 1000.0)
+        for q in (0.01, 0.5, 0.99):
+            assert d.cdf(d.quantile(q)) == pytest.approx(q, rel=1e-9)
+
+    def test_shape_one_mean(self):
+        d = BoundedPareto(1.0, 1.0, 10.0)
+        grid_mean = float(np.mean(d.quantile((np.arange(100_000) + 0.5)
+                                             / 100_000)))
+        assert d.mean() == pytest.approx(grid_mean, rel=1e-3)
+
+
+class TestHyperExponential:
+    def test_mean(self):
+        d = HyperExponential([0.5, 0.5], [1.0, 2.0])
+        assert d.mean() == pytest.approx(0.75)
+
+    def test_sample_mean(self, rng):
+        d = HyperExponential([0.9, 0.1], [10.0, 0.5])
+        samples = d.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(d.mean(), rel=0.05)
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            HyperExponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_quantile_inverts_cdf(self):
+        d = HyperExponential([0.7, 0.3], [5.0, 0.5])
+        assert d.cdf(d.quantile(0.95)) == pytest.approx(0.95, abs=1e-6)
+
+
+class TestMixture:
+    def test_mean_weighted(self):
+        d = Mixture([0.25, 0.75], [Deterministic(1.0), Deterministic(5.0)])
+        assert d.mean() == 4.0
+
+    def test_cdf_combination(self):
+        d = Mixture([0.5, 0.5], [Uniform(0.0, 1.0), Uniform(1.0, 2.0)])
+        assert float(d.cdf(1.0)) == pytest.approx(0.5)
+
+    def test_sampling_covers_components(self, rng):
+        d = Mixture([0.5, 0.5], [Deterministic(1.0), Deterministic(9.0)])
+        samples = np.asarray(d.sample(rng, 10_000))
+        assert set(np.unique(samples)) == {1.0, 9.0}
+
+
+class TestShifted:
+    def test_mean_adds_offset(self):
+        assert Shifted(Exponential(1.0), 2.0).mean() == 3.0
+
+    def test_quantile_adds_offset(self):
+        base = Uniform(0.0, 1.0)
+        assert Shifted(base, 5.0).quantile(0.5) == pytest.approx(5.5)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(DistributionError):
+            Shifted(Exponential(1.0), -0.1)

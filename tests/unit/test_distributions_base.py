@@ -1,0 +1,84 @@
+"""Unit tests for the distribution base utilities."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Distribution, Exponential, SampleStream, Uniform
+from repro.distributions.base import bisect_quantile, validate_probability
+from repro.errors import DistributionError
+
+
+class TestValidateProbability:
+    def test_accepts_valid(self):
+        arr = validate_probability([0.0, 0.5, 1.0])
+        assert arr.tolist() == [0.0, 0.5, 1.0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DistributionError):
+            validate_probability(1.5)
+        with pytest.raises(DistributionError):
+            validate_probability([-0.1, 0.5])
+
+
+class TestBisectQuantile:
+    def test_inverts_monotone_cdf(self):
+        dist = Exponential(2.0)
+        for q in (0.1, 0.5, 0.9, 0.999):
+            x = bisect_quantile(dist.cdf, q, 0.0, 100.0)
+            assert dist.cdf(x) == pytest.approx(q, abs=1e-9)
+
+    def test_clamps_at_bracket_edges(self):
+        dist = Uniform(1.0, 2.0)
+        assert bisect_quantile(dist.cdf, 0.0, 1.0, 2.0) == 1.0
+        assert bisect_quantile(dist.cdf, 1.0, 1.0, 2.0) == 2.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(DistributionError):
+            bisect_quantile(lambda t: t, 1.5, 0.0, 1.0)
+
+
+class TestDistributionDefaults:
+    def test_percentile_wrapper(self):
+        dist = Uniform(0.0, 10.0)
+        assert dist.percentile(50.0) == pytest.approx(5.0)
+        with pytest.raises(DistributionError):
+            dist.percentile(150.0)
+
+    def test_support(self):
+        assert Uniform(1.0, 3.0).support() == (1.0, 3.0)
+
+    def test_generic_mean_matches_closed_form(self):
+        dist = Uniform(2.0, 6.0)
+        assert Distribution.mean(dist) == pytest.approx(4.0, rel=1e-3)
+
+    def test_default_sampling_is_inverse_transform(self):
+        """A distribution without a custom sampler still samples
+        correctly via quantile(U)."""
+
+        class Tri(Distribution):
+            def cdf(self, t):
+                t = np.clip(np.asarray(t, dtype=float), 0.0, 1.0)
+                return t**2
+
+            def quantile(self, q):
+                return np.sqrt(np.asarray(q, dtype=float))
+
+        rng = np.random.default_rng(5)
+        samples = Tri().sample(rng, 100_000)
+        # E[X] for density 2t on [0,1] is 2/3.
+        assert np.mean(samples) == pytest.approx(2.0 / 3.0, rel=0.01)
+
+
+class TestSampleStream:
+    def test_iterator_protocol(self):
+        rng = np.random.default_rng(0)
+        stream = SampleStream(Uniform(0.0, 1.0), rng, block=16)
+        first_five = [value for value, _ in zip(stream, range(5))]
+        assert len(first_five) == 5
+        assert all(0.0 <= v <= 1.0 for v in first_five)
+
+    def test_block_refill_transparent(self):
+        rng = np.random.default_rng(0)
+        stream = SampleStream(Uniform(0.0, 1.0), rng, block=3)
+        values = [stream.next() for _ in range(10)]
+        assert len(set(values)) == 10  # no repeats across refills

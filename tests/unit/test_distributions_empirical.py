@@ -1,0 +1,127 @@
+"""Unit tests for empirical and online-updating CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalDistribution, Exponential, OnlineEmpiricalCDF
+from repro.distributions.empirical import from_quantile_table
+from repro.errors import DistributionError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestEmpiricalDistribution:
+    def test_requires_samples(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, float("nan")])
+
+    def test_cdf_step_values(self):
+        d = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert d.cdf(0.5) == 0.0
+        assert d.cdf(1.0) == 0.25
+        assert d.cdf(2.5) == 0.5
+        assert d.cdf(4.0) == 1.0
+
+    def test_quantile_bounds(self):
+        d = EmpiricalDistribution([5.0, 1.0, 3.0])
+        assert d.quantile(0.0) == 1.0
+        assert d.quantile(1.0) == 5.0
+
+    def test_mean(self):
+        d = EmpiricalDistribution([1.0, 2.0, 3.0])
+        assert d.mean() == 2.0
+
+    def test_samples_are_readonly(self):
+        d = EmpiricalDistribution([2.0, 1.0])
+        with pytest.raises(ValueError):
+            d.samples[0] = 0.0
+
+    def test_bootstrap_sampling_draws_from_data(self, rng):
+        d = EmpiricalDistribution([1.0, 7.0])
+        draws = d.sample(rng, 1000)
+        assert set(np.unique(draws)) <= {1.0, 7.0}
+
+    def test_matches_source_distribution(self, rng):
+        source = Exponential(2.0)
+        d = EmpiricalDistribution(source.sample(rng, 100_000))
+        assert d.quantile(0.9) == pytest.approx(source.quantile(0.9), rel=0.03)
+        assert d.mean() == pytest.approx(0.5, rel=0.03)
+
+
+class TestOnlineEmpiricalCDF:
+    def test_empty_without_seed_raises_on_query(self):
+        online = OnlineEmpiricalCDF()
+        with pytest.raises(DistributionError):
+            online.quantile(0.5)
+
+    def test_seeded_from_initial_distribution(self, rng):
+        online = OnlineEmpiricalCDF(initial=Exponential(1.0),
+                                    seed_samples=500, rng=rng)
+        assert online.n == 500
+        assert online.quantile(0.5) > 0
+
+    def test_update_changes_estimate(self):
+        online = OnlineEmpiricalCDF(window=100)
+        for _ in range(50):
+            online.update(1.0)
+        assert online.quantile(0.99) == 1.0
+        for _ in range(100):
+            online.update(9.0)
+        # Window fully displaced by the new regime.
+        assert online.quantile(0.01) == 9.0
+
+    def test_window_evicts_oldest(self):
+        online = OnlineEmpiricalCDF(window=10)
+        for value in range(10):
+            online.update(float(value))
+        online.update(100.0)
+        assert online.n == 10
+        # 0.0 has been evicted.
+        assert online.quantile(0.0) == 1.0
+
+    def test_rejects_bad_observation(self):
+        online = OnlineEmpiricalCDF(window=10)
+        with pytest.raises(DistributionError):
+            online.update(-1.0)
+        with pytest.raises(DistributionError):
+            online.update(float("inf"))
+
+    def test_total_updates_counter(self):
+        online = OnlineEmpiricalCDF(window=5)
+        for value in range(7):
+            online.update(float(value))
+        assert online.total_updates == 7
+        assert online.n == 5
+
+    def test_snapshot_is_frozen(self):
+        online = OnlineEmpiricalCDF(window=10)
+        online.update_many([1.0, 2.0, 3.0])
+        snap = online.snapshot()
+        online.update(100.0)
+        assert snap.quantile(1.0) == 3.0
+
+    def test_window_too_small(self):
+        with pytest.raises(DistributionError):
+            OnlineEmpiricalCDF(window=1)
+
+
+class TestFromQuantileTable:
+    def test_interpolates_quantiles(self):
+        d = from_quantile_table([0.0, 0.5, 1.0], [0.0, 1.0, 2.0])
+        assert d.quantile(0.5) == pytest.approx(1.0, abs=1e-3)
+        assert d.quantile(0.25) == pytest.approx(0.5, abs=1e-3)
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(DistributionError):
+            from_quantile_table([0.0, 1.0], [1.0])

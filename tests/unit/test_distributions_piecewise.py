@@ -1,0 +1,108 @@
+"""Unit tests for piecewise-linear CDFs and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PiecewiseLinearCDF
+from repro.distributions.piecewise import calibrated_piecewise_cdf, from_anchors
+from repro.errors import DistributionError
+
+
+@pytest.fixture
+def triangle():
+    """Uniform on [0, 2] expressed as a piecewise CDF."""
+    return PiecewiseLinearCDF([(0.0, 0.0), (2.0, 1.0)])
+
+
+class TestPiecewiseLinearCDF:
+    def test_needs_two_knots(self):
+        with pytest.raises(DistributionError):
+            PiecewiseLinearCDF([(0.0, 0.0)])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(DistributionError):
+            PiecewiseLinearCDF([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_probs_non_decreasing(self):
+        with pytest.raises(DistributionError):
+            PiecewiseLinearCDF([(0.0, 0.0), (1.0, 0.7), (2.0, 0.5), (3.0, 1.0)])
+
+    def test_must_span_zero_to_one(self):
+        with pytest.raises(DistributionError):
+            PiecewiseLinearCDF([(0.0, 0.1), (1.0, 1.0)])
+
+    def test_uniform_mean(self, triangle):
+        assert triangle.mean() == pytest.approx(1.0)
+
+    def test_uniform_variance(self, triangle):
+        assert triangle.variance() == pytest.approx(4.0 / 12.0)
+
+    def test_cdf_linear_interpolation(self, triangle):
+        assert triangle.cdf(0.5) == pytest.approx(0.25)
+        assert float(triangle.cdf(np.array([1.5]))[0]) == pytest.approx(0.75)
+
+    def test_quantile_inverse(self, triangle):
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert triangle.cdf(triangle.quantile(q)) == pytest.approx(q)
+
+    def test_flat_region_quantile_takes_right_edge(self):
+        d = PiecewiseLinearCDF([(0.0, 0.0), (1.0, 0.5), (2.0, 0.5), (3.0, 1.0)])
+        assert d.quantile(0.5) == pytest.approx(2.0)
+
+    def test_sample_statistics(self, triangle):
+        rng = np.random.default_rng(3)
+        samples = triangle.sample(rng, 100_000)
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 2.0
+
+    def test_scaled(self, triangle):
+        doubled = triangle.scaled(2.0)
+        assert doubled.mean() == pytest.approx(2.0)
+        assert doubled.support() == (0.0, 4.0)
+
+    def test_scaled_invalid_factor(self, triangle):
+        with pytest.raises(DistributionError):
+            triangle.scaled(0.0)
+
+    def test_support(self, triangle):
+        assert triangle.support() == (0.0, 2.0)
+
+
+class TestFromAnchors:
+    def test_builds_through_anchors(self):
+        d = from_anchors([(0.5, 1.0), (0.99, 3.0)], minimum=0.0, maximum=5.0)
+        assert d.quantile(0.5) == pytest.approx(1.0)
+        assert d.quantile(0.99) == pytest.approx(3.0)
+
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(DistributionError):
+            from_anchors([(0.9, 1.0), (0.5, 2.0)], minimum=0.0, maximum=5.0)
+
+
+class TestCalibration:
+    def test_hits_target_mean_exactly(self):
+        d = calibrated_piecewise_cdf(
+            body_anchors=[(0.5, 1.0), (0.9, 2.0)],
+            fixed_anchors=[(0.99, 5.0)],
+            minimum=0.1,
+            maximum=8.0,
+            target_mean=1.4,
+        )
+        assert d.mean() == pytest.approx(1.4, abs=1e-6)
+        # Fixed anchor untouched.
+        assert d.quantile(0.99) == pytest.approx(5.0)
+
+    def test_unreachable_mean_raises(self):
+        with pytest.raises(DistributionError):
+            calibrated_piecewise_cdf(
+                body_anchors=[(0.5, 1.0)],
+                fixed_anchors=[(0.99, 2.0)],
+                minimum=0.1,
+                maximum=3.0,
+                target_mean=100.0,
+            )
+
+    def test_needs_anchors(self):
+        with pytest.raises(DistributionError):
+            calibrated_piecewise_cdf([], [(0.99, 1.0)], 0.0, 2.0, 0.5)

@@ -1,0 +1,58 @@
+"""The README quickstart must keep working verbatim."""
+
+
+def test_readme_quickstart_snippet():
+    from repro import (
+        ClusterConfig,
+        PoissonArrivals,
+        ServiceClass,
+        Workload,
+        get_workload,
+        inverse_proportional_fanout,
+        simulate,
+        single_class_mix,
+    )
+
+    bench = get_workload("masstree")
+    workload = Workload(
+        name="demo",
+        arrivals=PoissonArrivals(1.0),
+        fanout=inverse_proportional_fanout([1, 10, 100]),
+        class_mix=single_class_mix(ServiceClass("gold", slo_ms=1.0)),
+        service_time=bench.service_time,
+    )
+    config = ClusterConfig(n_servers=100, policy="tailguard",
+                           workload=workload, n_queries=5_000)
+    result = simulate(config.at_load(0.40))
+    tails = result.per_type_tails()
+    assert set(tails) == {("gold", 1), ("gold", 10), ("gold", 100)}
+    assert all(tail > 0 for tail in tails.values())
+
+
+def test_extending_doc_policy_snippet():
+    """The docs/extending.md custom-policy example works as written."""
+    from repro.core.policies import EDFTaskQueue, POLICIES, Policy
+
+    class SlackPolicy(Policy):
+        name = "slack-doc-test"
+        uses_fanout = True
+
+        def queue_key(self, arrival_time, service_class, tf_deadline):
+            return (tf_deadline - arrival_time,)
+
+        def create_queue(self):
+            return EDFTaskQueue()
+
+    POLICIES[SlackPolicy.name] = SlackPolicy()
+    try:
+        from repro.cluster import ClusterConfig, simulate
+        from repro.experiments.setups import paper_single_class_config
+
+        config = paper_single_class_config(
+            "masstree", 1.0, policy="slack-doc-test", n_queries=1_000,
+        ).at_load(0.3)
+        result = simulate(config)
+        assert result.policy_name == "slack-doc-test"
+        assert result.count() > 0
+    finally:
+        del POLICIES[SlackPolicy.name]

@@ -1,0 +1,106 @@
+"""Unit tests for metrics: percentiles and collectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    LatencyCollector,
+    P2QuantileEstimator,
+    exact_percentile,
+    tail_latency,
+)
+
+
+class TestExactPercentile:
+    def test_median(self):
+        assert exact_percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_default_tail(self):
+        values = list(range(1, 101))
+        assert tail_latency(values) == pytest.approx(99.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_percentile([], 50.0)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigurationError):
+            exact_percentile([1.0], 101.0)
+
+
+class TestP2Estimator:
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigurationError):
+            P2QuantileEstimator(0.0)
+        with pytest.raises(ConfigurationError):
+            P2QuantileEstimator(1.0)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(ConfigurationError):
+            P2QuantileEstimator(0.5).value()
+
+    def test_small_sample_exact(self):
+        estimator = P2QuantileEstimator(0.5)
+        estimator.update_many([3.0, 1.0, 2.0])
+        assert estimator.value() == 2.0
+
+    def test_median_of_uniform(self):
+        rng = np.random.default_rng(13)
+        estimator = P2QuantileEstimator(0.5)
+        estimator.update_many(rng.random(50_000))
+        assert estimator.value() == pytest.approx(0.5, abs=0.01)
+
+    def test_p99_of_exponential(self):
+        rng = np.random.default_rng(14)
+        samples = rng.exponential(1.0, 100_000)
+        estimator = P2QuantileEstimator(0.99)
+        estimator.update_many(samples)
+        exact = np.percentile(samples, 99)
+        assert estimator.value() == pytest.approx(exact, rel=0.05)
+
+    def test_count_tracks_updates(self):
+        estimator = P2QuantileEstimator(0.9)
+        estimator.update_many(range(10))
+        assert estimator.count == 10
+
+
+class TestLatencyCollector:
+    def test_record_and_percentile(self):
+        collector = LatencyCollector()
+        for value in (1.0, 2.0, 3.0):
+            collector.record("a", 1, value)
+        assert collector.percentile(50.0, "a", 1) == 2.0
+
+    def test_grouping(self):
+        collector = LatencyCollector()
+        collector.record("a", 1, 1.0)
+        collector.record("a", 10, 5.0)
+        collector.record("b", 1, 9.0)
+        assert collector.groups() == (("a", 1), ("a", 10), ("b", 1))
+        assert collector.count("a") == 2
+        assert collector.count(fanout=1) == 2
+        assert collector.count() == 3
+
+    def test_mean_across_groups(self):
+        collector = LatencyCollector()
+        collector.record("a", 1, 2.0)
+        collector.record("b", 1, 4.0)
+        assert collector.mean() == 3.0
+
+    def test_missing_group_raises(self):
+        collector = LatencyCollector()
+        with pytest.raises(ConfigurationError):
+            collector.percentile(50.0, "ghost", 1)
+
+    def test_negative_latency_rejected(self):
+        collector = LatencyCollector()
+        with pytest.raises(ConfigurationError):
+            collector.record("a", 1, -0.1)
+
+    def test_per_group_percentiles(self):
+        collector = LatencyCollector()
+        collector.record("a", 1, 1.0)
+        collector.record("a", 10, 2.0)
+        tails = collector.per_group_percentile(99.0)
+        assert tails == {("a", 1): 1.0, ("a", 10): 2.0}

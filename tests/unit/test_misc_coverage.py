@@ -1,0 +1,125 @@
+"""Coverage for small helpers across packages."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic, Exponential
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+from repro.workloads import PoissonArrivals, get_workload
+
+
+class TestArrivalProcessMisc:
+    def test_name_property(self):
+        assert PoissonArrivals(1.0).name == "PoissonArrivals"
+
+    def test_workload_mean_service(self, small_workload):
+        bench = get_workload("masstree")
+        assert small_workload.mean_service_ms() == pytest.approx(
+            bench.service_time.mean()
+        )
+
+    def test_workload_load_roundtrip(self, small_workload):
+        rated = small_workload.at_load(0.42, 100)
+        assert rated.load(100) == pytest.approx(0.42)
+
+
+class TestChooseServers:
+    def _handler(self, n_servers=10):
+        env = Environment()
+        service = Deterministic(1.0)
+        policy = get_policy("fifo")
+        servers = [TaskServer(env, sid, policy, service,
+                              np.random.default_rng(sid))
+                   for sid in range(n_servers)]
+        estimator = DeadlineEstimator(service, n_servers=n_servers)
+        return QueryHandler(env, servers, estimator, policy,
+                            np.random.default_rng(99))
+
+    def test_servers_are_distinct(self):
+        handler = self._handler()
+        gold = ServiceClass("gold", 1.0)
+        for qid in range(50):
+            servers = handler.choose_servers(QuerySpec(qid, 0.0, 5, gold))
+            assert len(set(servers)) == 5
+
+    def test_oldi_shortcut_covers_cluster(self):
+        handler = self._handler()
+        gold = ServiceClass("gold", 1.0)
+        servers = handler.choose_servers(QuerySpec(0, 0.0, 10, gold))
+        assert servers == tuple(range(10))
+
+    def test_preassigned_wins(self):
+        handler = self._handler()
+        gold = ServiceClass("gold", 1.0)
+        spec = QuerySpec(0, 0.0, 2, gold, servers=(7, 3))
+        assert handler.choose_servers(spec) == (7, 3)
+
+
+class TestResultEdgeCases:
+    def test_rejection_ratio_no_measured(self, small_config):
+        result = simulate(small_config)
+        # All queries measured and none rejected in this config.
+        assert result.rejection_ratio() == 0.0
+
+    def test_accepted_load_reasonable(self, small_config):
+        result = simulate(small_config)
+        assert result.accepted_load() == pytest.approx(
+            result.offered_load, rel=0.25
+        )
+
+    def test_types_sorted(self, small_config):
+        result = simulate(small_config)
+        assert list(result.types()) == sorted(result.types())
+
+
+class TestEstimatorMisc:
+    def test_server_cdf_unknown(self):
+        estimator = DeadlineEstimator(Exponential(1.0), n_servers=2)
+        with pytest.raises(ConfigurationError):
+            estimator.server_cdf(5)
+
+    def test_servers_argument_fanout_mismatch(self):
+        estimator = DeadlineEstimator(Exponential(1.0), n_servers=4)
+        with pytest.raises(ConfigurationError):
+            estimator.unloaded_tail(99.0, fanout=3, servers=[0, 1])
+
+    def test_signature_cache_shared_across_selections(self):
+        """Two different selections with the same distribution multiset
+        share one cache entry (same unloaded tail)."""
+        slow = Exponential(0.5)
+        fast = Exponential(2.0)
+        estimator = DeadlineEstimator({0: fast, 1: fast, 2: slow, 3: slow})
+        first = estimator.unloaded_tail(99.0, servers=[0, 2])
+        second = estimator.unloaded_tail(99.0, servers=[1, 3])
+        assert first == second
+
+
+class TestReportEdgeCases:
+    def test_format_table_empty_rows(self):
+        from repro.experiments.report import ExperimentReport
+
+        report = ExperimentReport("x", "empty", columns=["a", "b"])
+        text = report.format_table()
+        assert "empty" in text
+        assert "a" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.experiments.report import ExperimentReport
+
+        report = ExperimentReport("x", "t", columns=["k", "v"])
+        report.add_row(k="one", v=1.5)
+        report.add_row(k="two", v=2.5)
+        path = tmp_path / "r.csv"
+        report.to_csv(path)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows == [{"k": "one", "v": "1.5"}, {"k": "two", "v": "2.5"}]

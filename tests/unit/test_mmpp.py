@@ -1,0 +1,61 @@
+"""Unit tests for the MMPP arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import MMPPArrivals, PoissonArrivals
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestMMPPArrivals:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(1.0, burst_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(1.0, burst_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(1.0, mean_cycle_arrivals=0.0)
+
+    def test_not_a_renewal_process(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(1.0).interarrival_distribution()
+
+    def test_times_strictly_increasing(self, rng):
+        times = MMPPArrivals(2.0).arrival_times(rng, 5_000)
+        assert np.all(np.diff(times) > 0)
+
+    def test_long_run_rate(self, rng):
+        times = MMPPArrivals(2.0).arrival_times(rng, 400_000)
+        realized = len(times) / times[-1]
+        assert realized == pytest.approx(2.0, rel=0.05)
+
+    def test_burstier_than_poisson(self, rng):
+        """Index of dispersion of counts far exceeds Poisson's 1."""
+        mmpp_times = MMPPArrivals(2.0).arrival_times(rng, 200_000)
+        window = 50.0
+
+        def idc(times):
+            counts, _ = np.histogram(times, np.arange(0, times[-1], window))
+            return np.var(counts) / np.mean(counts)
+
+        poisson_times = PoissonArrivals(2.0).arrival_times(rng, 200_000)
+        assert idc(mmpp_times) > 10 * idc(poisson_times)
+
+    def test_with_rate_preserves_shape(self):
+        process = MMPPArrivals(1.0, burst_factor=8.0, burst_fraction=0.1)
+        scaled = process.with_rate(4.0)
+        assert scaled.rate == 4.0
+        assert scaled.burst_factor == 8.0
+        assert scaled.burst_fraction == 0.1
+
+    def test_zero_count(self, rng):
+        assert MMPPArrivals(1.0).arrival_times(rng, 0).size == 0
+
+    def test_start_offset(self, rng):
+        times = MMPPArrivals(1.0).arrival_times(rng, 10, start=500.0)
+        assert times[0] > 500.0

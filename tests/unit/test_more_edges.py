@@ -1,0 +1,90 @@
+"""Additional edge-case coverage across packages."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    HyperExponential,
+    Mixture,
+    Pareto,
+    Shifted,
+    Uniform,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.sas import SaSTestbed
+from repro.sim import Environment
+
+
+class TestDistributionEdges:
+    def test_mixture_vectorized_quantiles(self):
+        mix = Mixture([0.5, 0.5], [Uniform(0, 1), Uniform(2, 3)])
+        values = mix.quantile(np.asarray([0.25, 0.75]))
+        assert values[0] < 1.0 < 2.0 < values[1]
+
+    def test_hyperexponential_scalar_sample(self):
+        dist = HyperExponential([0.5, 0.5], [1.0, 2.0])
+        value = dist.sample(np.random.default_rng(0))
+        assert isinstance(value, float)
+        assert value >= 0
+
+    def test_pareto_quantile_roundtrip(self):
+        dist = Pareto(2.5, 1.0)
+        for q in (0.1, 0.5, 0.99):
+            assert float(dist.cdf(dist.quantile(q))) == pytest.approx(
+                q, abs=1e-9
+            )
+
+    def test_shifted_cdf_below_offset(self):
+        dist = Shifted(Uniform(0, 1), 5.0)
+        assert float(dist.cdf(4.9)) == 0.0
+        assert float(dist.cdf(6.0)) == 1.0
+
+
+class TestKernelEdges:
+    def test_run_until_failed_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            raise ValueError("expected failure")
+
+        with pytest.raises(ValueError):
+            env.run(until=env.process(proc()))
+
+    def test_run_until_untriggered_event_raises(self):
+        env = Environment()
+        gate = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=gate)
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+        good = env.timeout(5.0)
+        bad = env.event()
+
+        def proc():
+            yield env.any_of([good, bad])
+
+        p = env.process(proc())
+        bad.fail(RuntimeError("component died"))
+        with pytest.raises(RuntimeError):
+            env.run(until=p)
+
+
+class TestSaSEdges:
+    def test_unknown_cluster_load(self):
+        testbed = SaSTestbed()
+        with pytest.raises(ConfigurationError):
+            testbed.cluster_load(0.4, "basement")
+
+    def test_config_with_online_window_runs(self):
+        testbed = SaSTestbed()
+        result = testbed.run("tailguard", 0.25, n_queries=1_500, seed=2,
+                             online_window=2_000)
+        assert result.count() > 0
+
+    def test_generate_specs_validation(self):
+        testbed = SaSTestbed()
+        with pytest.raises(ConfigurationError):
+            testbed.generate_specs(0, 0.3, np.random.default_rng(0))

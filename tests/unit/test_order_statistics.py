@@ -1,0 +1,124 @@
+"""Unit tests for order statistics (paper Eq. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    MaxOfIID,
+    MaxOfIndependent,
+    Uniform,
+    iid_max_cdf,
+    iid_max_quantile,
+)
+from repro.distributions.order_statistics import unloaded_query_tail
+from repro.errors import DistributionError
+
+
+class TestIidMax:
+    def test_cdf_is_power(self):
+        base = Uniform(0.0, 1.0)
+        assert iid_max_cdf(base, 3, 0.5) == pytest.approx(0.125)
+
+    def test_quantile_closed_form(self):
+        base = Exponential(1.0)
+        k, q = 10, 0.99
+        assert iid_max_quantile(base, k, q) == pytest.approx(
+            float(base.quantile(q ** (1 / k)))
+        )
+
+    def test_k_one_is_identity(self):
+        base = Exponential(2.0)
+        assert iid_max_quantile(base, 1, 0.9) == pytest.approx(
+            float(base.quantile(0.9))
+        )
+
+    def test_quantile_increases_with_k(self):
+        base = Exponential(1.0)
+        tails = [iid_max_quantile(base, k, 0.99) for k in (1, 10, 100, 1000)]
+        assert tails == sorted(tails)
+        assert tails[0] < tails[-1]
+
+    def test_invalid_k(self):
+        with pytest.raises(DistributionError):
+            iid_max_quantile(Exponential(1.0), 0, 0.5)
+
+    def test_paper_example(self):
+        """§I example: a task with 1% chance of exceeding 100 ms gives a
+        fanout-100 query a 63.4% chance of exceeding 100 ms."""
+        violation = 1.0 - iid_max_cdf_scalar(0.99, 100)
+        assert violation == pytest.approx(0.634, abs=0.001)
+
+
+def iid_max_cdf_scalar(per_task: float, k: int) -> float:
+    return per_task**k
+
+
+class TestMaxOfIID:
+    def test_empirical_max_matches(self):
+        rng = np.random.default_rng(5)
+        base = Uniform(0.0, 1.0)
+        dist = MaxOfIID(base, 5)
+        direct = rng.random((20_000, 5)).max(axis=1)
+        sampled = dist.sample(np.random.default_rng(6), 20_000)
+        assert np.percentile(direct, 99) == pytest.approx(
+            np.percentile(sampled, 99), abs=0.01
+        )
+
+    def test_mean_increases_with_k(self):
+        base = Exponential(1.0)
+        assert MaxOfIID(base, 10).mean() > MaxOfIID(base, 2).mean()
+
+
+class TestMaxOfIndependent:
+    def test_cdf_is_product(self):
+        a, b = Uniform(0.0, 1.0), Uniform(0.0, 2.0)
+        dist = MaxOfIndependent([a, b])
+        assert float(dist.cdf(0.5)) == pytest.approx(0.5 * 0.25)
+
+    def test_identical_components_match_iid(self):
+        base = Exponential(1.0)
+        het = MaxOfIndependent([base, base, base])
+        iid = MaxOfIID(base, 3)
+        for q in (0.5, 0.9, 0.99):
+            assert float(het.quantile(q)) == pytest.approx(
+                float(iid.quantile(q)), rel=1e-6
+            )
+
+    def test_needs_components(self):
+        with pytest.raises(DistributionError):
+            MaxOfIndependent([])
+
+    def test_sampling_matches_quantile(self):
+        rng = np.random.default_rng(8)
+        dist = MaxOfIndependent([Exponential(1.0), Exponential(3.0),
+                                 Uniform(0.0, 0.5)])
+        samples = dist.sample(rng, 50_000)
+        assert np.percentile(samples, 90) == pytest.approx(
+            float(dist.quantile(0.9)), rel=0.03
+        )
+
+    def test_quantile_zero(self):
+        dist = MaxOfIndependent([Uniform(1.0, 2.0), Uniform(0.5, 3.0)])
+        assert float(dist.quantile(0.0)) == pytest.approx(0.5)
+
+
+class TestUnloadedQueryTail:
+    def test_homogeneous_fast_path(self):
+        base = Exponential(1.0)
+        tail = unloaded_query_tail([base] * 10, 99.0)
+        assert tail == pytest.approx(iid_max_quantile(base, 10, 0.99))
+
+    def test_heterogeneous_general_path(self):
+        a, b = Exponential(1.0), Exponential(0.5)
+        tail = unloaded_query_tail([a, b], 99.0)
+        product = MaxOfIndependent([a, b])
+        assert tail == pytest.approx(float(product.quantile(0.99)), rel=1e-9)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(DistributionError):
+            unloaded_query_tail([], 99.0)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(DistributionError):
+            unloaded_query_tail([Exponential(1.0)], 0.0)

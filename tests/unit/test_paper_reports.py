@@ -1,0 +1,73 @@
+"""Structural tests for the paper experiment functions at tiny scale.
+
+These pin the report *schemas* (columns, row counts, reference values)
+without asserting performance shapes — the benchmark suite does that at
+full scale.
+"""
+
+import pytest
+
+from repro.experiments.paper import (
+    PAPER_FIG6_MAXLOADS,
+    PAPER_TABLE3,
+    fig4_single_class_maxload,
+    fig5_two_class_maxload,
+    fig6_two_class_sweep,
+    table3_per_fanout_tails,
+)
+
+
+class TestReportSchemas:
+    def test_fig4_rows(self):
+        report = fig4_single_class_maxload(
+            workloads=("masstree",), policies=("fifo",),
+            n_queries=2_000, tol=0.1,
+        )
+        # 4 SLOs x 1 policy.
+        assert len(report.rows) == 4
+        assert report.columns == ["workload", "slo_ms", "policy", "max_load"]
+        assert all(0 <= row["max_load"] <= 0.95 for row in report.rows)
+
+    def test_fig5_rows(self):
+        report = fig5_two_class_maxload(
+            slos_high_ms=(1.0,), policies=("fifo", "tailguard"),
+            arrivals=("poisson",), n_queries=2_000, tol=0.1,
+        )
+        assert len(report.rows) == 2
+        assert {row["arrival"] for row in report.rows} == {"poisson"}
+
+    def test_fig6_rows(self):
+        report = fig6_two_class_sweep(
+            workloads=("masstree",), policies=("fifo",),
+            loads=(0.3, 0.5), n_queries=1_000,
+        )
+        # 1 workload x 1 policy x 2 loads x 2 classes.
+        assert len(report.rows) == 4
+        for row in report.rows:
+            assert row["meets_slo"] == (row["p99_ms"] <= row["slo_ms"])
+
+    def test_table3_includes_paper_reference(self):
+        report = table3_per_fanout_tails(
+            slos_ms=(0.8,), policies=("fifo",),
+            n_queries=4_000, search_queries=2_000, tol=0.1,
+        )
+        assert len(report.rows) == 3  # three fanouts
+        references = {row["fanout"]: row["paper_p99_ms"]
+                      for row in report.rows}
+        assert references == PAPER_TABLE3[(0.8, "fifo")]
+
+
+class TestPaperConstants:
+    def test_table3_reference_complete(self):
+        slos = {key[0] for key in PAPER_TABLE3}
+        policies = {key[1] for key in PAPER_TABLE3}
+        assert slos == {0.8, 1.0, 1.2, 1.4}
+        assert policies == {"fifo", "tailguard"}
+        for values in PAPER_TABLE3.values():
+            assert set(values) == {1, 10, 100}
+
+    def test_fig6_reference_complete(self):
+        workloads = {key[0] for key in PAPER_FIG6_MAXLOADS}
+        assert workloads == {"masstree", "shore", "xapian"}
+        for load in PAPER_FIG6_MAXLOADS.values():
+            assert 0.3 <= load <= 0.65

@@ -1,0 +1,137 @@
+"""Unit tests for queuing policies and task queues (paper §III.A)."""
+
+import pytest
+
+from repro.core.policies import (
+    EDFTaskQueue,
+    FIFOTaskQueue,
+    POLICIES,
+    PriorityTaskQueue,
+    get_policy,
+)
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+@pytest.fixture
+def gold():
+    return ServiceClass("gold", 1.0, priority=0)
+
+
+@pytest.fixture
+def silver():
+    return ServiceClass("silver", 1.5, priority=1)
+
+
+class TestRegistry:
+    def test_all_four_policies_registered(self):
+        assert set(POLICIES) == {"fifo", "priq", "t-edf", "tailguard",
+                                 "wrr"}
+
+    def test_aliases(self):
+        assert get_policy("TF-EDFQ").name == "tailguard"
+        assert get_policy("t-edfq").name == "t-edf"
+        assert get_policy("edf").name == "t-edf"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("lifo")
+
+    def test_only_tailguard_uses_fanout(self):
+        assert get_policy("tailguard").uses_fanout
+        assert not get_policy("fifo").uses_fanout
+        assert not get_policy("priq").uses_fanout
+        assert not get_policy("t-edf").uses_fanout
+
+
+class TestQueueKeys:
+    def test_fifo_key_is_arrival(self, gold):
+        key = get_policy("fifo").queue_key(5.0, gold, 99.0)
+        assert key == (5.0,)
+
+    def test_priq_key_leads_with_priority(self, gold, silver):
+        policy = get_policy("priq")
+        assert policy.queue_key(5.0, gold, 99.0) == (0, 5.0)
+        assert policy.queue_key(5.0, silver, 99.0) == (1, 5.0)
+
+    def test_tedf_key_ignores_fanout_deadline(self, gold):
+        key = get_policy("t-edf").queue_key(5.0, gold, 1.0)
+        assert key == (6.0,)  # arrival + SLO, not the TF deadline
+
+    def test_tailguard_key_is_tf_deadline(self, gold):
+        key = get_policy("tailguard").queue_key(5.0, gold, 5.4)
+        assert key == (5.4,)
+
+
+class TestFIFOTaskQueue:
+    def test_order_preserved(self):
+        queue = FIFOTaskQueue()
+        for item in "abc":
+            queue.push(item, (0.0,))
+        assert [queue.pop() for _ in range(3)] == list("abc")
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            FIFOTaskQueue().pop()
+
+    def test_bool_and_len(self):
+        queue = FIFOTaskQueue()
+        assert not queue
+        queue.push("x", (0.0,))
+        assert queue
+        assert len(queue) == 1
+
+
+class TestEDFTaskQueue:
+    def test_pops_smallest_key_first(self):
+        queue = EDFTaskQueue()
+        queue.push("late", (10.0,))
+        queue.push("early", (1.0,))
+        queue.push("middle", (5.0,))
+        assert [queue.pop() for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_ties_broken_fifo(self):
+        queue = EDFTaskQueue()
+        queue.push("first", (1.0,))
+        queue.push("second", (1.0,))
+        assert queue.pop() == "first"
+        assert queue.pop() == "second"
+
+    def test_interleaved_push_pop(self):
+        queue = EDFTaskQueue()
+        queue.push("a", (3.0,))
+        queue.push("b", (1.0,))
+        assert queue.pop() == "b"
+        queue.push("c", (2.0,))
+        assert queue.pop() == "c"
+        assert queue.pop() == "a"
+
+
+class TestPriorityTaskQueue:
+    def test_strict_priority(self):
+        queue = PriorityTaskQueue()
+        queue.push("low1", (1, 0.0))
+        queue.push("high1", (0, 1.0))
+        queue.push("low2", (1, 2.0))
+        queue.push("high2", (0, 3.0))
+        assert [queue.pop() for _ in range(4)] == [
+            "high1", "high2", "low1", "low2"
+        ]
+
+    def test_fifo_within_priority(self):
+        queue = PriorityTaskQueue()
+        for tag in ("a", "b", "c"):
+            queue.push(tag, (0, 0.0))
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            PriorityTaskQueue().pop()
+
+    def test_len_across_lanes(self):
+        queue = PriorityTaskQueue()
+        queue.push("x", (0, 0.0))
+        queue.push("y", (3, 0.0))
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

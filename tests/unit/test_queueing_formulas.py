@@ -1,0 +1,102 @@
+"""Unit tests for the closed-form queueing module."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.errors import ConfigurationError
+from repro.metrics.queueing import (
+    approximate_max_load,
+    md1_mean_wait,
+    mg1_mean_response,
+    mg1_mean_wait,
+    mm1_mean_response,
+    mm1_response_quantile,
+)
+from repro.workloads import get_workload
+
+
+class TestMM1:
+    def test_mean_response(self):
+        assert mm1_mean_response(0.5, mu=1.0) == pytest.approx(2.0)
+        assert mm1_mean_response(0.9, mu=2.0) == pytest.approx(5.0)
+
+    def test_quantile(self):
+        # Median of Exp(0.5) is ln(2)/0.5.
+        assert mm1_response_quantile(0.5, 0.5, mu=1.0) == pytest.approx(
+            np.log(2.0) / 0.5
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mm1_mean_response(1.0)
+        with pytest.raises(ConfigurationError):
+            mm1_mean_response(-0.1)
+
+
+class TestMD1:
+    def test_known_value(self):
+        # rho=0.5, S=1: E[W] = 0.5 / (2*0.5) = 0.5.
+        assert md1_mean_wait(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_divergence_near_one(self):
+        assert md1_mean_wait(0.99) > md1_mean_wait(0.5) * 50
+
+
+class TestMG1:
+    def test_reduces_to_mm1(self):
+        """For exponential service E[S²] = 2/μ², so P-K gives the M/M/1
+        waiting time ρ/(μ(1−ρ))."""
+        rho, mu = 0.6, 2.0
+        expected_wait = rho / (mu * (1.0 - rho))
+        assert mg1_mean_wait(rho, Exponential(mu)) == pytest.approx(
+            expected_wait, rel=1e-3
+        )
+
+    def test_reduces_to_md1(self):
+        rho = 0.7
+        assert mg1_mean_wait(rho, Deterministic(1.0)) == pytest.approx(
+            md1_mean_wait(rho, 1.0), rel=1e-6
+        )
+
+    def test_response_adds_service(self):
+        dist = Exponential(1.0)
+        assert mg1_mean_response(0.5, dist) == pytest.approx(
+            mg1_mean_wait(0.5, dist) + 1.0, rel=1e-9
+        )
+
+    def test_deterministic_waits_less_than_exponential(self):
+        """Lower service variance means less queueing (P-K)."""
+        rho = 0.7
+        assert (mg1_mean_wait(rho, Deterministic(1.0))
+                < mg1_mean_wait(rho, Exponential(1.0)))
+
+
+class TestApproximateMaxLoad:
+    def test_zero_budget_is_zero_load(self):
+        assert approximate_max_load(Exponential(1.0), 0.0) == 0.0
+
+    def test_monotone_in_budget(self):
+        dist = get_workload("masstree").service_time
+        loads = [approximate_max_load(dist, b) for b in (0.2, 0.5, 1.0, 5.0)]
+        assert loads == sorted(loads)
+
+    def test_generous_budget_allows_high_load(self):
+        dist = get_workload("masstree").service_time
+        assert approximate_max_load(dist, 100.0) > 0.9
+
+    def test_bracket_contains_simulated_boundary(self):
+        """The analytic estimate upper-bounds (roughly) the simulated
+        single-type max load: it ignores fanout amplification, so it
+        should not be far *below* the simulated value."""
+        from repro.experiments import find_max_load
+        from repro.experiments.setups import paper_single_class_config
+
+        dist = get_workload("masstree").service_time
+        budget = 0.8 - 0.473  # SLO 0.8 minus x_u(100)
+        analytic = approximate_max_load(dist, budget)
+        simulated = find_max_load(
+            paper_single_class_config("masstree", 0.8, n_queries=8_000),
+            tol=0.05,
+        ).max_load
+        assert analytic > simulated * 0.5

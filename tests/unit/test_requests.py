@@ -1,0 +1,106 @@
+"""Unit tests for request-level decomposition (paper Eq. 7)."""
+
+import pytest
+
+from repro.core.deadline import DeadlineEstimator
+from repro.core.requests import (
+    EqualSplit,
+    ProportionalToTail,
+    RequestPlanner,
+    SloSplit,
+)
+from repro.distributions import Exponential
+from repro.errors import ConfigurationError
+from repro.types import RequestSpec
+
+
+@pytest.fixture
+def estimator():
+    return DeadlineEstimator(Exponential(10.0), n_servers=50)
+
+
+@pytest.fixture
+def request_spec():
+    return RequestSpec(request_id=0, arrival_time=0.0,
+                       query_fanouts=(1, 4, 16), slo_ms=3.0)
+
+
+class TestRequestSpec:
+    def test_needs_queries(self):
+        with pytest.raises(ConfigurationError):
+            RequestSpec(0, 0.0, (), slo_ms=1.0)
+
+    def test_num_queries(self, request_spec):
+        assert request_spec.num_queries == 3
+
+
+class TestStrategies:
+    def test_equal_split_conserves_budget(self):
+        budgets = EqualSplit().split(3.0, [0.5, 0.7, 0.9], 10.0)
+        assert sum(budgets) == pytest.approx(3.0)
+        assert budgets == [1.0, 1.0, 1.0]
+
+    def test_proportional_split_conserves_budget(self):
+        budgets = ProportionalToTail().split(3.0, [1.0, 2.0], 10.0)
+        assert sum(budgets) == pytest.approx(3.0)
+        assert budgets[1] == pytest.approx(2 * budgets[0])
+
+    def test_slo_split_ignores_additivity(self):
+        # Per-query SLO 10/2 = 5; budgets 5 - tail.
+        budgets = SloSplit().split(3.0, [1.0, 6.0], 10.0)
+        assert budgets == [4.0, -1.0]
+
+    def test_proportional_degenerate_tails(self):
+        budgets = ProportionalToTail().split(2.0, [0.0, 0.0], 10.0)
+        assert budgets == [1.0, 1.0]
+
+
+class TestRequestPlanner:
+    def test_plan_quantities(self, estimator, request_spec):
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(request_spec)
+        assert len(plan.query_budgets_ms) == 3
+        assert plan.total_budget_ms == pytest.approx(
+            request_spec.slo_ms - plan.unloaded_request_tail_ms
+        )
+        assert sum(plan.query_budgets_ms) == pytest.approx(
+            plan.total_budget_ms
+        )
+
+    def test_eq7_subadditivity(self, estimator, request_spec):
+        """x_p^{R,u} < Σ x_p^u(k_i): the request budget from Eq. 7 is
+        larger than the naive per-query decomposition allows."""
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(request_spec)
+        assert plan.unloaded_request_tail_ms < sum(plan.query_tails_ms)
+
+    def test_single_query_request(self, estimator):
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(RequestSpec(0, 0.0, (4,), slo_ms=2.0))
+        assert plan.unloaded_request_tail_ms == pytest.approx(
+            plan.query_tails_ms[0]
+        )
+
+    def test_infeasible_request_flagged(self, estimator):
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(RequestSpec(0, 0.0, (16, 16), slo_ms=0.001))
+        assert not plan.feasible
+
+    def test_query_deadline_relative_to_start(self, estimator, request_spec):
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(request_spec)
+        assert plan.query_deadline(0, 10.0) == pytest.approx(
+            10.0 + plan.query_budgets_ms[0]
+        )
+
+    def test_heterogeneous_cluster_rejected(self):
+        hetero = DeadlineEstimator({0: Exponential(1.0),
+                                    1: Exponential(2.0)})
+        planner = RequestPlanner(hetero, EqualSplit())
+        with pytest.raises(ConfigurationError):
+            planner.plan(RequestSpec(0, 0.0, (1,), slo_ms=10.0))
+
+    def test_query_tails_increase_with_fanout(self, estimator, request_spec):
+        planner = RequestPlanner(estimator, EqualSplit())
+        plan = planner.plan(request_spec)
+        assert plan.query_tails_ms == sorted(plan.query_tails_ms)

@@ -1,0 +1,84 @@
+"""Unit tests for SimulationResult analysis helpers (bucketing, windows)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+def make_result(fanouts, latencies, arrivals=None, classes=None,
+                class_index=None):
+    n = len(fanouts)
+    cls = classes if classes is not None else (ServiceClass("only", 10.0),)
+    return SimulationResult(
+        policy_name="fifo",
+        n_servers=4,
+        seed=0,
+        offered_load=0.5,
+        classes=cls,
+        class_index=np.asarray(class_index if class_index is not None
+                               else [0] * n, dtype=np.int32),
+        fanout=np.asarray(fanouts, dtype=np.int32),
+        arrival=np.asarray(arrivals if arrivals is not None
+                           else np.arange(n, dtype=float)),
+        latency=np.asarray(latencies, dtype=float),
+        rejected=np.zeros(n, dtype=bool),
+        measured=np.ones(n, dtype=bool),
+        tasks_total=int(sum(fanouts)),
+        tasks_missed_deadline=0,
+        busy_time_total=1.0,
+        duration=float(n),
+        mean_service_ms=0.2,
+    )
+
+
+class TestBucketLatencies:
+    def test_grouping_by_edges(self):
+        result = make_result([1, 2, 5, 20, 150], [1.0, 2.0, 3.0, 4.0, 5.0])
+        buckets = result.bucket_latencies("only", (1, 10, 100))
+        assert set(buckets) == {(1, 10), (10, 100),
+                                (100, np.iinfo(np.int32).max)}
+        assert list(buckets[(1, 10)]) == [1.0, 2.0, 3.0]
+        assert list(buckets[(10, 100)]) == [4.0]
+        assert list(buckets[(100, np.iinfo(np.int32).max)]) == [5.0]
+
+    def test_empty_buckets_omitted(self):
+        result = make_result([1, 1], [1.0, 2.0])
+        buckets = result.bucket_latencies("only", (1, 50))
+        assert set(buckets) == {(1, 50)}
+
+    def test_invalid_edges(self):
+        result = make_result([1], [1.0])
+        with pytest.raises(ConfigurationError):
+            result.bucket_latencies("only", ())
+        with pytest.raises(ConfigurationError):
+            result.bucket_latencies("only", (10, 5))
+
+    def test_meets_all_slos_with_buckets(self):
+        good = make_result([1, 2, 150], [1.0, 1.0, 1.0])
+        assert good.meets_all_slos(min_samples=1, fanout_buckets=(1, 100))
+        bad = make_result([1, 2, 150], [1.0, 1.0, 99.0])
+        assert not bad.meets_all_slos(min_samples=1, fanout_buckets=(1, 100))
+
+
+class TestTimeWindows:
+    def test_latencies_between_selects_by_arrival(self):
+        result = make_result([1] * 5, [1.0, 2.0, 3.0, 4.0, 5.0],
+                             arrivals=[0.0, 10.0, 20.0, 30.0, 40.0])
+        window = result.latencies_between(10.0, 35.0)
+        assert list(window) == [2.0, 3.0, 4.0]
+
+    def test_tail_between(self):
+        result = make_result([1] * 4, [1.0, 9.0, 2.0, 3.0],
+                             arrivals=[0.0, 5.0, 10.0, 15.0])
+        assert result.tail_between(4.0, 11.0, 100.0) == 9.0
+
+    def test_multiclass_window(self):
+        classes = (ServiceClass("a", 10.0), ServiceClass("b", 10.0))
+        result = make_result([1, 1, 1, 1], [1.0, 2.0, 3.0, 4.0],
+                             arrivals=[0.0, 1.0, 2.0, 3.0],
+                             classes=classes, class_index=[0, 1, 0, 1])
+        values = result.latencies_between(0.0, 10.0, class_name="b")
+        assert list(values) == [2.0, 4.0]

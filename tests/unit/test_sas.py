@@ -1,0 +1,227 @@
+"""Unit tests for the SaS testbed model, sensing datastore and network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sas import NetworkModel, SaSTestbed, SensingDataStore, SensingTaskModel
+from repro.sas.testbed import CLUSTER_NAMES, _CLUSTER_STATS
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return SaSTestbed()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestTopology:
+    def test_four_clusters_of_eight(self, testbed):
+        assert len(testbed.cluster_nodes) == 4
+        assert testbed.n_nodes == 32
+        for nodes in testbed.cluster_nodes.values():
+            assert len(nodes) == 8
+
+    def test_node_cluster_mapping_consistent(self, testbed):
+        for cluster, nodes in testbed.cluster_nodes.items():
+            for node in nodes:
+                assert testbed.node_cluster[node] == cluster
+
+    def test_use_case_mix(self, testbed):
+        probs = [case.probability for case in testbed.use_cases]
+        assert probs == [0.5, 0.4, 0.1]
+        fanouts = [case.fanout for case in testbed.use_cases]
+        assert fanouts == [1, 4, 32]
+
+    def test_slos(self, testbed):
+        slos = [case.service_class.slo_ms for case in testbed.use_cases]
+        assert slos == [800.0, 1300.0, 1800.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SaSTestbed(nodes_per_cluster=0)
+        with pytest.raises(ConfigurationError):
+            SaSTestbed(server_room_bias=1.5)
+        with pytest.raises(ConfigurationError):
+            SaSTestbed(class_probabilities=(0.5, 0.4, 0.3))
+
+
+class TestClusterCDFs:
+    @pytest.mark.parametrize("cluster", CLUSTER_NAMES)
+    def test_statistics_match_paper(self, testbed, cluster):
+        cdf = testbed.cluster_cdfs[cluster]
+        mean, p95, p99 = _CLUSTER_STATS[cluster]
+        assert cdf.mean() == pytest.approx(mean, rel=1e-4)
+        assert cdf.percentile(95.0) == pytest.approx(p95, rel=1e-6)
+        assert cdf.percentile(99.0) == pytest.approx(p99, rel=1e-6)
+
+    def test_wet_lab_is_fastest(self, testbed):
+        means = {c: testbed.cluster_cdfs[c].mean() for c in CLUSTER_NAMES}
+        assert means["wet-lab"] == min(means.values())
+
+
+class TestLoadAccounting:
+    def test_expected_server_room_tasks(self, testbed):
+        # 0.5*0.8 + 0.4*1 + 0.1*8 = 1.6
+        assert testbed.expected_server_room_tasks_per_query() == pytest.approx(1.6)
+
+    def test_rate_inverts_load(self, testbed):
+        rate = testbed.arrival_rate_for_load(0.4)
+        expected = 0.4 * 8 / (1.6 * testbed.cluster_cdfs["server-room"].mean())
+        assert rate == pytest.approx(expected)
+
+    def test_server_room_is_bottleneck(self, testbed):
+        """At any rate, the Server-room cluster carries the highest load."""
+        loads = {c: testbed.cluster_load(0.4, c) for c in CLUSTER_NAMES}
+        assert loads["server-room"] == max(loads.values())
+        assert loads["server-room"] == pytest.approx(0.4)
+
+    def test_invalid_load(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.arrival_rate_for_load(0.0)
+
+
+class TestSpecGeneration:
+    def test_spec_count_and_sorting(self, testbed, rng):
+        specs = testbed.generate_specs(500, 0.3, rng)
+        assert len(specs) == 500
+        times = [s.arrival_time for s in specs]
+        assert times == sorted(times)
+
+    def test_class_a_placement_bias(self, testbed, rng):
+        specs = testbed.generate_specs(8_000, 0.3, rng)
+        class_a = [s for s in specs if s.service_class.name == "class-A"]
+        server_room_nodes = set(testbed.cluster_nodes["server-room"])
+        in_server_room = sum(
+            1 for s in class_a if s.servers[0] in server_room_nodes
+        )
+        assert in_server_room / len(class_a) == pytest.approx(0.8, abs=0.03)
+
+    def test_class_b_one_node_per_cluster(self, testbed, rng):
+        specs = testbed.generate_specs(2_000, 0.3, rng)
+        for spec in specs:
+            if spec.service_class.name == "class-B":
+                clusters = {testbed.node_cluster[s] for s in spec.servers}
+                assert clusters == set(CLUSTER_NAMES)
+
+    def test_class_c_covers_all_nodes(self, testbed, rng):
+        specs = testbed.generate_specs(2_000, 0.3, rng)
+        for spec in specs:
+            if spec.service_class.name == "class-C":
+                assert spec.servers == tuple(range(32))
+
+    def test_empirical_server_room_load(self, testbed, rng):
+        """Generated tasks actually produce the requested Server-room load."""
+        target = 0.35
+        specs = testbed.generate_specs(20_000, target, rng)
+        server_room = set(testbed.cluster_nodes["server-room"])
+        tasks = sum(
+            sum(1 for node in spec.servers if node in server_room)
+            for spec in specs
+        )
+        span = specs[-1].arrival_time - specs[0].arrival_time
+        mean_service = testbed.cluster_cdfs["server-room"].mean()
+        load = tasks * mean_service / (8 * span)
+        assert load == pytest.approx(target, rel=0.05)
+
+
+class TestEstimator:
+    def test_shares_cdf_per_cluster(self, testbed):
+        estimator = testbed.estimator()
+        nodes = testbed.cluster_nodes["faculty"]
+        assert estimator.server_cdf(nodes[0]) is estimator.server_cdf(nodes[-1])
+
+    def test_not_homogeneous(self, testbed):
+        assert not testbed.estimator().homogeneous
+
+
+class TestSimulation:
+    def test_low_load_meets_all_slos(self, testbed):
+        result = testbed.run("tailguard", 0.20, n_queries=4_000, seed=2)
+        for case in testbed.use_cases:
+            cls = case.service_class
+            assert result.tail(cls.percentile, cls.name) <= cls.slo_ms
+
+    def test_sweep_rows_shape(self, testbed):
+        rows = testbed.sweep("fifo", [0.2, 0.3], n_queries=2_000, seed=2)
+        assert len(rows) == 2
+        assert {"server_room_load", "class-A", "class-B", "class-C"} <= set(rows[0])
+
+
+class TestSensing:
+    def test_datastore_record_math(self):
+        store = SensingDataStore()
+        assert store.total_records == 540 * 288 * 2
+        assert store.records_for_days(1) == 576
+
+    def test_request_days_range(self, rng):
+        store = SensingDataStore()
+        days = {store.sample_request_days(rng) for _ in range(500)}
+        assert min(days) >= 1
+        assert max(days) <= 30
+
+    def test_invalid_days(self):
+        with pytest.raises(ConfigurationError):
+            SensingDataStore().records_for_days(0)
+
+    def test_calibrated_mean(self):
+        model = SensingTaskModel.calibrated_to_mean(82.0)
+        assert model.mean() == pytest.approx(82.0, rel=1e-6)
+
+    def test_sampled_mean_matches(self, rng):
+        model = SensingTaskModel.calibrated_to_mean(82.0)
+        samples = model.sample(rng, 100_000)
+        assert np.mean(samples) == pytest.approx(82.0, rel=0.03)
+
+    def test_cdf_quantile_roundtrip(self):
+        model = SensingTaskModel.calibrated_to_mean(50.0)
+        for q in (0.1, 0.5, 0.95, 0.99):
+            assert model.cdf(model.quantile(q)) == pytest.approx(q, abs=1e-4)
+
+    def test_tail_exceeds_mean_substantially(self):
+        """The jitter gives the model a real tail, like the Pi nodes."""
+        model = SensingTaskModel.calibrated_to_mean(82.0)
+        assert float(model.quantile(0.99)) > 2.0 * model.mean()
+
+    def test_invalid_parameters(self):
+        store = SensingDataStore()
+        with pytest.raises(ConfigurationError):
+            SensingTaskModel(store, base_overhead_ms=-1.0, per_record_us=1.0)
+        with pytest.raises(ConfigurationError):
+            SensingTaskModel.calibrated_to_mean(0.0)
+
+
+class TestNetwork:
+    def test_default_clusters(self):
+        model = NetworkModel()
+        assert set(model.clusters()) == set(CLUSTER_NAMES)
+
+    def test_wet_lab_fastest_rtt(self):
+        model = NetworkModel()
+        wet_lab = model.rtt("wet-lab").mean()
+        faculty = model.rtt("faculty").mean()
+        assert wet_lab < faculty
+
+    def test_unknown_cluster(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().rtt("moon-base")
+
+    def test_sample_rtt_positive(self, rng):
+        model = NetworkModel()
+        assert model.sample_rtt("gta", rng) > 0
+
+    def test_end_to_end_shifts_service(self):
+        from repro.distributions import Deterministic
+
+        model = NetworkModel()
+        composite = model.end_to_end("server-room", Deterministic(10.0))
+        assert composite.mean() == pytest.approx(11.0)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel({})
+        with pytest.raises(ConfigurationError):
+            NetworkModel({"x": (-1.0, 1.0)})

@@ -1,0 +1,211 @@
+"""Unit tests for TaskServer and QueryHandler on the DES kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+
+
+def make_cluster(n_servers=4, service=None, policy_name="tailguard",
+                 admission=None, seed=0):
+    env = Environment()
+    service = service if service is not None else Deterministic(1.0)
+    policy = get_policy(policy_name)
+    rng = np.random.default_rng(seed)
+    server_rngs = rng.spawn(n_servers)
+    servers = [
+        TaskServer(env, sid, policy, service, server_rngs[sid])
+        for sid in range(n_servers)
+    ]
+    estimator = DeadlineEstimator(service, n_servers=n_servers)
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(seed + 1),
+                           admission=admission)
+    return env, servers, handler
+
+
+@pytest.fixture
+def gold():
+    return ServiceClass("gold", slo_ms=10.0)
+
+
+class TestTaskServer:
+    def test_idle_server_starts_immediately(self, gold):
+        env, servers, handler = make_cluster(n_servers=1)
+        spec = QuerySpec(0, 0.0, 1, gold)
+        record, done = handler.submit(spec)
+        env.run()
+        assert record.latency == pytest.approx(1.0)
+
+    def test_queueing_delay_with_busy_server(self, gold):
+        env, servers, handler = make_cluster(n_servers=1)
+        handler.submit(QuerySpec(0, 0.0, 1, gold))
+        record, _ = handler.submit(QuerySpec(1, 0.0, 1, gold))
+        env.run()
+        # Second query waits for the first task (1 ms) then serves 1 ms.
+        assert record.latency == pytest.approx(2.0)
+
+    def test_utilization_accounting(self, gold):
+        env, servers, handler = make_cluster(n_servers=1)
+        handler.submit(QuerySpec(0, 0.0, 1, gold))
+        env.run()
+        env._now = 2.0  # freeze horizon for a deterministic check
+        assert servers[0].busy_time() == pytest.approx(1.0)
+        assert servers[0].utilization() == pytest.approx(0.5)
+        assert servers[0].tasks_served == 1
+
+    def test_invalid_server_id(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            TaskServer(env, -1, get_policy("fifo"), Deterministic(1.0),
+                       np.random.default_rng(0))
+
+
+class TestQueryHandler:
+    def test_fanout_query_waits_for_slowest(self, gold):
+        env, servers, handler = make_cluster(n_servers=4)
+        record, _ = handler.submit(QuerySpec(0, 0.0, 4, gold))
+        env.run()
+        assert record.latency == pytest.approx(1.0)
+        assert handler.inflight == 0
+
+    def test_fanout_exceeding_cluster_rejected(self, gold):
+        env, servers, handler = make_cluster(n_servers=2)
+        with pytest.raises(ConfigurationError):
+            handler.submit(QuerySpec(0, 0.0, 3, gold))
+
+    def test_preassigned_servers_used(self, gold):
+        env, servers, handler = make_cluster(n_servers=4)
+        spec = QuerySpec(0, 0.0, 2, gold, servers=(1, 3))
+        handler.submit(spec)
+        env.run()
+        assert servers[1].tasks_served == 1
+        assert servers[3].tasks_served == 1
+        assert servers[0].tasks_served == 0
+
+    def test_deadline_recorded(self, gold):
+        env, servers, handler = make_cluster(n_servers=4)
+        record, _ = handler.submit(QuerySpec(0, 0.0, 4, gold))
+        expected = handler.estimator.deadline(0.0, gold, fanout=4)
+        assert record.deadline == pytest.approx(expected)
+
+    def test_deadline_override(self, gold):
+        env, servers, handler = make_cluster(n_servers=2)
+        record, _ = handler.submit(QuerySpec(0, 0.0, 1, gold), deadline=123.0)
+        assert record.deadline == 123.0
+
+    def test_completion_event_value_is_record(self, gold):
+        env, servers, handler = make_cluster(n_servers=1)
+        record, done = handler.submit(QuerySpec(0, 0.0, 1, gold))
+        result = env.run(until=done)
+        assert result is record
+
+    def test_admission_rejects_queries(self, gold):
+        controller = DeadlineMissRatioAdmission(0.01, window_tasks=10,
+                                                min_samples=1)
+        controller.record_task(True)  # force rejection state
+        env, servers, handler = make_cluster(n_servers=1,
+                                             admission=controller)
+        record, done = handler.submit(QuerySpec(0, 0.0, 1, gold))
+        assert record.rejected
+        assert done.triggered
+        assert handler.rejected == [record]
+
+    def test_drive_respects_arrival_times(self, gold):
+        env, servers, handler = make_cluster(n_servers=2)
+        specs = [
+            QuerySpec(0, 1.0, 1, gold),
+            QuerySpec(1, 2.5, 1, gold),
+        ]
+        env.process(handler.drive(specs))
+        env.run()
+        assert len(handler.completed) == 2
+        latencies = {r.spec.query_id: r.latency for r in handler.completed}
+        assert latencies[0] == pytest.approx(1.0)
+        assert latencies[1] == pytest.approx(1.0)
+
+    def test_drive_rejects_unsorted_specs(self, gold):
+        env, servers, handler = make_cluster(n_servers=2)
+        specs = [
+            QuerySpec(0, 5.0, 1, gold),
+            QuerySpec(1, 1.0, 1, gold),
+        ]
+        proc = env.process(handler.drive(specs))
+        with pytest.raises(ConfigurationError):
+            env.run(until=proc)
+
+    def test_server_with_existing_callback_rejected(self, gold):
+        env = Environment()
+        service = Deterministic(1.0)
+        policy = get_policy("fifo")
+        server = TaskServer(env, 0, policy, service,
+                            np.random.default_rng(0),
+                            on_complete=lambda task, srv: None)
+        estimator = DeadlineEstimator(service, n_servers=1)
+        with pytest.raises(ConfigurationError):
+            QueryHandler(env, [server], estimator, policy,
+                         np.random.default_rng(1))
+
+    def test_estimator_server_count_mismatch(self, gold):
+        env = Environment()
+        service = Deterministic(1.0)
+        policy = get_policy("fifo")
+        servers = [TaskServer(env, 0, policy, service,
+                              np.random.default_rng(0))]
+        estimator = DeadlineEstimator(service, n_servers=5)
+        with pytest.raises(ConfigurationError):
+            QueryHandler(env, servers, estimator, policy,
+                         np.random.default_rng(1))
+
+    def test_dispatch_delay_shifts_latency(self, gold):
+        """Decentralized queuing: a fixed dispatch delay adds to the
+        pre-dequeuing time of every task (paper §III.B)."""
+        env = Environment()
+        service = Deterministic(1.0)
+        policy = get_policy("tailguard")
+        server = TaskServer(env, 0, policy, service,
+                            np.random.default_rng(0))
+        estimator = DeadlineEstimator(service, n_servers=1)
+        handler = QueryHandler(env, [server], estimator, policy,
+                               np.random.default_rng(1),
+                               dispatch_delay=Deterministic(0.25))
+        record, _ = handler.submit(QuerySpec(0, 0.0, 1, gold))
+        env.run()
+        assert record.latency == pytest.approx(1.25)
+
+    def test_dispatch_delay_counts_against_deadline(self, gold):
+        """The deadline stays anchored at the query arrival, so a long
+        dispatch can itself cause a deadline miss."""
+        env = Environment()
+        service = Deterministic(1.0)
+        policy = get_policy("tailguard")
+        server = TaskServer(env, 0, policy, service,
+                            np.random.default_rng(0))
+        estimator = DeadlineEstimator(service, n_servers=1)
+        handler = QueryHandler(env, [server], estimator, policy,
+                               np.random.default_rng(1),
+                               dispatch_delay=Deterministic(50.0))
+        tight = ServiceClass("tight", slo_ms=2.0)
+        record, _ = handler.submit(QuerySpec(0, 0.0, 1, tight))
+        env.run()
+        assert record.tasks_missed_deadline == 1
+
+    def test_edf_order_respected_under_contention(self):
+        """A tighter-SLO (earlier deadline) query overtakes a queued one."""
+        env, servers, handler = make_cluster(n_servers=1)
+        loose = ServiceClass("loose", slo_ms=100.0)
+        tight = ServiceClass("tight", slo_ms=2.0)
+        handler.submit(QuerySpec(0, 0.0, 1, loose))   # in service
+        slow_record, _ = handler.submit(QuerySpec(1, 0.0, 1, loose))
+        fast_record, _ = handler.submit(QuerySpec(2, 0.0, 1, tight))
+        env.run()
+        # The tight query entered last but ran before the queued loose one.
+        assert fast_record.latency < slow_record.latency

@@ -1,0 +1,346 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        env = Environment()
+        assert env.now == 0.0
+
+    def test_clock_starts_at_initial_time(self):
+        env = Environment(initial_time=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_time_raises(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_with_no_events_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_empty_is_infinite(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.timeout(1.5)
+        assert env.peek() == 1.5
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(2.5)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="payload")
+            seen.append(value)
+
+        env.process(proc())
+        env.run()
+        assert seen == ["payload"]
+
+    def test_timeouts_fire_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            order.append(delay)
+
+        for delay in (5.0, 1.0, 3.0, 2.0, 4.0):
+            env.process(proc(delay))
+        env.run()
+        assert order == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_equal_time_fifo_by_creation(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_event_succeed_delivers_value(self):
+        env = Environment()
+        gate = env.event()
+        got = []
+
+        def waiter():
+            got.append((yield gate))
+
+        def firer():
+            yield env.timeout(1.0)
+            gate.succeed(42)
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert got == [42]
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        gate = env.event()
+        with pytest.raises(SimulationError):
+            _ = gate.value
+
+    def test_failed_event_raises_in_waiter(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def firer():
+            yield env.timeout(1.0)
+            gate.fail(ValueError("boom"))
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_propagates(self):
+        env = Environment()
+        gate = env.event()
+        gate.fail(RuntimeError("nobody listening"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        gate = env.event()
+        gate.fail(RuntimeError("handled elsewhere"))
+        gate.defuse()
+        env.run()  # does not raise
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return "done"
+
+        result = env.run(until=env.process(proc()))
+        assert result == "done"
+
+    def test_process_is_alive_until_finished(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(until=p)
+
+    def test_waiting_on_a_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(2.0)
+            log.append("child")
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            log.append(("parent", value, env.now))
+
+        env.process(parent())
+        env.run()
+        assert log == ["child", ("parent", 7, 2.0)]
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def parent():
+            yield env.process(child())
+
+        p = env.process(parent())
+        with pytest.raises(KeyError):
+            env.run(until=p)
+
+    def test_chained_already_processed_event(self):
+        # Yielding an already-processed event continues immediately.
+        env = Environment()
+        gate = env.event()
+        gate.succeed("early")
+        log = []
+
+        def proc():
+            yield env.timeout(1.0)
+            value = yield gate
+            log.append((value, env.now))
+
+        env.process(proc())
+        env.run()
+        assert log == [("early", 1.0)]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((interrupt.cause, env.now))
+
+        def attacker(target):
+            yield env.timeout(3.0)
+            target.interrupt("failure-injection")
+
+        target = env.process(victim())
+        env.process(attacker(target))
+        env.run()
+        assert log == [("failure-injection", 3.0)]
+
+    def test_interrupting_dead_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self):
+        env = Environment()
+        errors = []
+
+        def proc():
+            try:
+                env.active_process.interrupt()
+            except SimulationError as exc:
+                errors.append(str(exc))
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert len(errors) == 1
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield AllOf(env, [env.timeout(1.0), env.timeout(4.0),
+                              env.timeout(2.0)])
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [4.0]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield AnyOf(env, [env.timeout(5.0), env.timeout(1.5)])
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.5]
+
+    def test_all_of_empty_triggers_immediately(self):
+        env = Environment()
+        condition = env.all_of([])
+        assert condition.triggered
+
+    def test_all_of_collects_values(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(2.0, value="b")
+        results = env.run(until=env.all_of([t1, t2]))
+        assert set(results.values()) == {"a", "b"}
+
+    def test_cross_environment_event_rejected(self):
+        env1, env2 = Environment(), Environment()
+        t2 = env2.timeout(1.0)
+
+        def proc():
+            yield t2
+
+        p = env1.process(proc())
+        with pytest.raises(SimulationError):
+            env1.run(until=p)

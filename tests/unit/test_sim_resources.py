@@ -1,0 +1,183 @@
+"""Unit tests for Resource / Store primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+from repro.sim.resources import FifoWaitQueue, SortedWaitQueue
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_when_idle(self):
+        env = Environment()
+        resource = Resource(env)
+        request = resource.request()
+        assert request.triggered
+        assert resource.count == 1
+
+    def test_waiters_queue_up(self):
+        env = Environment()
+        resource = Resource(env)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered
+        assert not second.triggered
+        assert resource.queue_length == 1
+        resource.release(first)
+        assert second.triggered
+
+    def test_release_unheld_request_raises(self):
+        env = Environment()
+        resource = Resource(env)
+        stranger = resource.request()
+        resource.release(stranger)
+        with pytest.raises(SimulationError):
+            resource.release(stranger)
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        resource = Resource(env)
+        log = []
+
+        def user(tag, hold):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(hold)
+                log.append((tag, env.now))
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 1.0))
+        env.run()
+        assert log == [("a", 2.0), ("b", 3.0)]
+
+    def test_capacity_two_serves_in_parallel(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def user(tag):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(1.0)
+                log.append((tag, env.now))
+
+        for tag in "abc":
+            env.process(user(tag))
+        env.run()
+        assert log == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_sorted_wait_queue_gives_edf_service_order(self):
+        env = Environment()
+        resource = Resource(env, queue=SortedWaitQueue())
+        log = []
+
+        def user(tag, deadline):
+            with resource.request(key=deadline) as req:
+                yield req
+                yield env.timeout(1.0)
+                log.append(tag)
+
+        # "hold" occupies the server while the others queue.
+        env.process(user("hold", 0.0))
+        env.process(user("late", 10.0))
+        env.process(user("urgent", 1.0))
+        env.process(user("middle", 5.0))
+        env.run()
+        assert log == ["hold", "urgent", "middle", "late"]
+
+    def test_cancelled_request_is_skipped(self):
+        env = Environment()
+        resource = Resource(env)
+        holder = resource.request()
+        waiter = resource.request()
+        waiter.cancel()
+        third = resource.request()
+        resource.release(holder)
+        assert third.triggered
+        assert not waiter.triggered
+
+
+class TestWaitQueues:
+    def test_fifo_order(self):
+        queue = FifoWaitQueue()
+        for item in "abc":
+            queue.push(item, 0.0)
+        assert [queue.pop() for _ in range(3)] == list("abc")
+
+    def test_sorted_order_with_ties_fifo(self):
+        queue = SortedWaitQueue()
+        queue.push("b1", 2.0)
+        queue.push("a", 1.0)
+        queue.push("b2", 2.0)
+        assert [queue.pop() for _ in range(3)] == ["a", "b1", "b2"]
+
+    def test_sorted_remove(self):
+        queue = SortedWaitQueue()
+        queue.push("x", 1.0)
+        queue.push("y", 2.0)
+        queue.remove("x")
+        assert len(queue) == 1
+        assert queue.pop() == "y"
+
+    def test_fifo_remove_missing_is_noop(self):
+        queue = FifoWaitQueue()
+        queue.push("a", 0.0)
+        queue.remove("ghost")
+        assert len(queue) == 1
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer():
+            yield env.timeout(2.0)
+            yield store.put("late-item")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("late-item", 2.0)]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered
+        assert not second.triggered
+        store.get()
+        assert second.triggered
+        assert list(store.items) == ["b"]
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get().value for _ in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)

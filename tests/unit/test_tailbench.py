@@ -1,0 +1,75 @@
+"""Unit tests for the reconstructed Tailbench workload models.
+
+These assert the headline fidelity claim: the models reproduce every
+number the paper publishes about its simulation inputs (Table II).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import TAILBENCH_WORKLOADS, get_workload
+from repro.workloads.tailbench import FIG4_SLOS_MS, FIG6_CLASS_SLOS_MS
+
+
+class TestRegistry:
+    def test_three_workloads(self):
+        assert set(TAILBENCH_WORKLOADS) == {"masstree", "shore", "xapian"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("MASSTREE").name == "masstree"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("redis")
+
+
+@pytest.mark.parametrize("name", ["masstree", "shore", "xapian"])
+class TestTable2Fidelity:
+    def test_mean_matches_paper(self, name):
+        workload = get_workload(name)
+        assert workload.service_time.mean() == pytest.approx(
+            workload.paper_mean_ms, rel=1e-4
+        )
+
+    @pytest.mark.parametrize("fanout", [1, 10, 100])
+    def test_x99_matches_paper(self, name, fanout):
+        workload = get_workload(name)
+        assert workload.unloaded_query_tail(fanout) == pytest.approx(
+            workload.paper_x99_ms[fanout], rel=1e-4
+        )
+
+    def test_table2_row_consistency(self, name):
+        workload = get_workload(name)
+        row = workload.table2_row()
+        assert row["x99(1)"] < row["x99(10)"] < row["x99(100)"]
+
+    def test_support_is_positive_and_bounded(self, name):
+        lo, hi = get_workload(name).service_time.support()
+        assert 0 < lo < hi < 10.0
+
+    def test_sampled_statistics_match_model(self, name):
+        workload = get_workload(name)
+        rng = np.random.default_rng(77)
+        samples = workload.service_time.sample(rng, 300_000)
+        assert np.mean(samples) == pytest.approx(workload.paper_mean_ms,
+                                                 rel=0.01)
+        assert np.percentile(samples, 99) == pytest.approx(
+            workload.paper_x99_ms[1], rel=0.03
+        )
+
+
+class TestExperimentConstants:
+    def test_fig4_slos_cover_all_workloads(self):
+        assert set(FIG4_SLOS_MS) == set(TAILBENCH_WORKLOADS)
+        for slos in FIG4_SLOS_MS.values():
+            assert len(slos) == 4
+            assert slos == sorted(slos)
+
+    def test_fig6_slo_pairs(self):
+        for name, (slo1, slo2) in FIG6_CLASS_SLOS_MS.items():
+            assert slo1 < slo2
+            # SLOs must exceed the unloaded fanout-100 tail, or the
+            # budget is negative even on an idle cluster.
+            workload = get_workload(name)
+            assert slo1 > workload.paper_x99_ms[100]

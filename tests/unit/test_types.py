@@ -1,0 +1,95 @@
+"""Unit tests for the core value types."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import (
+    QueryRecord,
+    QuerySpec,
+    RequestSpec,
+    ServiceClass,
+    Task,
+    TaskObservation,
+)
+
+
+@pytest.fixture
+def gold():
+    return ServiceClass("gold", slo_ms=1.0)
+
+
+class TestQuerySpec:
+    def test_fanout_validation(self, gold):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(0, 0.0, 0, gold)
+
+    def test_servers_length_must_match_fanout(self, gold):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(0, 0.0, 2, gold, servers=(1,))
+
+    def test_frozen(self, gold):
+        spec = QuerySpec(0, 0.0, 1, gold)
+        with pytest.raises(AttributeError):
+            spec.fanout = 5
+
+
+class TestTask:
+    def test_lifecycle_timings(self):
+        task = Task(query_id=0, server_id=1, deadline=5.0,
+                    class_priority=0, enqueue_time=1.0)
+        task.dequeue_time = 3.0
+        task.finish_time = 4.5
+        assert task.pre_dequeuing_time == pytest.approx(2.0)
+        assert task.post_queuing_time == pytest.approx(1.5)
+        assert task.response_time == pytest.approx(3.5)
+        assert not task.missed_deadline
+
+    def test_missed_deadline(self):
+        task = Task(query_id=0, server_id=1, deadline=2.0,
+                    class_priority=0, enqueue_time=1.0)
+        task.dequeue_time = 2.5
+        assert task.missed_deadline
+
+    def test_unfinished_task_raises(self):
+        task = Task(query_id=0, server_id=1, deadline=2.0,
+                    class_priority=0, enqueue_time=1.0)
+        with pytest.raises(ValueError):
+            _ = task.response_time
+        with pytest.raises(ValueError):
+            _ = task.pre_dequeuing_time
+
+
+class TestQueryRecord:
+    def test_latency(self, gold):
+        record = QueryRecord(spec=QuerySpec(0, 2.0, 1, gold))
+        record.finish_time = 2.8
+        assert record.latency == pytest.approx(0.8)
+        assert record.met_slo
+
+    def test_slo_violation(self, gold):
+        record = QueryRecord(spec=QuerySpec(0, 0.0, 1, gold))
+        record.finish_time = 1.5
+        assert not record.met_slo
+
+    def test_unfinished_raises(self, gold):
+        record = QueryRecord(spec=QuerySpec(0, 0.0, 1, gold))
+        with pytest.raises(ValueError):
+            _ = record.latency
+
+
+class TestRequestSpec:
+    def test_invalid_slo(self):
+        with pytest.raises(ConfigurationError):
+            RequestSpec(0, 0.0, (1, 2), slo_ms=0.0)
+
+
+class TestTaskObservation:
+    def test_valid(self):
+        obs = TaskObservation(server_id=3, post_queuing_time=0.4,
+                              missed_deadline=False)
+        assert obs.server_id == 3
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskObservation(server_id=0, post_queuing_time=-0.1,
+                            missed_deadline=True)

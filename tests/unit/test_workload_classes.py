@@ -1,0 +1,82 @@
+"""Unit tests for service classes and class mixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass, two_classes
+from repro.workloads import single_class_mix, uniform_class_mix
+from repro.workloads.classes import ClassMix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestServiceClass:
+    def test_valid_construction(self):
+        cls = ServiceClass("gold", 1.5, percentile=99.0, priority=0)
+        assert cls.quantile == pytest.approx(0.99)
+
+    def test_invalid_slo(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", 0.0)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", 1.0, percentile=100.0)
+
+    def test_frozen(self):
+        cls = ServiceClass("gold", 1.0)
+        with pytest.raises(AttributeError):
+            cls.slo_ms = 2.0
+
+    def test_two_classes_helper(self):
+        high, low = two_classes(1.0, ratio=1.5)
+        assert high.slo_ms == 1.0
+        assert low.slo_ms == 1.5
+        assert high.priority < low.priority
+
+
+class TestClassMix:
+    def test_single_class_mix(self, rng):
+        mix = single_class_mix(ServiceClass("only", 1.0))
+        assert len(mix) == 1
+        assert all(idx == 0 for idx in mix.sample_indices(rng, 100))
+
+    def test_uniform_mix_probabilities(self):
+        classes = [ServiceClass("a", 1.0), ServiceClass("b", 2.0)]
+        mix = uniform_class_mix(classes)
+        assert mix.probabilities() == {"a": 0.5, "b": 0.5}
+
+    def test_uniform_mix_sampling(self, rng):
+        classes = [ServiceClass("a", 1.0), ServiceClass("b", 2.0)]
+        mix = uniform_class_mix(classes)
+        indices = mix.sample_indices(rng, 100_000)
+        assert np.mean(indices) == pytest.approx(0.5, abs=0.01)
+
+    def test_probabilities_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClassMix([(ServiceClass("a", 1.0), 0.6),
+                      (ServiceClass("b", 2.0), 0.6)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassMix([(ServiceClass("a", 1.0), 0.5),
+                      (ServiceClass("a", 2.0), 0.5)])
+
+    def test_strictest_slo(self):
+        classes = [ServiceClass("a", 1.0), ServiceClass("b", 2.0)]
+        assert uniform_class_mix(classes).strictest_slo() == 1.0
+
+    def test_sample_returns_class_objects(self, rng):
+        cls = ServiceClass("only", 1.0)
+        mix = single_class_mix(cls)
+        assert mix.sample(rng, 3) == [cls, cls, cls]
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassMix([])
+        with pytest.raises(ConfigurationError):
+            uniform_class_mix([])

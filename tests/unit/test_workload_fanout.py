@@ -1,0 +1,115 @@
+"""Unit tests for fanout distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    CategoricalFanout,
+    FixedFanout,
+    UniformFanout,
+    ZipfFanout,
+    inverse_proportional_fanout,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestFixedFanout:
+    def test_constant_samples(self, rng):
+        assert set(FixedFanout(7).sample(rng, 100)) == {7}
+
+    def test_mean(self):
+        assert FixedFanout(100).mean() == 100.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            FixedFanout(0)
+
+
+class TestCategoricalFanout:
+    def test_pmf_normalized(self):
+        dist = CategoricalFanout({1: 0.5, 10: 0.5})
+        assert dist.pmf() == {1: 0.5, 10: 0.5}
+
+    def test_mean(self):
+        dist = CategoricalFanout({1: 0.5, 3: 0.5})
+        assert dist.mean() == 2.0
+
+    def test_sample_support(self, rng):
+        dist = CategoricalFanout({2: 0.3, 5: 0.7})
+        samples = dist.sample(rng, 1000)
+        assert set(np.unique(samples)) <= {2, 5}
+
+    def test_probabilities_must_sum(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalFanout({1: 0.5, 2: 0.4})
+
+    def test_fanouts_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalFanout({0: 1.0})
+
+
+class TestInverseProportional:
+    def test_paper_probabilities(self):
+        """§IV.B: P(1)=100/111, P(10)=10/111, P(100)=1/111."""
+        dist = inverse_proportional_fanout([1, 10, 100])
+        pmf = dist.pmf()
+        assert pmf[1] == pytest.approx(100 / 111)
+        assert pmf[10] == pytest.approx(10 / 111)
+        assert pmf[100] == pytest.approx(1 / 111)
+
+    def test_equal_expected_task_volume(self):
+        """The mix equalizes expected tasks per type: k * P(k) constant."""
+        dist = inverse_proportional_fanout([1, 10, 100])
+        volumes = {k: k * p for k, p in dist.pmf().items()}
+        values = list(volumes.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_empirical_frequencies(self, rng):
+        dist = inverse_proportional_fanout([1, 10, 100])
+        samples = dist.sample(rng, 111_000)
+        share_1 = np.mean(samples == 1)
+        assert share_1 == pytest.approx(100 / 111, abs=0.01)
+
+
+class TestUniformFanout:
+    def test_bounds(self, rng):
+        dist = UniformFanout(2, 5)
+        samples = dist.sample(rng, 1000)
+        assert samples.min() >= 2
+        assert samples.max() <= 5
+
+    def test_mean(self):
+        assert UniformFanout(1, 3).mean() == 2.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformFanout(5, 2)
+
+
+class TestZipfFanout:
+    def test_probabilities_decrease(self):
+        dist = ZipfFanout(1.3, 50)
+        pmf = dist.pmf()
+        assert pmf[1] > pmf[2] > pmf[10] > pmf[50]
+
+    def test_facebook_like_shape(self):
+        """§II.A: Facebook fanouts are 'one to several hundreds with 65%
+        under 20'; alpha=1.3, k_max=300 roughly matches."""
+        dist = ZipfFanout(1.3, 300)
+        under_20 = sum(p for k, p in dist.pmf().items() if k < 20)
+        assert 0.55 < under_20 < 0.95
+
+    def test_sample_range(self, rng):
+        dist = ZipfFanout(1.0, 10)
+        samples = dist.sample(rng, 1000)
+        assert samples.min() >= 1
+        assert samples.max() <= 10
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ZipfFanout(0.0, 10)

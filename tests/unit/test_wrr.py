@@ -1,0 +1,107 @@
+"""Unit tests for the weighted round-robin queue and policy."""
+
+import pytest
+
+from repro.core.policies import (
+    WRRPolicy,
+    WeightedRoundRobinTaskQueue,
+    get_policy,
+)
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+
+class TestWRRQueue:
+    def test_weights_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightedRoundRobinTaskQueue({0: 0.0})
+        with pytest.raises(ConfigurationError):
+            WeightedRoundRobinTaskQueue({}, default_weight=0.0)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            WeightedRoundRobinTaskQueue({0: 1.0}).pop()
+
+    def test_fifo_within_lane(self):
+        queue = WeightedRoundRobinTaskQueue({0: 1.0})
+        for tag in ("a", "b", "c"):
+            queue.push(tag, (0, 0.0))
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_share_matches_weights(self):
+        """2:1 weights serve the heavy lane twice as often."""
+        queue = WeightedRoundRobinTaskQueue({0: 2.0, 1: 1.0})
+        for i in range(300):
+            queue.push(("heavy", i), (0, 0.0))
+            queue.push(("light", i), (1, 0.0))
+        first_90 = [queue.pop()[0] for _ in range(90)]
+        heavy = first_90.count("heavy")
+        assert heavy == pytest.approx(60, abs=2)
+
+    def test_no_starvation(self):
+        """Unlike strict priority, the light lane is served regularly."""
+        queue = WeightedRoundRobinTaskQueue({0: 10.0, 1: 1.0})
+        for i in range(110):
+            queue.push(("heavy", i), (0, 0.0))
+        for i in range(10):
+            queue.push(("light", i), (1, 0.0))
+        first_44 = [queue.pop()[0] for _ in range(44)]
+        assert first_44.count("light") >= 3
+
+    def test_empty_lane_gets_no_share(self):
+        queue = WeightedRoundRobinTaskQueue({0: 1.0, 1: 1.0})
+        for i in range(5):
+            queue.push(("only", i), (1, 0.0))
+        assert [queue.pop()[0] for _ in range(5)] == ["only"] * 5
+
+    def test_conservation(self):
+        queue = WeightedRoundRobinTaskQueue({0: 3.0, 1: 1.0, 2: 1.0})
+        pushed = set()
+        for i in range(60):
+            queue.push(i, (i % 3, 0.0))
+            pushed.add(i)
+        popped = {queue.pop() for _ in range(60)}
+        assert popped == pushed
+
+
+class TestWRRPolicy:
+    def test_registered(self):
+        assert get_policy("wrr").name == "wrr"
+
+    def test_key_is_priority_then_arrival(self):
+        policy = get_policy("wrr")
+        gold = ServiceClass("gold", 1.0, priority=0)
+        assert policy.queue_key(3.0, gold, 99.0) == (0, 3.0)
+
+    def test_custom_weights(self):
+        policy = WRRPolicy({0: 5.0, 1: 1.0})
+        queue = policy.create_queue()
+        for i in range(60):
+            queue.push(("a", i), (0, 0.0))
+            queue.push(("b", i), (1, 0.0))
+        first_60 = [queue.pop()[0] for _ in range(60)]
+        assert first_60.count("a") == pytest.approx(50, abs=2)
+
+    def test_default_weights_decay_with_priority(self):
+        queue = WRRPolicy().create_queue()
+        for i in range(120):
+            queue.push(("hi", i), (0, 0.0))
+            queue.push(("lo", i), (1, 0.0))
+        first_90 = [queue.pop()[0] for _ in range(90)]
+        # Default weights 1 : 1/2 give the high class a 2/3 share.
+        assert first_90.count("hi") == pytest.approx(60, abs=3)
+
+    def test_end_to_end_between_fifo_and_priq(self):
+        """WRR's class-I tail sits between FIFO's (no preference) and
+        PRIQ's (absolute preference) at equal load."""
+        from repro.cluster import simulate
+        from repro.experiments.setups import paper_two_class_config
+
+        tails = {}
+        for policy in ("fifo", "wrr", "priq"):
+            result = simulate(
+                paper_two_class_config("masstree", 1.0, policy=policy,
+                                       n_queries=20_000, seed=9).at_load(0.5)
+            )
+            tails[policy] = result.tail(99.0, "class-I")
+        assert tails["priq"] <= tails["wrr"] <= tails["fifo"] * 1.05, tails
