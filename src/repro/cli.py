@@ -3,10 +3,15 @@
 Subcommands:
 
 * ``list`` — show all registered experiments;
-* ``run EXPERIMENT [--quick] [--json]`` — run one experiment and print
-  its table (or JSON);
+* ``run EXPERIMENT [--quick] [--json] [--csv PATH]`` — run one
+  experiment and print its table (JSON and CSV may be combined; the
+  table is printed only when neither is requested);
 * ``all [--quick]`` — run every experiment in registry order;
-* ``simulate`` — run a one-off simulation with explicit parameters.
+* ``simulate`` — run a one-off simulation with explicit parameters;
+* ``trace record / replay`` — query-trace capture and paired replay;
+* ``trace run`` — run a traced simulation and export the task
+  lifecycle as Chrome trace-event JSON (``chrome://tracing`` /
+  Perfetto) or JSONL.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
@@ -21,6 +27,13 @@ import numpy as np
 from repro.cluster import ClusterConfig, simulate
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.setups import paper_single_class_config
+from repro.metrics import LatencyCollector
+from repro.obs import (
+    TraceRecorder,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.workloads import generate_queries, load_trace, save_trace
 
 
@@ -37,7 +50,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {len(report.rows)} rows to {args.csv}")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
-    elif not args.csv:
+    if not args.csv and not args.json:
         print(report.format_table())
     return 0
 
@@ -73,6 +86,34 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
           f"miss_ratio={result.deadline_miss_ratio():.4f}")
     for (class_name, fanout), tail in result.per_type_tails().items():
         print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms")
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """Run one traced simulation and export the lifecycle events."""
+    config = paper_single_class_config(
+        args.workload, args.slo_ms, policy=args.policy,
+        n_servers=args.servers, n_queries=args.queries, seed=args.seed,
+    ).at_load(args.load)
+    recorder = TraceRecorder(sample_interval_ms=args.sample_interval)
+    result = simulate(replace(config, recorder=recorder))
+
+    collector = LatencyCollector()
+    for class_name, fanout in result.types():
+        for value in result.latencies(class_name, fanout):
+            collector.record(class_name, fanout, float(value))
+
+    if args.format == "chrome":
+        n = write_chrome_trace(recorder, args.trace_out)
+        what = "trace events"
+    else:
+        n = write_jsonl(recorder, args.trace_out)
+        what = "JSONL events"
+    print(text_summary(recorder, collector))
+    print(f"policy={result.policy_name} load={args.load:.2f} "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f}")
+    print(f"wrote {n} {what} to {args.trace_out}")
     return 0
 
 
@@ -154,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--policy", default="tailguard")
     replay_parser.add_argument("--servers", type=int, default=100)
     replay_parser.add_argument("--seed", type=int, default=1)
+    trace_run_parser = trace_sub.add_parser(
+        "run", help="run a traced simulation and export lifecycle events")
+    trace_run_parser.add_argument("--trace-out", required=True,
+                                  metavar="PATH",
+                                  help="output file for the trace")
+    trace_run_parser.add_argument("--format", default="chrome",
+                                  choices=["chrome", "jsonl"],
+                                  help="chrome://tracing / Perfetto JSON "
+                                       "or one event per JSONL line")
+    trace_run_parser.add_argument("--sample-interval", type=float,
+                                  default=None, metavar="MS",
+                                  help="sample per-server queue/utilization/"
+                                       "miss-ratio series every MS sim-ms")
+    trace_run_parser.add_argument("--workload", default="masstree",
+                                  choices=["masstree", "shore", "xapian"])
+    trace_run_parser.add_argument("--policy", default="tailguard")
+    trace_run_parser.add_argument("--slo-ms", type=float, default=1.0)
+    trace_run_parser.add_argument("--load", type=float, default=0.4)
+    trace_run_parser.add_argument("--servers", type=int, default=100)
+    trace_run_parser.add_argument("--queries", type=int, default=20_000)
+    trace_run_parser.add_argument("--seed", type=int, default=1)
 
     return parser
 
@@ -170,6 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_handlers = {
             "record": _cmd_trace_record,
             "replay": _cmd_trace_replay,
+            "run": _cmd_trace_run,
         }
         return trace_handlers[args.trace_command](args)
     return handlers[args.command](args)

@@ -12,6 +12,7 @@ from repro.core.deadline import DeadlineEstimator
 from repro.core.policies import Policy, get_policy
 from repro.distributions import Distribution
 from repro.errors import ConfigurationError
+from repro.obs.recorder import TraceRecorder
 from repro.types import QuerySpec
 from repro.workloads.generator import Workload
 
@@ -82,6 +83,12 @@ class ClusterConfig:
     #: When set, sample (time, queued tasks, busy servers) every this
     #: many ms into ``SimulationResult.timeline`` (transient analysis).
     timeline_interval_ms: Optional[float] = None
+    #: Observability: a :class:`repro.obs.TraceRecorder` to receive
+    #: task-lifecycle events (and, when its ``sample_interval_ms`` is
+    #: set, per-server time series).  ``None`` or a disabled recorder
+    #: (e.g. :class:`repro.obs.NullRecorder`) keeps the hot path free
+    #: of instrumentation.
+    recorder: Optional[TraceRecorder] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.metrics.percentile import exact_percentile
+from repro.obs.recorder import TraceRecorder
 from repro.types import ServiceClass
 
 #: A query *type* is a (service class name, fanout) pair (§IV.B).
@@ -68,6 +69,11 @@ class SimulationResult:
     duration: float
     mean_service_ms: float
     timeline: Optional[Timeline] = None
+    #: The trace recorder this run was instrumented with (None when the
+    #: simulation ran untraced).  Carries the lifecycle event stream,
+    #: streaming counters/histogram, and — when sampling was on — the
+    #: per-server :class:`repro.obs.ServerSeries`.
+    obs: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     def _class_by_name(self, name: str) -> ServiceClass:

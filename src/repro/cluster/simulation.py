@@ -28,6 +28,17 @@ from repro.cluster.results import SimulationResult, Timeline
 from repro.core.deadline import DeadlineEstimator
 from repro.distributions import SampleStream
 from repro.errors import ConfigurationError
+from repro.obs.events import (
+    CDF_UPDATE,
+    DEADLINE_MISS,
+    QUERY_ARRIVE,
+    QUERY_REJECTED,
+    SERVER_BUSY,
+    SERVER_IDLE,
+    TASK_COMPLETE,
+    TASK_DEQUEUE,
+    TASK_ENQUEUE,
+)
 from repro.types import ServiceClass
 from repro.workloads.generator import generate_queries
 
@@ -145,24 +156,66 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     queued_tasks = 0
     busy_servers = 0
 
+    # ------------------------------------------------------------------
+    # Observability.  ``tracing`` is a local bool, so a run without a
+    # recorder pays one boolean check per instrumented site and nothing
+    # else — no event objects, no per-server accounting.
+    # ------------------------------------------------------------------
+    rec = config.recorder
+    tracing = rec is not None and rec.enabled
+    obs_interval = rec.sample_interval_ms if tracing else None
+    next_obs = obs_interval if obs_interval is not None else infinity
+    if tracing:
+        server_tasks = [0] * n       # dequeued tasks per server
+        server_misses = [0] * n      # deadline misses per server
+        server_busy_ms = [0.0] * n   # completed service time per server
+        server_busy_since = [0.0] * n  # start of the in-flight task
+
     while qi < m or heap:
         next_arrival = arrival[qi] if qi < m else infinity
-        if sample_interval is not None:
+        if sample_interval is not None or obs_interval is not None:
             next_event = min(next_arrival, heap[0][0] if heap else infinity)
-            while next_sample <= next_event:
-                sample_times.append(next_sample)
-                sample_queued.append(queued_tasks)
-                sample_busy.append(busy_servers)
-                next_sample += sample_interval
+            if sample_interval is not None:
+                while next_sample <= next_event:
+                    sample_times.append(next_sample)
+                    sample_queued.append(queued_tasks)
+                    sample_busy.append(busy_servers)
+                    next_sample += sample_interval
+            if obs_interval is not None:
+                while next_obs <= next_event:
+                    t = next_obs
+                    rec.sample_servers(
+                        t,
+                        [len(queue) for queue in queues],
+                        [1 if flag else 0 for flag in busy],
+                        [min(1.0, (server_busy_ms[sid]
+                                   + (t - server_busy_since[sid]
+                                      if busy[sid] else 0.0)) / t)
+                         for sid in range(n)],
+                        [server_misses[sid] / server_tasks[sid]
+                         if server_tasks[sid] else 0.0 for sid in range(n)],
+                    )
+                    next_obs += obs_interval
         if heap and heap[0][0] <= next_arrival:
             # ----- task completion -------------------------------------
             finish, sid, qidx, duration = pop(heap)
             now = finish
             if online:
                 estimator.record(sid, duration)
+            if tracing:
+                server_busy_ms[sid] += duration
+                rec.emit(TASK_COMPLETE, now, server_id=sid, query_id=qidx,
+                         class_name=classes[class_index[qidx]].name,
+                         extra={"duration": duration})
+                if online:
+                    rec.emit(CDF_UPDATE, now, server_id=sid,
+                             extra={"observation": duration})
             remaining[qidx] -= 1
             if remaining[qidx] == 0:
                 latency[qidx] = now - arrival[qidx]
+                if tracing:
+                    rec.observe_latency(latency[qidx])
+                    rec.inc("queries_completed")
             queue = queues[sid]
             if len(queue) > 0:
                 task_qidx, task_deadline = queue.pop()
@@ -173,6 +226,24 @@ def simulate(config: ClusterConfig) -> SimulationResult:
                     tasks_missed += 1
                 if admission is not None:
                     admission.record_task(missed, now)
+                if tracing:
+                    server_tasks[sid] += 1
+                    server_busy_since[sid] = now
+                    rec.inc("tasks_dequeued")
+                    rec.emit(TASK_DEQUEUE, now, server_id=sid,
+                             query_id=task_qidx,
+                             class_name=classes[class_index[task_qidx]].name,
+                             fanout=int(fanout[task_qidx]),
+                             deadline=task_deadline,
+                             slack=task_deadline - now,
+                             extra={"queue_len": len(queue)})
+                    if missed:
+                        server_misses[sid] += 1
+                        rec.inc("deadline_misses")
+                        rec.emit(DEADLINE_MISS, now, server_id=sid,
+                                 query_id=task_qidx,
+                                 deadline=task_deadline,
+                                 slack=task_deadline - now)
                 next_duration = server_stream[sid].next()
                 if sid in perturbed_servers:
                     next_duration = perturbed_duration(sid, now, next_duration)
@@ -181,14 +252,27 @@ def simulate(config: ClusterConfig) -> SimulationResult:
             else:
                 busy[sid] = False
                 busy_servers -= 1
+                if tracing:
+                    rec.emit(SERVER_IDLE, now, server_id=sid)
             continue
 
         # ----- query arrival -------------------------------------------
         now = next_arrival
         qidx = qi
         qi += 1
+        if tracing:
+            rec.inc("queries_arrived")
+            rec.emit(QUERY_ARRIVE, now, query_id=qidx,
+                     class_name=classes[class_index[qidx]].name,
+                     fanout=int(fanout[qidx]))
         if admission is not None and not admission.admit(now):
             rejected[qidx] = True
+            if tracing:
+                rec.inc("queries_rejected")
+                rec.emit(QUERY_REJECTED, now, query_id=qidx,
+                         class_name=classes[class_index[qidx]].name,
+                         fanout=int(fanout[qidx]),
+                         extra={"miss_ratio": admission.miss_ratio()})
             continue
 
         spec = specs[qidx]
@@ -234,18 +318,43 @@ def simulate(config: ClusterConfig) -> SimulationResult:
         key = policy.queue_key(now, cls, deadline)
         for sid in servers:
             if busy[sid]:
-                queues[sid].push((qidx, deadline), key)
-                queued_tasks += 1
+                if tracing:
+                    depth = queues[sid].reorder_depth(key)
+                    queues[sid].push((qidx, deadline), key)
+                    queued_tasks += 1
+                    rec.emit(TASK_ENQUEUE, now, server_id=sid, query_id=qidx,
+                             class_name=cls.name, fanout=k, deadline=deadline,
+                             slack=deadline - now,
+                             extra={"queue_len": len(queues[sid]),
+                                    "reorder_depth": depth})
+                else:
+                    queues[sid].push((qidx, deadline), key)
+                    queued_tasks += 1
             else:
                 busy[sid] = True
                 busy_servers += 1
                 tasks_total += 1
-                if now > deadline:
+                missed = now > deadline
+                if missed:
                     tasks_missed += 1
                     if admission is not None:
                         admission.record_task(True, now)
                 elif admission is not None:
                     admission.record_task(False, now)
+                if tracing:
+                    server_tasks[sid] += 1
+                    server_busy_since[sid] = now
+                    rec.inc("tasks_dequeued")
+                    rec.emit(SERVER_BUSY, now, server_id=sid)
+                    rec.emit(TASK_DEQUEUE, now, server_id=sid, query_id=qidx,
+                             class_name=cls.name, fanout=k, deadline=deadline,
+                             slack=deadline - now, extra={"queue_len": 0})
+                    if missed:
+                        server_misses[sid] += 1
+                        rec.inc("deadline_misses")
+                        rec.emit(DEADLINE_MISS, now, server_id=sid,
+                                 query_id=qidx, deadline=deadline,
+                                 slack=deadline - now)
                 duration = server_stream[sid].next()
                 if sid in perturbed_servers:
                     duration = perturbed_duration(sid, now, duration)
@@ -278,6 +387,13 @@ def simulate(config: ClusterConfig) -> SimulationResult:
             float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
         )
 
+    if tracing:
+        rec.set_gauge("utilization",
+                      busy_total / (n * now) if now > 0 else 0.0)
+        rec.set_gauge("deadline_miss_ratio",
+                      tasks_missed / tasks_total if tasks_total else 0.0)
+        rec.set_gauge("duration_ms", now)
+
     return SimulationResult(
         policy_name=policy.name,
         n_servers=n,
@@ -296,4 +412,5 @@ def simulate(config: ClusterConfig) -> SimulationResult:
         duration=now,
         mean_service_ms=mean_service,
         timeline=timeline,
+        obs=rec if tracing else None,
     )

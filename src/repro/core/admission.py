@@ -19,9 +19,12 @@ new tasks arrive, so admission resumes instead of latching shut.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Observability hook signature: (admitted, now, miss_ratio) -> None.
+DecisionHook = Callable[[bool, float, float], None]
 
 
 class AdmissionController:
@@ -29,7 +32,14 @@ class AdmissionController:
 
     ``now`` is the current (simulation) time in ms; controllers without
     time-based state may ignore it.
+
+    ``decision_hook`` is an optional observability callback invoked by
+    stateful controllers on every :meth:`admit` decision with
+    ``(admitted, now, miss_ratio)`` — how the trace recorder learns the
+    observed miss ratio behind each reject.
     """
+
+    decision_hook: Optional[DecisionHook] = None
 
     def admit(self, now: float = 0.0) -> bool:
         """Whether a query arriving at ``now`` should be admitted."""
@@ -155,6 +165,18 @@ class DeadlineMissRatioAdmission(AdmissionController):
                 _, missed = entries.popleft()
                 if missed:
                     self._misses -= 1
+        # Entries are appended in nondecreasing time order (simulation
+        # clocks never run backwards), so eviction from the left must
+        # preserve sortedness — the time-bound eviction above relies on
+        # it.  O(1) endpoint check.
+        assert not entries or entries[0][0] <= entries[-1][0], (
+            "admission window out of order: record_task called with a "
+            "time earlier than an already-recorded outcome"
+        )
+
+    def window_occupancy(self) -> float:
+        """Fill fraction of the task-count window, in [0, 1]."""
+        return len(self._entries) / self.window_tasks
 
     def record_task(self, missed_deadline: bool, now: float = 0.0) -> None:
         self._entries.append((now, missed_deadline))
@@ -209,6 +231,8 @@ class DeadlineMissRatioAdmission(AdmissionController):
             self._admitted += 1
         else:
             self._rejected += 1
+        if self.decision_hook is not None:
+            self.decision_hook(decision, now, self.miss_ratio())
         return decision
 
     @property

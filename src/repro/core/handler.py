@@ -20,6 +20,7 @@ from repro.core.deadline import DeadlineEstimator
 from repro.core.policies import Policy
 from repro.core.server import TaskServer
 from repro.errors import ConfigurationError
+from repro.obs.events import QUERY_ARRIVE, QUERY_REJECTED
 from repro.sim.engine import Environment, Event
 from repro.types import QueryRecord, QuerySpec, Task
 
@@ -36,6 +37,7 @@ class QueryHandler:
         rng: np.random.Generator,
         admission: Optional[AdmissionController] = None,
         dispatch_delay=None,
+        recorder=None,
     ) -> None:
         """
         ``dispatch_delay`` (a :class:`~repro.distributions.Distribution`
@@ -44,6 +46,11 @@ class QueryHandler:
         "also includes task dispatching time"): each task waits a
         sampled network/dispatch delay before entering its server's
         queue.  ``None`` is the paper's central-queuing default.
+
+        ``recorder`` (a :class:`repro.obs.TraceRecorder`) captures
+        handler-level lifecycle events (query arrivals/rejections);
+        pass the same recorder to the :class:`TaskServer`\\ s for the
+        per-task events.
         """
         if not servers:
             raise ConfigurationError("need at least one task server")
@@ -57,6 +64,8 @@ class QueryHandler:
         self.estimator = estimator
         self.policy = policy
         self.admission = admission if admission is not None else NoAdmission()
+        self._recorder = recorder if (recorder is not None
+                                      and recorder.enabled) else None
         self._rng = rng
         self._dispatch_stream = None
         if dispatch_delay is not None:
@@ -111,9 +120,21 @@ class QueryHandler:
         """
         done = self.env.event()
         record = QueryRecord(spec=spec)
+        rec = self._recorder
+        if rec is not None:
+            rec.inc("queries_arrived")
+            rec.emit(QUERY_ARRIVE, self.env.now, query_id=spec.query_id,
+                     class_name=spec.service_class.name, fanout=spec.fanout)
         if not self.admission.admit(self.env.now):
             record.rejected = True
             self.rejected.append(record)
+            if rec is not None:
+                rec.inc("queries_rejected")
+                rec.emit(QUERY_REJECTED, self.env.now,
+                         query_id=spec.query_id,
+                         class_name=spec.service_class.name,
+                         fanout=spec.fanout,
+                         extra={"miss_ratio": self.admission.miss_ratio()})
             done.succeed(record)
             return record, done
 

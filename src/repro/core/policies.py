@@ -36,6 +36,15 @@ class TaskQueueBase:
         """Remove and return the task at the head; raises IndexError if empty."""
         raise NotImplementedError
 
+    def reorder_depth(self, key: Tuple) -> int:
+        """How many queued tasks a push with ``key`` would jump ahead of.
+
+        Observability-only (the trace recorder reports it as the queue
+        reorder depth); O(n) for ordered queues, so it is never called
+        on the untraced hot path.  FIFO-like queues return 0.
+        """
+        return 0
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -81,6 +90,11 @@ class EDFTaskQueue(TaskQueueBase):
     def pop(self) -> Any:
         return heapq.heappop(self._heap)[2]
 
+    def reorder_depth(self, key: Tuple) -> int:
+        """Tasks already queued that the new key would overtake (EDF:
+        strictly later deadlines)."""
+        return sum(1 for entry in self._heap if key < entry[0])
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -116,6 +130,12 @@ class PriorityTaskQueue(TaskQueueBase):
                 self._size -= 1
                 return lane.popleft()
         raise IndexError("pop from empty queue")  # pragma: no cover
+
+    def reorder_depth(self, key: Tuple) -> int:
+        """Tasks in strictly lower-priority lanes the new task overtakes."""
+        priority = int(key[0])
+        return sum(len(lane) for p, lane in self._lanes.items()
+                   if p > priority)
 
     def __len__(self) -> int:
         return self._size

@@ -20,6 +20,14 @@ import numpy as np
 from repro.core.policies import Policy
 from repro.distributions import Distribution, SampleStream
 from repro.errors import ConfigurationError
+from repro.obs.events import (
+    DEADLINE_MISS,
+    SERVER_BUSY,
+    SERVER_IDLE,
+    TASK_COMPLETE,
+    TASK_DEQUEUE,
+    TASK_ENQUEUE,
+)
 from repro.sim.engine import Environment
 from repro.types import Task
 
@@ -38,7 +46,11 @@ class TaskServer:
         service_time: Distribution,
         rng: np.random.Generator,
         on_complete: Optional[CompletionCallback] = None,
+        recorder=None,
     ) -> None:
+        """``recorder`` is an optional :class:`repro.obs.TraceRecorder`;
+        when absent (or a :class:`~repro.obs.NullRecorder`) the server
+        pays a single boolean check per operation."""
         if server_id < 0:
             raise ConfigurationError(f"server_id must be >= 0, got {server_id}")
         self.env = env
@@ -49,6 +61,8 @@ class TaskServer:
         self._queue = policy.create_queue()
         self._busy = False
         self.on_complete = on_complete
+        self._recorder = recorder if (recorder is not None
+                                      and recorder.enabled) else None
         # Utilization accounting.
         self._busy_since = 0.0
         self._busy_total = 0.0
@@ -80,8 +94,23 @@ class TaskServer:
     def enqueue(self, task: Task, key: Tuple) -> None:
         """Accept a task; start it immediately if the server is idle."""
         if self._busy:
-            self._queue.push(task, key)
+            rec = self._recorder
+            if rec is not None:
+                depth = self._queue.reorder_depth(key)
+                self._queue.push(task, key)
+                rec.emit(
+                    TASK_ENQUEUE, self.env.now, server_id=self.server_id,
+                    query_id=task.query_id, deadline=task.deadline,
+                    slack=task.deadline - self.env.now,
+                    extra={"queue_len": len(self._queue),
+                           "reorder_depth": depth},
+                )
+            else:
+                self._queue.push(task, key)
         else:
+            if self._recorder is not None:
+                self._recorder.emit(SERVER_BUSY, self.env.now,
+                                    server_id=self.server_id)
             self._start(task)
 
     def _start(self, task: Task) -> None:
@@ -89,6 +118,16 @@ class TaskServer:
         self._busy_since = self.env.now
         task.dequeue_time = self.env.now
         duration = self._stream.next()
+        rec = self._recorder
+        if rec is not None:
+            slack = task.deadline - self.env.now
+            rec.emit(TASK_DEQUEUE, self.env.now, server_id=self.server_id,
+                     query_id=task.query_id, deadline=task.deadline,
+                     slack=slack)
+            if slack < 0:
+                rec.emit(DEADLINE_MISS, self.env.now,
+                         server_id=self.server_id, query_id=task.query_id,
+                         deadline=task.deadline, slack=slack)
         self.env.process(self._serve(task, duration))
 
     def _serve(self, task: Task, duration: float):
@@ -97,9 +136,16 @@ class TaskServer:
         self.tasks_served += 1
         self._busy_total += self.env.now - self._busy_since
         self._busy = False
+        rec = self._recorder
+        if rec is not None:
+            rec.emit(TASK_COMPLETE, self.env.now, server_id=self.server_id,
+                     query_id=task.query_id, deadline=task.deadline,
+                     extra={"duration": duration})
         if self.on_complete is not None:
             self.on_complete(task, self)
         # The callback may have enqueued more work; only pull from the
         # queue if we are still idle.
         if not self._busy and len(self._queue) > 0:
             self._start(self._queue.pop())
+        elif rec is not None and not self._busy:
+            rec.emit(SERVER_IDLE, self.env.now, server_id=self.server_id)

@@ -8,7 +8,7 @@ answers percentile queries per group or overall.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,10 +19,17 @@ GroupKey = Tuple[str, int]
 
 
 class LatencyCollector:
-    """Latency samples grouped by (class name, fanout)."""
+    """Latency samples grouped by (class name, fanout).
+
+    The ndarray view of each group is cached and invalidated on the
+    next :meth:`record` into that group, so repeated
+    ``percentile``/``mean`` calls (the report-building pattern: many
+    reads after the run) convert each group once instead of per call.
+    """
 
     def __init__(self) -> None:
         self._groups: Dict[GroupKey, List[float]] = {}
+        self._arrays: Dict[GroupKey, np.ndarray] = {}
 
     def record(self, class_name: str, fanout: int, latency: float) -> None:
         if latency < 0:
@@ -32,7 +39,16 @@ class LatencyCollector:
         if bucket is None:
             bucket = []
             self._groups[key] = bucket
+        else:
+            self._arrays.pop(key, None)
         bucket.append(latency)
+
+    def _group_array(self, key: GroupKey) -> np.ndarray:
+        array = self._arrays.get(key)
+        if array is None:
+            array = np.asarray(self._groups[key], dtype=float)
+            self._arrays[key] = array
+        return array
 
     def groups(self) -> Tuple[GroupKey, ...]:
         return tuple(sorted(self._groups))
@@ -49,16 +65,18 @@ class LatencyCollector:
     def _select(self, class_name: Optional[str],
                 fanout: Optional[int]) -> np.ndarray:
         matches = [
-            bucket
-            for (name, k), bucket in self._groups.items()
-            if (class_name is None or name == class_name)
-            and (fanout is None or k == fanout)
+            key
+            for key in self._groups
+            if (class_name is None or key[0] == class_name)
+            and (fanout is None or key[1] == fanout)
         ]
         if not matches:
             raise ConfigurationError(
                 f"no samples for class={class_name!r}, fanout={fanout!r}"
             )
-        return np.concatenate([np.asarray(b, dtype=float) for b in matches])
+        if len(matches) == 1:
+            return self._group_array(matches[0])
+        return np.concatenate([self._group_array(key) for key in matches])
 
     def percentile(self, percentile: float, class_name: Optional[str] = None,
                    fanout: Optional[int] = None) -> float:
@@ -70,6 +88,21 @@ class LatencyCollector:
 
     def per_group_percentile(self, percentile: float) -> Dict[GroupKey, float]:
         return {
-            key: exact_percentile(np.asarray(bucket, dtype=float), percentile)
-            for key, bucket in sorted(self._groups.items())
+            key: exact_percentile(self._group_array(key), percentile)
+            for key in sorted(self._groups)
         }
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready per-group statistics (used by the obs exporters)."""
+        groups = []
+        for key in sorted(self._groups):
+            array = self._group_array(key)
+            groups.append({
+                "class_name": key[0],
+                "fanout": key[1],
+                "count": int(array.size),
+                "mean": float(array.mean()),
+                "p50": exact_percentile(array, 50.0),
+                "p99": exact_percentile(array, 99.0),
+            })
+        return {"total_count": self.count(), "groups": groups}

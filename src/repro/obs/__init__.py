@@ -1,0 +1,70 @@
+"""Task-lifecycle tracing and streaming metrics (observability layer).
+
+End-of-run aggregates (percentiles, admission counters) say *whether* a
+run missed its SLO; this package records *why*: when each task was
+enqueued, how far it jumped in the queue, when it was dequeued, whether
+its queuing deadline had already passed, and how the per-server queue
+state evolved over time.  The design follows the telemetry surfaces of
+production tail-latency schedulers (RackSched's per-request scheduling
+traces, QWin's per-window queue observations): per-event records plus
+sampled per-server time series.
+
+Three pieces:
+
+* :mod:`repro.obs.events` — the typed lifecycle event vocabulary and
+  the compact :class:`~repro.obs.events.TraceEvent` record;
+* :mod:`repro.obs.recorder` — :class:`~repro.obs.recorder.TraceRecorder`
+  (collects events, counters, a log-scale latency histogram, and
+  per-server time series) and the zero-overhead
+  :class:`~repro.obs.recorder.NullRecorder`;
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` /
+  Perfetto trace-event exporters plus a human-readable text summary.
+
+The hot paths (:mod:`repro.cluster.simulation`,
+:mod:`repro.core.server`) only ever pay a single ``is not None`` /
+``enabled`` check when tracing is off.
+"""
+
+from repro.obs.events import (
+    CDF_UPDATE,
+    DEADLINE_MISS,
+    EVENT_TYPES,
+    QUERY_ARRIVE,
+    QUERY_REJECTED,
+    SERVER_BUSY,
+    SERVER_IDLE,
+    TASK_COMPLETE,
+    TASK_DEQUEUE,
+    TASK_ENQUEUE,
+    TraceEvent,
+)
+from repro.obs.metrics import LogHistogram, ServerSeries
+from repro.obs.recorder import NullRecorder, TraceRecorder
+from repro.obs.export import (
+    chrome_trace_events,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CDF_UPDATE",
+    "DEADLINE_MISS",
+    "EVENT_TYPES",
+    "QUERY_ARRIVE",
+    "QUERY_REJECTED",
+    "SERVER_BUSY",
+    "SERVER_IDLE",
+    "TASK_COMPLETE",
+    "TASK_DEQUEUE",
+    "TASK_ENQUEUE",
+    "TraceEvent",
+    "LogHistogram",
+    "ServerSeries",
+    "NullRecorder",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "text_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,98 @@
+"""Typed task-lifecycle events.
+
+Event types are plain strings (cheap to compare, JSON-friendly); the
+full vocabulary is in :data:`EVENT_TYPES`.  A :class:`TraceEvent` is a
+slotted record stamped with the simulation time and a monotonically
+increasing sequence number — events emitted at equal sim-times keep
+their emission order, which matches the engine's deterministic
+tie-break (time, priority, insertion order).
+
+All times are simulation milliseconds, like everywhere else in the
+reproduction.  ``server_id`` is ``-1`` for events that happen at the
+query handler rather than at a task server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: A query reached the handler (before admission control).
+QUERY_ARRIVE = "QUERY_ARRIVE"
+#: Admission control turned the query away; ``extra["miss_ratio"]`` is
+#: the controller's observed deadline-miss ratio at decision time.
+QUERY_REJECTED = "QUERY_REJECTED"
+#: A task entered a busy server's waiting line; ``extra`` carries the
+#: queue length after insertion and the reorder depth (how many queued
+#: tasks it jumped ahead of under the active policy).
+TASK_ENQUEUE = "TASK_ENQUEUE"
+#: A task left the waiting line and started service.  ``slack`` is
+#: ``deadline - now`` — negative slack at dequeue is a deadline miss.
+TASK_DEQUEUE = "TASK_DEQUEUE"
+#: A task finished service; ``extra["duration"]`` is its service time.
+TASK_COMPLETE = "TASK_COMPLETE"
+#: A task was dequeued after its queuing deadline ``t_D`` (Eq. 6).
+DEADLINE_MISS = "DEADLINE_MISS"
+#: A server ran out of queued work.
+SERVER_IDLE = "SERVER_IDLE"
+#: An idle server started serving again.
+SERVER_BUSY = "SERVER_BUSY"
+#: The online-updating estimator absorbed a service-time observation.
+CDF_UPDATE = "CDF_UPDATE"
+
+#: Every recognised lifecycle event type.
+EVENT_TYPES = frozenset({
+    QUERY_ARRIVE,
+    QUERY_REJECTED,
+    TASK_ENQUEUE,
+    TASK_DEQUEUE,
+    TASK_COMPLETE,
+    DEADLINE_MISS,
+    SERVER_IDLE,
+    SERVER_BUSY,
+    CDF_UPDATE,
+})
+
+_NAN = float("nan")
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One lifecycle event.
+
+    ``seq`` disambiguates events at equal sim-times: it increases in
+    emission order, which the simulators guarantee follows the
+    deterministic event ordering of the DES kernel.
+    """
+
+    seq: int
+    type: str
+    time: float
+    server_id: int = -1
+    query_id: int = -1
+    class_name: str = ""
+    fanout: int = 0
+    deadline: float = _NAN
+    slack: float = _NAN
+    extra: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A compact JSON-ready dict (NaN fields omitted)."""
+        out: Dict[str, Any] = {"seq": self.seq, "type": self.type,
+                               "time": self.time}
+        if self.server_id >= 0:
+            out["server_id"] = self.server_id
+        if self.query_id >= 0:
+            out["query_id"] = self.query_id
+        if self.class_name:
+            out["class_name"] = self.class_name
+        if self.fanout:
+            out["fanout"] = self.fanout
+        if not math.isnan(self.deadline):
+            out["deadline"] = self.deadline
+        if not math.isnan(self.slack):
+            out["slack"] = self.slack
+        if self.extra:
+            out.update(self.extra)
+        return out

@@ -1,0 +1,247 @@
+"""Streaming metric primitives: log-scale histogram and time series.
+
+:class:`LogHistogram` is a fixed-bucket, log10-spaced latency histogram
+in the HdrHistogram spirit: O(1) record, bounded memory, snapshots that
+merge exactly (same bucket layout ⇒ element-wise count addition), and
+percentile estimates that are conservative (upper bucket edge).
+
+:class:`ServerSeries` holds per-server state sampled at a fixed
+interval — queue length, busy flag, cumulative utilization and
+cumulative deadline-miss ratio — the queue-state time series that
+transient analyses and the Chrome-trace counter tracks are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class LogHistogram:
+    """Fixed-bucket log-scale histogram over positive values.
+
+    Bucket ``i`` covers ``[min_value * 10**(i/bpd), min_value *
+    10**((i+1)/bpd))`` where ``bpd = buckets_per_decade``.  Values below
+    ``min_value`` land in the underflow bucket, values at or above
+    ``max_value`` in the overflow bucket, so ``total_count`` is exact
+    even when the range is exceeded.
+    """
+
+    __slots__ = ("min_value", "max_value", "buckets_per_decade",
+                 "_n", "_counts", "_sum", "_min", "_max",
+                 "underflow", "overflow")
+
+    def __init__(self, min_value: float = 1e-3, max_value: float = 1e4,
+                 buckets_per_decade: int = 8) -> None:
+        if min_value <= 0 or max_value <= min_value:
+            raise ConfigurationError(
+                f"need 0 < min_value < max_value, got "
+                f"[{min_value}, {max_value})"
+            )
+        if buckets_per_decade < 1:
+            raise ConfigurationError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(self.max_value / self.min_value)
+        self._n = int(math.ceil(decades * self.buckets_per_decade - 1e-9))
+        self._counts = [0] * self._n
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        #: Counts outside [min_value, max_value).
+        self.underflow = 0
+        self.overflow = 0
+
+    def _index(self, value: float) -> int:
+        return int(math.log10(value / self.min_value)
+                   * self.buckets_per_decade)
+
+    def record(self, value: float, count: int = 1) -> None:
+        if value < 0 or math.isnan(value):
+            raise ConfigurationError(f"cannot record {value!r}")
+        self._sum += value * count
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value < self.min_value:
+            self.underflow += count
+            return
+        if value >= self.max_value:
+            self.overflow += count
+            return
+        index = self._index(value)
+        # Float rounding at exact bucket edges can land one off; clamp.
+        if index >= self._n:
+            index = self._n - 1
+        self._counts[index] += count
+
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return self._n
+
+    def bucket_lower(self, index: int) -> float:
+        """Inclusive lower edge of bucket ``index``."""
+        return self.min_value * 10.0 ** (index / self.buckets_per_decade)
+
+    def bucket_upper(self, index: int) -> float:
+        """Exclusive upper edge of bucket ``index``."""
+        return min(self.max_value,
+                   self.min_value
+                   * 10.0 ** ((index + 1) / self.buckets_per_decade))
+
+    def total_count(self) -> int:
+        return sum(self._counts) + self.underflow + self.overflow
+
+    def sum(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        total = self.total_count()
+        return self._sum / total if total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Conservative percentile estimate (upper edge of the bucket).
+
+        Underflow resolves to ``min_value``; overflow to the maximum
+        recorded value.
+        """
+        if not 0 <= p <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        total = self.total_count()
+        if total == 0:
+            raise ConfigurationError("empty histogram has no percentiles")
+        rank = p / 100.0 * total
+        cumulative = self.underflow
+        if rank <= cumulative:
+            return self.min_value
+        for index, count in enumerate(self._counts):
+            cumulative += count
+            if rank <= cumulative:
+                return self.bucket_upper(index)
+        return self._max
+
+    # ------------------------------------------------------------------
+    def _same_layout(self, other: "LogHistogram") -> bool:
+        return (self.min_value == other.min_value
+                and self.max_value == other.max_value
+                and self.buckets_per_decade == other.buckets_per_decade)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Absorb ``other`` (same bucket layout) into this histogram."""
+        if not self._same_layout(other):
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket layouts"
+            )
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready, mergeable view of the histogram state."""
+        return {
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": list(self._counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "sum": self._sum,
+            "count": self.total_count(),
+            "observed_min": None if math.isinf(self._min) else self._min,
+            "observed_max": None if math.isinf(self._max) else self._max,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, object]) -> "LogHistogram":
+        hist = cls(snap["min_value"], snap["max_value"],
+                   snap["buckets_per_decade"])
+        counts = snap["counts"]
+        if len(counts) != hist._n:
+            raise ConfigurationError("snapshot bucket count mismatch")
+        hist._counts = list(counts)
+        hist.underflow = int(snap["underflow"])
+        hist.overflow = int(snap["overflow"])
+        hist._sum = float(snap["sum"])
+        if snap.get("observed_min") is not None:
+            hist._min = float(snap["observed_min"])
+        if snap.get("observed_max") is not None:
+            hist._max = float(snap["observed_max"])
+        return hist
+
+
+@dataclass
+class ServerSeries:
+    """Per-server state sampled at a fixed interval.
+
+    ``queue_len`` and ``busy`` are (T, N) arrays; ``utilization`` and
+    ``miss_ratio`` are cumulative-from-start per sample instant.
+    """
+
+    time: np.ndarray
+    queue_len: np.ndarray
+    busy: np.ndarray
+    utilization: np.ndarray
+    miss_ratio: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    @property
+    def n_servers(self) -> int:
+        return int(self.queue_len.shape[1]) if self.queue_len.ndim == 2 else 0
+
+    def total_queued(self) -> np.ndarray:
+        """Cluster-wide queued tasks per sample instant."""
+        return self.queue_len.sum(axis=1)
+
+    def busy_servers(self) -> np.ndarray:
+        return self.busy.sum(axis=1)
+
+
+class ServerSeriesBuilder:
+    """Accumulates samples; :meth:`build` freezes them into arrays."""
+
+    def __init__(self) -> None:
+        self._time: List[float] = []
+        self._queue: List[Sequence[int]] = []
+        self._busy: List[Sequence[int]] = []
+        self._util: List[Sequence[float]] = []
+        self._miss: List[Sequence[float]] = []
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def sample(self, time: float, queue_len: Sequence[int],
+               busy: Sequence[int], utilization: Sequence[float],
+               miss_ratio: Sequence[float]) -> None:
+        self._time.append(time)
+        self._queue.append(list(queue_len))
+        self._busy.append(list(busy))
+        self._util.append(list(utilization))
+        self._miss.append(list(miss_ratio))
+
+    def build(self) -> ServerSeries:
+        if not self._time:
+            empty2 = np.zeros((0, 0))
+            return ServerSeries(np.zeros(0), empty2.astype(np.int64),
+                                empty2.astype(np.int64), empty2, empty2)
+        return ServerSeries(
+            time=np.asarray(self._time),
+            queue_len=np.asarray(self._queue, dtype=np.int64),
+            busy=np.asarray(self._busy, dtype=np.int64),
+            utilization=np.asarray(self._util),
+            miss_ratio=np.asarray(self._miss),
+        )

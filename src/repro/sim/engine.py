@@ -298,6 +298,11 @@ class Environment:
         self._queue: List = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Observability hook: called as ``hook(now, event)`` for every
+        #: event popped by :meth:`step`, *before* its callbacks run and
+        #: in the engine's deterministic order.  ``None`` (default)
+        #: costs a single attribute check per step.
+        self.step_hook: Optional[Callable[[float, "Event"], None]] = None
 
     @property
     def now(self) -> float:
@@ -340,6 +345,8 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("no more events") from None
+        if self.step_hook is not None:
+            self.step_hook(self._now, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -1,0 +1,31 @@
+"""Regenerate golden_chrome_trace.json.
+
+Run from the repo root after an *intentional* Chrome-exporter format
+change, then review the diff::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+The event stream comes from ``golden_recorder()`` in
+``tests/unit/test_obs.py`` so the fixture and the test can never drift
+apart.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, os.pardir, "unit"))
+
+from test_obs import golden_recorder  # noqa: E402
+
+from repro.obs import write_chrome_trace  # noqa: E402
+
+
+def main() -> None:
+    out = os.path.join(HERE, "golden_chrome_trace.json")
+    n = write_chrome_trace(golden_recorder(), out)
+    print(f"wrote {n} trace events to {out}")
+
+
+if __name__ == "__main__":
+    main()

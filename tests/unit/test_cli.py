@@ -76,3 +76,58 @@ class TestCommands:
         main(["trace", "replay", "--trace", str(trace)])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestCombinedOutputs:
+    def test_run_csv_and_json_together(self, capsys, tmp_path):
+        """--csv and --json may be combined; each output is emitted and
+        the human table is suppressed."""
+        path = tmp_path / "rows.csv"
+        assert main(["run", "table2", "--quick",
+                     "--csv", str(path), "--json"]) == 0
+        out = capsys.readouterr().out
+        # stdout: the csv confirmation line, then pure JSON.
+        first, rest = out.split("\n", 1)
+        assert first == f"wrote 12 rows to {path}"
+        data = json.loads(rest)
+        assert data["experiment_id"] == "table2"
+        assert len(path.read_text().splitlines()) == 13
+        assert "|" not in out  # no table
+
+    def test_run_table_only_when_no_machine_output(self, capsys):
+        assert main(["run", "table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+
+class TestTraceRun:
+    def test_chrome_export(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        assert main([
+            "trace", "run", "--trace-out", str(out_path),
+            "--queries", "800", "--load", "0.4", "--servers", "100",
+            "--sample-interval", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace summary ===" in out
+        assert "TASK_DEQUEUE" in out
+        assert "--- sampled series ---" in out
+        document = json.loads(out_path.read_text())
+        events = document["traceEvents"]
+        assert events
+        assert all("ph" in e and "pid" in e and "tid" in e for e in events)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        assert main([
+            "trace", "run", "--trace-out", str(out_path),
+            "--format", "jsonl", "--queries", "500", "--load", "0.3",
+        ]) == 0
+        lines = out_path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert {"type", "time", "seq"} <= parsed[0].keys()
+        assert any(p["type"] == "TASK_COMPLETE" for p in parsed)
+        out = capsys.readouterr().out
+        assert f"wrote {len(lines)} JSONL events" in out

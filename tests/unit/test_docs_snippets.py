@@ -56,3 +56,25 @@ def test_extending_doc_policy_snippet():
         assert result.count() > 0
     finally:
         del POLICIES[SlackPolicy.name]
+
+
+def test_observability_doc_snippet():
+    """The docs/observability.md quickstart works as written."""
+    from dataclasses import replace
+
+    from repro.cluster import simulate
+    from repro.experiments.setups import paper_single_class_config
+    from repro.obs import TraceRecorder, text_summary, write_chrome_trace
+
+    import io
+
+    config = paper_single_class_config(
+        "masstree", 1.0, n_queries=1_000,
+    ).at_load(0.3)
+    recorder = TraceRecorder(sample_interval_ms=5.0)
+    result = simulate(replace(config, recorder=recorder))
+
+    assert "=== trace summary ===" in text_summary(recorder)
+    buffer = io.StringIO()
+    assert write_chrome_trace(recorder, buffer) > 0
+    assert result.obs is recorder

@@ -104,3 +104,38 @@ class TestLatencyCollector:
         collector.record("a", 10, 2.0)
         tails = collector.per_group_percentile(99.0)
         assert tails == {("a", 1): 1.0, ("a", 10): 2.0}
+
+
+class TestLatencyCollectorSummary:
+    def test_summary_shape(self):
+        collector = LatencyCollector()
+        for value in (1.0, 2.0, 3.0):
+            collector.record("a", 1, value)
+        collector.record("b", 10, 5.0)
+        summary = collector.summary()
+        assert summary["total_count"] == 4
+        assert [g["class_name"] for g in summary["groups"]] == ["a", "b"]
+        group_a = summary["groups"][0]
+        assert group_a["fanout"] == 1
+        assert group_a["count"] == 3
+        assert group_a["mean"] == pytest.approx(2.0)
+        assert group_a["p50"] == exact_percentile(np.array([1.0, 2.0, 3.0]), 50.0)
+        assert group_a["p99"] == exact_percentile(np.array([1.0, 2.0, 3.0]), 99.0)
+
+    def test_cached_array_invalidated_on_record(self):
+        """Reads are served from a cached ndarray; a later record into
+        the same group must invalidate it."""
+        collector = LatencyCollector()
+        collector.record("a", 1, 1.0)
+        assert collector.percentile(99.0) == 1.0  # populates the cache
+        collector.record("a", 1, 10.0)
+        expected = exact_percentile(np.array([1.0, 10.0]), 99.0)
+        assert collector.percentile(99.0) == expected
+        assert collector.mean("a", 1) == pytest.approx(5.5)
+
+    def test_cached_array_reused_between_reads(self):
+        collector = LatencyCollector()
+        collector.record("a", 1, 1.0)
+        first = collector._select("a", 1)
+        second = collector._select("a", 1)
+        assert first is second
