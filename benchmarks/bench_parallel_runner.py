@@ -1,0 +1,136 @@
+"""Wall-clock benchmark of the parallel experiment runner.
+
+Times a fixed fig4-style max-load grid (masstree, tailguard + fifo,
+two seeds) serially and with 2/4 worker processes, checks the results
+are identical across worker counts, and micro-benchmarks the
+vectorized deadline stamping against the per-query Python loop it
+replaced.  Everything is written to
+``benchmarks/results/BENCH_parallel_runner.json``.
+
+Honesty note: the speedup columns are only meaningful relative to
+``cpu_count`` (recorded in the JSON).  On a single-CPU box the worker
+processes time-slice one core and the parallel runs cannot beat
+serial; the numbers are still recorded so the determinism claim and
+pool overhead stay measured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.deadline import DeadlineEstimator
+from repro.experiments import find_max_load
+from repro.experiments.setups import paper_single_class_config
+from repro.types import ServiceClass
+from repro.workloads import get_workload
+
+_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_parallel_runner.json"
+
+#: The fixed grid: every (policy, workers) cell runs this exact search.
+_GRID = dict(lo=0.2, hi=0.7, tol=0.02, seeds=(1, 2))
+_POLICIES = ("tailguard", "fifo")
+_WORKER_SETTINGS = (None, 2, 4)
+_N_QUERIES = 4_000
+
+
+def _run_grid(workers):
+    """One full grid pass; returns (elapsed_s, {policy: max_load})."""
+    outcomes = {}
+    start = time.perf_counter()
+    for policy in _POLICIES:
+        config = paper_single_class_config("masstree", 0.8, policy=policy,
+                                           n_queries=_N_QUERIES)
+        outcomes[policy] = find_max_load(config, workers=workers,
+                                         **_GRID).max_load
+    return time.perf_counter() - start, outcomes
+
+
+def _deadline_stamping_microbench(n_queries: int = 50_000):
+    """Per-query ``estimator.deadline`` loop vs the hoisted gather.
+
+    This mirrors what ``simulate()`` does on the homogeneous fast
+    path: the old code called ``estimator.deadline`` once per query;
+    the new code builds one budget per distinct (class, fanout) pair
+    via ``budget_table`` and gathers it with ``np.unique``.
+    """
+    bench = get_workload("masstree")
+    n = 100
+    estimator = DeadlineEstimator(bench.service_time, n_servers=n)
+    classes = [ServiceClass("single", 0.8)]
+    rng = np.random.default_rng(1)
+    class_index = np.zeros(n_queries, dtype=np.int64)
+    fanout = rng.choice([1, 10, 100], size=n_queries).astype(np.int64)
+    arrivals = np.cumsum(rng.exponential(0.01, size=n_queries))
+
+    start = time.perf_counter()
+    loop_deadlines = [
+        estimator.deadline(arrivals[i], classes[class_index[i]],
+                           fanout=int(fanout[i]))
+        for i in range(n_queries)
+    ]
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    codes = class_index * (n + 1) + fanout
+    uniq_codes, inverse = np.unique(codes, return_inverse=True)
+    budget_by_code = {}
+    for code in uniq_codes:
+        ci, k = divmod(int(code), n + 1)
+        budget_by_code[int(code)] = estimator.budget_table(
+            classes[ci], [k])[k]
+    table = np.array([budget_by_code[int(code)] for code in uniq_codes])
+    budgets = table[inverse]
+    gather_deadlines = (arrivals + budgets).tolist()
+    gather_s = time.perf_counter() - start
+
+    assert np.allclose(loop_deadlines, gather_deadlines)
+    return {
+        "n_queries": n_queries,
+        "python_loop_s": round(loop_s, 4),
+        "vectorized_gather_s": round(gather_s, 4),
+        "speedup": round(loop_s / gather_s, 2),
+    }
+
+
+def test_parallel_runner_wall_clock(record_report):
+    del record_report  # timings go to JSON, not a report table
+    timings = {}
+    outcomes = {}
+    for workers in _WORKER_SETTINGS:
+        label = "serial" if workers is None else f"workers{workers}"
+        timings[label], outcomes[label] = _run_grid(workers)
+
+    identical = all(out == outcomes["serial"] for out in outcomes.values())
+    payload = {
+        "benchmark": "parallel_runner",
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "workloads": ["masstree"],
+            "policies": list(_POLICIES),
+            "slo_ms": 0.8,
+            "n_queries": _N_QUERIES,
+            **{k: v if not isinstance(v, tuple) else list(v)
+               for k, v in _GRID.items()},
+        },
+        "wall_clock_s": {k: round(v, 3) for k, v in timings.items()},
+        "speedup_vs_serial": {
+            k: round(timings["serial"] / v, 3)
+            for k, v in timings.items() if k != "serial"
+        },
+        "max_loads": outcomes["serial"],
+        "identical_results": identical,
+        "deadline_stamping_microbench": _deadline_stamping_microbench(),
+    }
+    _RESULTS_PATH.parent.mkdir(exist_ok=True)
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+    assert identical, f"worker counts disagreed: {outcomes}"
+
+
+if __name__ == "__main__":
+    test_parallel_runner_wall_clock(lambda r: r)

@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.cluster import ClusterConfig, simulate
+from repro.experiments.parallel import run_simulations
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.setups import paper_single_class_config
 from repro.metrics import LatencyCollector
@@ -44,7 +45,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    report = run_experiment(args.experiment, quick=args.quick)
+    report = run_experiment(args.experiment, quick=args.quick,
+                            workers=args.workers)
     if args.csv:
         report.to_csv(args.csv)
         print(f"wrote {len(report.rows)} rows to {args.csv}")
@@ -96,7 +98,11 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         n_servers=args.servers, n_queries=args.queries, seed=args.seed,
     ).at_load(args.load)
     recorder = TraceRecorder(sample_interval_ms=args.sample_interval)
-    result = simulate(replace(config, recorder=recorder))
+    # Routed through the parallel runner: with --workers the simulation
+    # executes in a worker process and the recorder's events, counters
+    # and histogram are merged back into this parent-side recorder.
+    result = run_simulations([replace(config, recorder=recorder)],
+                             workers=args.workers)[0]
 
     collector = LatencyCollector()
     for class_name, fanout in result.types():
@@ -120,7 +126,8 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     for name in EXPERIMENTS:
         print(f"=== {name} ===", flush=True)
-        report = run_experiment(name, quick=args.quick)
+        report = run_experiment(name, quick=args.quick,
+                                workers=args.workers)
         print(report.format_table())
         print()
     return 0
@@ -154,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered experiments")
 
+    workers_help = ("fan independent simulations out over N worker "
+                    "processes (-1 = all CPUs; default: serial, "
+                    "bit-identical results either way)")
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--quick", action="store_true",
@@ -162,9 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit machine-readable JSON")
     run_parser.add_argument("--csv", metavar="PATH",
                             help="also write the rows to a CSV file")
+    run_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help=workers_help)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true")
+    all_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help=workers_help)
 
     sim_parser = sub.add_parser("simulate", help="one-off simulation")
     sim_parser.add_argument("--workload", default="masstree",
@@ -216,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run_parser.add_argument("--servers", type=int, default=100)
     trace_run_parser.add_argument("--queries", type=int, default=20_000)
     trace_run_parser.add_argument("--seed", type=int, default=1)
+    trace_run_parser.add_argument("--workers", type=int, default=None,
+                                  metavar="N",
+                                  help="run the simulation in a worker "
+                                       "process and merge the trace home "
+                                       "(exercises the parallel runner's "
+                                       "obs round-trip)")
 
     return parser
 

@@ -131,3 +131,14 @@ class ClusterConfig:
         if self.workload is None:
             raise ConfigurationError("at_load requires a workload")
         return replace(self, workload=self.workload.at_load(load, self.n_servers))
+
+    def with_seed(self, seed: int) -> "ClusterConfig":
+        """A copy with a different root seed.
+
+        The parallel experiment runner materializes one config per
+        (probe, seed) task with this method *before* fan-out, so a
+        worker reproduces exactly the run the serial loop would have
+        executed — ``simulate`` derives all randomness from
+        ``np.random.default_rng(seed).spawn(...)`` on this field.
+        """
+        return replace(self, seed=seed)

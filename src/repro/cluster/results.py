@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -74,6 +74,16 @@ class SimulationResult:
     #: streaming counters/histogram, and — when sampling was on — the
     #: per-server :class:`repro.obs.ServerSeries`.
     obs: Optional[TraceRecorder] = None
+
+    def with_obs(self, recorder: Optional[TraceRecorder]) -> "SimulationResult":
+        """A copy bound to a different recorder.
+
+        The parallel runner merges a worker-side recorder into the
+        parent-side one and re-binds the result to the parent, so
+        callers holding the shared recorder see serial-equivalent
+        aggregates.
+        """
+        return replace(self, obs=recorder)
 
     # ------------------------------------------------------------------
     def _class_by_name(self, name: str) -> ServiceClass:

@@ -13,6 +13,7 @@
 
 from repro.core.admission import (
     AdmissionController,
+    AdmissionFactory,
     DeadlineMissRatioAdmission,
     NoAdmission,
 )
@@ -40,6 +41,7 @@ from repro.core.requests import (
 
 __all__ = [
     "AdmissionController",
+    "AdmissionFactory",
     "BudgetAssignment",
     "DeadlineEstimator",
     "DeadlineMissRatioAdmission",

@@ -19,7 +19,8 @@ new tasks arrive, so admission resumes instead of latching shut.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Tuple, Type
 
 from repro.errors import ConfigurationError
 
@@ -52,6 +53,28 @@ class AdmissionController:
     def miss_ratio(self) -> float:
         """Current deadline-miss ratio over the window (0 when empty)."""
         raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AdmissionFactory:
+    """Picklable admission-controller factory: a class plus kwargs.
+
+    Sweeps that use admission control need a *fresh* stateful
+    controller per load point, and the parallel experiment runner
+    builds that controller worker-side — so the factory must cross a
+    process boundary.  A ``(class, kwargs)`` pair pickles by reference
+    where a closure or lambda cannot.
+
+    >>> factory = AdmissionFactory(DeadlineMissRatioAdmission,
+    ...                            {"threshold": 0.017})
+    >>> controller = factory()
+    """
+
+    controller_cls: Type["AdmissionController"]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self) -> "AdmissionController":
+        return self.controller_cls(**self.kwargs)
 
 
 class NoAdmission(AdmissionController):

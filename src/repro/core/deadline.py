@@ -23,7 +23,6 @@ Implementation notes mirroring §III.B.2:
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.distributions import (
@@ -47,6 +46,7 @@ class DeadlineEstimator:
         online_window: Optional[int] = None,
         refresh_interval: int = 1000,
         server_groups: Optional[Mapping[int, str]] = None,
+        tail_cache_max: int = 4096,
     ) -> None:
         """
         Parameters
@@ -71,6 +71,12 @@ class DeadlineEstimator:
             SaS testbed where "all 8 edge nodes in each cluster share
             the same CDF" (§IV.E).  Grouping also keeps the tail cache
             effective under random server selection.
+        tail_cache_max:
+            Bound on the number of cached ``x_p^u`` entries.  Online
+            updating with random server selections can produce a new
+            signature per query; when the cache reaches this size it is
+            cleared wholesale (the next refresh would drop it anyway,
+            and a full clear is cheaper than tracking recency).
         """
         if isinstance(server_cdfs, Distribution):
             if n_servers is None or n_servers < 1:
@@ -125,6 +131,11 @@ class DeadlineEstimator:
         self._dist_keys: Dict[int, int] = {}
         self._server_dist_key: Dict[int, int] = {}
         self._rebuild_signature_index()
+        if tail_cache_max < 1:
+            raise ConfigurationError(
+                f"tail_cache_max must be >= 1, got {tail_cache_max}"
+            )
+        self._tail_cache_max = int(tail_cache_max)
         self._tail_cache: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------
@@ -175,11 +186,25 @@ class DeadlineEstimator:
         self._tail_cache.clear()
         self._updates_since_refresh = 0
 
+    def _cache_tail(self, key: Tuple, value: float) -> None:
+        """Insert into the bounded tail cache (full clear on overflow)."""
+        if len(self._tail_cache) >= self._tail_cache_max:
+            self._tail_cache.clear()
+        self._tail_cache[key] = value
+
     # ------------------------------------------------------------------
     # Eq. 1-2: unloaded query tail
     # ------------------------------------------------------------------
     def _signature(self, servers: Sequence[int]) -> Tuple:
-        counts = Counter(self._server_dist_key[s] for s in servers)
+        # Hand-rolled counting: this runs once per query on the
+        # heterogeneous path, and a Counter allocation per call is
+        # measurably slower than a plain dict for the typical handful
+        # of distinct distributions.
+        counts: Dict[int, int] = {}
+        dist_key = self._server_dist_key
+        for server in servers:
+            key = dist_key[server]
+            counts[key] = counts.get(key, 0) + 1
         return tuple(sorted(counts.items()))
 
     def unloaded_tail(
@@ -216,7 +241,7 @@ class DeadlineEstimator:
             if cached is None:
                 any_cdf = next(iter(self._current_cdfs().values()))
                 cached = iid_max_quantile(any_cdf, fanout, q)
-                self._tail_cache[cache_key] = cached
+                self._cache_tail(cache_key, cached)
             return cached
 
         if fanout is not None and fanout != len(servers):
@@ -230,7 +255,7 @@ class DeadlineEstimator:
         cached = self._tail_cache.get(cache_key)
         if cached is None:
             cached = self._heterogeneous_tail(q, servers)
-            self._tail_cache[cache_key] = cached
+            self._cache_tail(cache_key, cached)
         return cached
 
     def _heterogeneous_tail(self, q: float, servers: Sequence[int]) -> float:

@@ -4,12 +4,15 @@
   load at which every query type meets its SLO (the paper's headline
   metric in Figs. 4–6);
 * :mod:`repro.experiments.sweep` — tail-latency-vs-load curves;
+* :mod:`repro.experiments.parallel` — process-pool fan-out with
+  deterministic per-task seeding (serial ≡ parallel, bit for bit);
 * :mod:`repro.experiments.setups` — builders for the paper's workload
   configurations;
 * :mod:`repro.experiments.registry` — one callable per table/figure.
 """
 
 from repro.experiments.maxload import MaxLoadResult, find_max_load
+from repro.experiments.parallel import resolve_workers, run_simulations
 from repro.experiments.sweep import SweepPoint, load_sweep
 from repro.experiments.setups import (
     paper_single_class_config,
@@ -28,5 +31,7 @@ __all__ = [
     "paper_oldi_config",
     "paper_single_class_config",
     "paper_two_class_config",
+    "resolve_workers",
     "run_experiment",
+    "run_simulations",
 ]

@@ -10,7 +10,7 @@ knobs (admission threshold — §III.C), and the stated future work
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,7 @@ def ext_scale_n1000(
     policies: Sequence[str] = ("tailguard", "fifo"),
     n_queries: int = 40_000,
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """§IV.D: "simulation results for cluster size N=1,000 ... are
     consistent" — single-class Masstree at N=1000 vs N=100."""
@@ -63,7 +64,7 @@ def ext_scale_n1000(
                 "masstree", slo_ms, policy=policy,
                 n_servers=n_servers, n_queries=n_queries,
             )
-            outcome = find_max_load(config, tol=tol)
+            outcome = find_max_load(config, tol=tol, workers=workers)
             report.add_row(n_servers=n_servers, policy=policy,
                            max_load=outcome.max_load)
     return report
@@ -74,6 +75,7 @@ def ext_four_classes(
     policies: Sequence[str] = ("tailguard", "t-edf", "priq", "wrr", "fifo"),
     n_queries: int = 40_000,
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """§IV.D: four service classes (Masstree), all four policies."""
     report = ExperimentReport(
@@ -90,7 +92,7 @@ def ext_four_classes(
     for policy in policies:
         config = multi_class_config("masstree", slos_ms, policy=policy,
                                     n_queries=n_queries)
-        outcome = find_max_load(config, tol=tol)
+        outcome = find_max_load(config, tol=tol, workers=workers)
         report.add_row(policy=policy, max_load=outcome.max_load)
     return report
 
@@ -101,6 +103,7 @@ def ext_arrival_burstiness(
     arrivals: Sequence[str] = ("poisson", "pareto", "mmpp"),
     n_queries: int = 40_000,
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Arrival-burstiness sensitivity beyond Fig. 5(b).
 
@@ -123,7 +126,7 @@ def ext_arrival_burstiness(
                 "masstree", slo_high_ms, policy=policy,
                 n_queries=n_queries, arrival=arrival,
             )
-            outcome = find_max_load(config, tol=tol)
+            outcome = find_max_load(config, tol=tol, workers=workers)
             report.add_row(arrival=arrival, policy=policy,
                            max_load=outcome.max_load)
     return report
@@ -134,6 +137,7 @@ def ablation_inaccurate_cdf(
     scale_errors: Sequence[float] = (0.7, 0.85, 1.0, 1.15, 1.3),
     n_queries: int = 40_000,
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Robustness to mis-estimated CDFs (the §IV.E stress concern).
 
@@ -176,7 +180,7 @@ def ablation_inaccurate_cdf(
                                    policy="tailguard", n_queries=n_queries),
             estimator=estimator,
         )
-        outcome = find_max_load(config, tol=tol)
+        outcome = find_max_load(config, tol=tol, workers=workers)
         report.add_row(estimate=label, max_load=outcome.max_load)
     return report
 

@@ -14,7 +14,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.simulation import simulate
-from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.admission import AdmissionFactory, DeadlineMissRatioAdmission
 from repro.experiments.maxload import find_max_load
 from repro.experiments.report import ExperimentReport
 from repro.experiments.setups import (
@@ -111,6 +111,7 @@ def fig4_single_class_maxload(
     n_queries: int = 40_000,
     seeds: Tuple[int, ...] = (1,),
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Fig. 4: max load meeting a single-class 99th SLO, per workload."""
     report = ExperimentReport(
@@ -126,7 +127,8 @@ def fig4_single_class_maxload(
                 config = paper_single_class_config(
                     workload, slo, policy=policy, n_queries=n_queries
                 )
-                outcome = find_max_load(config, tol=tol, seeds=seeds)
+                outcome = find_max_load(config, tol=tol, seeds=seeds,
+                                        workers=workers)
                 report.add_row(workload=workload, slo_ms=slo, policy=policy,
                                max_load=outcome.max_load)
     return report
@@ -139,6 +141,7 @@ def table3_per_fanout_tails(
     search_queries: int = 40_000,
     seeds: Tuple[int, ...] = (1,),
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Table III: per-fanout 99th tails at each policy's max load
     (Masstree)."""
@@ -155,7 +158,8 @@ def table3_per_fanout_tails(
             config = paper_single_class_config(
                 "masstree", slo, policy=policy, n_queries=search_queries
             )
-            max_load = find_max_load(config, tol=tol, seeds=seeds).max_load
+            max_load = find_max_load(config, tol=tol, seeds=seeds,
+                                     workers=workers).max_load
             measured = simulate(
                 replace(config, n_queries=n_queries).at_load(max(max_load, 0.05))
             )
@@ -179,6 +183,7 @@ def fig5_two_class_maxload(
     n_queries: int = 40_000,
     seeds: Tuple[int, ...] = (1,),
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Fig. 5: two-class max loads under Poisson and Pareto arrivals
     (Masstree; SLO ratio 1.5)."""
@@ -197,7 +202,8 @@ def fig5_two_class_maxload(
                     "masstree", slo_high, policy=policy,
                     n_queries=n_queries, arrival=arrival,
                 )
-                outcome = find_max_load(config, tol=tol, seeds=seeds)
+                outcome = find_max_load(config, tol=tol, seeds=seeds,
+                                        workers=workers)
                 report.add_row(arrival=arrival, slo_high_ms=slo_high,
                                policy=policy, max_load=outcome.max_load)
     return report
@@ -209,6 +215,7 @@ def fig6_two_class_sweep(
     loads: Sequence[float] = tuple(np.arange(0.20, 0.651, 0.05)),
     n_queries: int = 12_000,
     seed: int = 1,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Fig. 6: per-class p99 vs load with fanout fixed at 100 (OLDI)."""
     report = ExperimentReport(
@@ -226,7 +233,7 @@ def fig6_two_class_sweep(
         for policy in policies:
             config = paper_oldi_config(workload, slo1, slo2, policy=policy,
                                        n_queries=n_queries)
-            points = load_sweep(config, loads, seed=seed)
+            points = load_sweep(config, loads, seed=seed, workers=workers)
             for point in points:
                 for class_name, slo in (("class-I", slo1), ("class-II", slo2)):
                     tail = point.class_tails_ms[class_name]
@@ -243,6 +250,7 @@ def fig6_summary_maxload(
     n_queries: int = 12_000,
     seeds: Tuple[int, ...] = (1,),
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Fig. 6 arrows: the max load meeting both class SLOs, per policy."""
     report = ExperimentReport(
@@ -256,7 +264,8 @@ def fig6_summary_maxload(
         for policy in policies:
             config = paper_oldi_config(workload, slo1, slo2, policy=policy,
                                        n_queries=n_queries)
-            outcome = find_max_load(config, tol=tol, seeds=seeds)
+            outcome = find_max_load(config, tol=tol, seeds=seeds,
+                                    workers=workers)
             report.add_row(
                 workload=workload, policy=policy, max_load=outcome.max_load,
                 paper_max_load=PAPER_FIG6_MAXLOADS.get((workload, policy),
@@ -274,6 +283,7 @@ def fig7_admission_control(
     threshold: Optional[float] = None,
     maxload_queries: int = 12_000,
     tol: float = 0.01,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Fig. 7: TailGuard with query admission control (Masstree OLDI).
 
@@ -286,7 +296,7 @@ def fig7_admission_control(
     slo1, slo2 = FIG6_CLASS_SLOS_MS["masstree"]
     base = paper_oldi_config("masstree", slo1, slo2, policy="tailguard",
                              n_queries=maxload_queries)
-    max_acceptable = find_max_load(base, tol=tol).max_load
+    max_acceptable = find_max_load(base, tol=tol, workers=workers).max_load
     if threshold is None:
         at_max = simulate(base.at_load(max(max_acceptable, 0.05)))
         threshold = max(at_max.deadline_miss_ratio(), 1e-4)
@@ -311,11 +321,14 @@ def fig7_admission_control(
         sweep_config,
         offered_loads,
         seed=seed,
-        admission_factory=lambda: DeadlineMissRatioAdmission(
-            threshold, window_tasks=window_tasks, window_ms=window_ms,
-            min_samples=max(1000, window_tasks // 100),
-            mode="duty-cycle",
+        admission_factory=AdmissionFactory(
+            DeadlineMissRatioAdmission,
+            {"threshold": threshold, "window_tasks": window_tasks,
+             "window_ms": window_ms,
+             "min_samples": max(1000, window_tasks // 100),
+             "mode": "duty-cycle"},
         ),
+        workers=workers,
     )
     for point in points:
         report.add_row(

@@ -1,0 +1,189 @@
+"""Process-pool experiment fan-out with deterministic seeding.
+
+Every headline number in the paper is a grid of independent
+:func:`repro.cluster.simulation.simulate` calls — bisection probes ×
+seeds × policies × loads.  This module fans those calls out over a
+process pool while preserving the exact serial semantics:
+
+* **Deterministic seeding** — each task carries a fully materialized
+  :class:`~repro.cluster.config.ClusterConfig` whose ``seed`` field is
+  assigned *before* fan-out, exactly as the serial loop would assign
+  it.  ``simulate`` derives all of its randomness from
+  ``np.random.default_rng(config.seed).spawn(...)`` internally, so a
+  worker process reproduces the serial run bit for bit: parallel and
+  serial results are identical, not merely statistically equivalent.
+* **Order preservation** — results come back in task-submission order
+  regardless of completion order.
+* **Observability round-trip** — a worker's
+  :class:`~repro.obs.recorder.TraceRecorder` travels home with its
+  :class:`~repro.cluster.results.SimulationResult` and is merged into
+  the parent-side recorder via the mergeable obs API
+  (:meth:`LogHistogram.merge`, counter addition, event re-sequencing),
+  so a shared recorder sees the same aggregate counters and histogram
+  a serial run would have produced.
+
+``workers=None`` (or ``0``/``1``) means serial in-process execution —
+the default everywhere, preserving historical behavior and costing
+nothing.  ``workers=-1`` means one worker per available CPU.
+
+The pool uses the ``fork`` start method where available (Linux): the
+workload objects, distributions, and estimators in a config are cheap
+to pickle, and fork avoids re-importing NumPy per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import SimulationResult
+from repro.cluster.simulation import simulate
+from repro.errors import ExperimentError
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``--workers`` value to an effective worker count.
+
+    ``None``, ``0`` and ``1`` all mean serial in-process execution;
+    ``-1`` means one worker per available CPU; any other positive value
+    is taken literally.
+    """
+    if workers is None or workers == 0 or workers == 1:
+        return 1
+    if workers == -1:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ExperimentError(
+            f"workers must be a positive count or -1 (all CPUs), got {workers}"
+        )
+    return int(workers)
+
+
+def make_executor(workers: int) -> ProcessPoolExecutor:
+    """A process pool using ``fork`` where the platform offers it."""
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+# ----------------------------------------------------------------------
+# Worker entry points.  Top-level functions so they pickle by reference
+# under every start method.
+# ----------------------------------------------------------------------
+def _simulate_task(config: ClusterConfig) -> SimulationResult:
+    return simulate(config)
+
+
+def _feasibility_task(args) -> bool:
+    """One (load, seed) probe: does this run meet every SLO?"""
+    config, load, seed, min_samples, fanout_buckets = args
+    result = simulate(config.at_load(load).with_seed(seed))
+    return result.meets_all_slos(min_samples=min_samples,
+                                 fanout_buckets=fanout_buckets)
+
+
+# ----------------------------------------------------------------------
+# Simulation fan-out
+# ----------------------------------------------------------------------
+def run_simulations(
+    configs: Iterable[ClusterConfig],
+    workers: Optional[int] = None,
+) -> Tuple[SimulationResult, ...]:
+    """Run many independent simulations, optionally over a process pool.
+
+    Results preserve input order and are bit-identical to running
+    ``simulate`` over the configs serially (each config's ``seed``
+    fully determines its run).  When a config carries an enabled
+    recorder, the worker-side recorder is merged into the parent-side
+    recorder object and the returned result is re-bound to the parent,
+    so shared-recorder aggregation matches serial semantics.
+    """
+    config_list = list(configs)
+    if not config_list:
+        raise ExperimentError("need at least one config to run")
+    n_workers = resolve_workers(workers)
+    if n_workers == 1:
+        return tuple(simulate(config) for config in config_list)
+
+    with make_executor(min(n_workers, len(config_list))) as pool:
+        results = list(pool.map(_simulate_task, config_list))
+
+    merged: List[SimulationResult] = []
+    for config, result in zip(config_list, results):
+        parent = config.recorder
+        if (parent is not None and getattr(parent, "enabled", False)
+                and result.obs is not None and result.obs is not parent):
+            parent.merge_from(result.obs)
+            result = result.with_obs(parent)
+        merged.append(result)
+    return tuple(merged)
+
+
+# ----------------------------------------------------------------------
+# Feasibility probes (the max-load search's inner loop)
+# ----------------------------------------------------------------------
+def probe_feasible(
+    pool: ProcessPoolExecutor,
+    config: ClusterConfig,
+    load: float,
+    seeds: Sequence[int],
+    min_samples: int,
+    fanout_buckets: Optional[Tuple[int, ...]],
+) -> bool:
+    """All-seeds feasibility at one load, seeds evaluated concurrently.
+
+    Cancels the still-pending seed probes as soon as any seed comes
+    back infeasible (feasibility is the AND over seeds, so one failure
+    decides the probe).  The result is identical to the serial
+    short-circuit loop — which seed finishes first cannot change an
+    AND — only the wasted work differs.
+    """
+    futures = [
+        pool.submit(_feasibility_task,
+                    (config, load, seed, min_samples, fanout_buckets))
+        for seed in seeds
+    ]
+    feasible = True
+    pending = set(futures)
+    while pending and feasible:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            if not future.result():
+                feasible = False
+                break
+    for future in pending:
+        future.cancel()
+    return feasible
+
+
+def probe_many_feasible(
+    pool: ProcessPoolExecutor,
+    config: ClusterConfig,
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    min_samples: int,
+    fanout_buckets: Optional[Tuple[int, ...]],
+) -> List[bool]:
+    """Feasibility of several loads at once (speculative bisection).
+
+    All ``len(loads) × len(seeds)`` probes are submitted together; each
+    load's verdict is the AND over its seeds.  Unlike
+    :func:`probe_feasible` there is no early cancel — speculation
+    deliberately trades extra work for fewer sequential rounds.
+    """
+    futures = {
+        (load, seed): pool.submit(
+            _feasibility_task,
+            (config, load, seed, min_samples, fanout_buckets))
+        for load in loads
+        for seed in seeds
+    }
+    return [
+        all(futures[(load, seed)].result() for seed in seeds)
+        for load in loads
+    ]

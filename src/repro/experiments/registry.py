@@ -1,88 +1,96 @@
 """Experiment registry: one entry per reproduced table/figure.
 
-Each entry maps an experiment id to a zero-config callable.  ``quick``
-mode shrinks query counts, grids and bisection tolerances so the whole
-suite runs in a few minutes (used by tests); full mode matches the
-benchmark harness.
+Each entry maps an experiment id to a callable taking ``(quick,
+workers)``.  ``quick`` mode shrinks query counts, grids and bisection
+tolerances so the whole suite runs in a few minutes (used by tests);
+full mode matches the benchmark harness.  ``workers`` fans the
+entry's independent ``simulate()`` calls out over a process pool (see
+:mod:`repro.experiments.parallel`); ``None`` keeps the historical
+serial behavior bit for bit.  Entries whose work is not an independent
+grid (e.g. single-run figures) accept and ignore it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import extensions, paper, sas_experiments
 from repro.experiments.report import ExperimentReport
 
-ExperimentFn = Callable[[bool], ExperimentReport]
+ExperimentFn = Callable[[bool, Optional[int]], ExperimentReport]
 
 
-def _fig3(quick: bool) -> ExperimentReport:
+def _fig3(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     return paper.fig3_workload_cdfs()
 
 
-def _table2(quick: bool) -> ExperimentReport:
+def _table2(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     return paper.table2_unloaded_tails()
 
 
-def _fig4(quick: bool) -> ExperimentReport:
+def _fig4(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.fig4_single_class_maxload(
             workloads=("masstree",), n_queries=12_000, tol=0.02,
+            workers=workers,
         )
-    return paper.fig4_single_class_maxload()
+    return paper.fig4_single_class_maxload(workers=workers)
 
 
-def _table3(quick: bool) -> ExperimentReport:
+def _table3(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.table3_per_fanout_tails(
             slos_ms=(0.8, 1.4), n_queries=20_000,
-            search_queries=12_000, tol=0.02,
+            search_queries=12_000, tol=0.02, workers=workers,
         )
-    return paper.table3_per_fanout_tails()
+    return paper.table3_per_fanout_tails(workers=workers)
 
 
-def _fig5(quick: bool) -> ExperimentReport:
+def _fig5(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.fig5_two_class_maxload(
-            slos_high_ms=(1.0,), n_queries=12_000, tol=0.02,
+            slos_high_ms=(1.0,), n_queries=12_000, tol=0.02, workers=workers,
         )
-    return paper.fig5_two_class_maxload()
+    return paper.fig5_two_class_maxload(workers=workers)
 
 
-def _fig6(quick: bool) -> ExperimentReport:
+def _fig6(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.fig6_two_class_sweep(
             workloads=("masstree",),
             loads=(0.30, 0.45, 0.60),
             n_queries=4_000,
+            workers=workers,
         )
-    return paper.fig6_two_class_sweep()
+    return paper.fig6_two_class_sweep(workers=workers)
 
 
-def _fig6_summary(quick: bool) -> ExperimentReport:
+def _fig6_summary(quick: bool,
+                  workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.fig6_summary_maxload(
             workloads=("masstree",), n_queries=4_000, tol=0.02,
+            workers=workers,
         )
-    return paper.fig6_summary_maxload()
+    return paper.fig6_summary_maxload(workers=workers)
 
 
-def _fig7(quick: bool) -> ExperimentReport:
+def _fig7(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return paper.fig7_admission_control(
             offered_loads=(0.50, 0.58, 0.66),
             n_queries=8_000, maxload_queries=4_000,
-            window_tasks=20_000, tol=0.02,
+            window_tasks=20_000, tol=0.02, workers=workers,
         )
-    return paper.fig7_admission_control()
+    return paper.fig7_admission_control(workers=workers)
 
 
-def _fig9a(quick: bool) -> ExperimentReport:
+def _fig9a(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     return sas_experiments.fig9a_cluster_cdfs()
 
 
-def _fig9(quick: bool) -> ExperimentReport:
+def _fig9(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return sas_experiments.fig9_sas_testbed(
             loads=(0.25, 0.40, 0.50), n_queries=6_000,
@@ -90,41 +98,52 @@ def _fig9(quick: bool) -> ExperimentReport:
     return sas_experiments.fig9_sas_testbed()
 
 
-def _fig9_summary(quick: bool) -> ExperimentReport:
+def _fig9_summary(quick: bool,
+                  workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return sas_experiments.fig9_summary_maxload(n_queries=6_000, tol=0.02)
     return sas_experiments.fig9_summary_maxload()
 
 
-def _ext_scale(quick: bool) -> ExperimentReport:
+def _ext_scale(quick: bool, workers: Optional[int] = None) -> ExperimentReport:
     if quick:
-        return extensions.ext_scale_n1000(n_queries=12_000, tol=0.02)
-    return extensions.ext_scale_n1000()
+        return extensions.ext_scale_n1000(n_queries=12_000, tol=0.02,
+                                          workers=workers)
+    return extensions.ext_scale_n1000(workers=workers)
 
 
-def _ext_four_classes(quick: bool) -> ExperimentReport:
+def _ext_four_classes(quick: bool,
+                      workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return extensions.ext_four_classes(
             policies=("tailguard", "fifo"), n_queries=12_000, tol=0.02,
+            workers=workers,
         )
-    return extensions.ext_four_classes()
+    return extensions.ext_four_classes(workers=workers)
 
 
-def _ablation_inaccurate_cdf(quick: bool) -> ExperimentReport:
+def _ablation_inaccurate_cdf(quick: bool,
+                             workers: Optional[int] = None
+                             ) -> ExperimentReport:
     if quick:
         return extensions.ablation_inaccurate_cdf(
             scale_errors=(0.8, 1.0), n_queries=12_000, tol=0.02,
+            workers=workers,
         )
-    return extensions.ablation_inaccurate_cdf()
+    return extensions.ablation_inaccurate_cdf(workers=workers)
 
 
-def _ablation_online_updating(quick: bool) -> ExperimentReport:
+def _ablation_online_updating(quick: bool,
+                              workers: Optional[int] = None
+                              ) -> ExperimentReport:
     if quick:
         return extensions.ablation_online_updating(n_queries=10_000)
     return extensions.ablation_online_updating()
 
 
-def _ablation_admission_threshold(quick: bool) -> ExperimentReport:
+def _ablation_admission_threshold(quick: bool,
+                                  workers: Optional[int] = None
+                                  ) -> ExperimentReport:
     if quick:
         return extensions.ablation_admission_threshold(
             thresholds=(0.009, 0.10), n_queries=6_000, window_tasks=20_000,
@@ -132,16 +151,19 @@ def _ablation_admission_threshold(quick: bool) -> ExperimentReport:
     return extensions.ablation_admission_threshold()
 
 
-def _ext_arrival_burstiness(quick: bool) -> ExperimentReport:
+def _ext_arrival_burstiness(quick: bool,
+                            workers: Optional[int] = None
+                            ) -> ExperimentReport:
     if quick:
         return extensions.ext_arrival_burstiness(
             policies=("tailguard", "fifo"), arrivals=("poisson", "mmpp"),
-            n_queries=12_000, tol=0.02,
+            n_queries=12_000, tol=0.02, workers=workers,
         )
-    return extensions.ext_arrival_burstiness()
+    return extensions.ext_arrival_burstiness(workers=workers)
 
 
-def _ext_replica_selection(quick: bool) -> ExperimentReport:
+def _ext_replica_selection(quick: bool,
+                           workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return extensions.ext_replica_selection(
             loads=(0.45,), n_queries=10_000,
@@ -149,13 +171,17 @@ def _ext_replica_selection(quick: bool) -> ExperimentReport:
     return extensions.ext_replica_selection()
 
 
-def _ablation_server_slowdown(quick: bool) -> ExperimentReport:
+def _ablation_server_slowdown(quick: bool,
+                              workers: Optional[int] = None
+                              ) -> ExperimentReport:
     if quick:
         return extensions.ablation_server_slowdown(n_queries=10_000)
     return extensions.ablation_server_slowdown()
 
 
-def _ext_request_decomposition(quick: bool) -> ExperimentReport:
+def _ext_request_decomposition(quick: bool,
+                               workers: Optional[int] = None
+                               ) -> ExperimentReport:
     if quick:
         return extensions.ext_request_decomposition(
             loads=(0.35,), n_requests=800,
@@ -199,6 +225,12 @@ def get_experiment(name: str) -> ExperimentFn:
         ) from None
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentReport:
-    """Run one registered experiment and return its report."""
-    return get_experiment(name)(quick)
+def run_experiment(name: str, quick: bool = False,
+                   workers: Optional[int] = None) -> ExperimentReport:
+    """Run one registered experiment and return its report.
+
+    ``workers`` (``None`` = serial) fans the experiment's independent
+    simulations over a process pool where the experiment supports it;
+    results are bit-identical to the serial run.
+    """
+    return get_experiment(name)(quick, workers)

@@ -164,6 +164,34 @@ class LogHistogram:
             "observed_max": None if math.isinf(self._max) else self._max,
         }
 
+    def merge_snapshot(self, snap: Dict[str, object]) -> "LogHistogram":
+        """Merge a :meth:`snapshot` dict without materializing counts
+        into a second histogram first.
+
+        The cross-process aggregation path: workers ship JSON-ready
+        snapshots home and the parent folds them in.  Layout must
+        match, exactly as for :meth:`merge`.
+        """
+        if (self.min_value != snap["min_value"]
+                or self.max_value != snap["max_value"]
+                or self.buckets_per_decade != snap["buckets_per_decade"]):
+            raise ConfigurationError(
+                "cannot merge a snapshot with a different bucket layout"
+            )
+        counts = snap["counts"]
+        if len(counts) != self._n:
+            raise ConfigurationError("snapshot bucket count mismatch")
+        for i, count in enumerate(counts):
+            self._counts[i] += count
+        self.underflow += int(snap["underflow"])
+        self.overflow += int(snap["overflow"])
+        self._sum += float(snap["sum"])
+        if snap.get("observed_min") is not None:
+            self._min = min(self._min, float(snap["observed_min"]))
+        if snap.get("observed_max") is not None:
+            self._max = max(self._max, float(snap["observed_max"]))
+        return self
+
     @classmethod
     def from_snapshot(cls, snap: Dict[str, object]) -> "LogHistogram":
         hist = cls(snap["min_value"], snap["max_value"],

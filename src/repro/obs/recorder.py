@@ -13,6 +13,7 @@ wired once and reused): every method is a no-op and ``enabled`` is
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -59,6 +60,9 @@ class NullRecorder:
 
     def server_series(self) -> Optional[ServerSeries]:
         return None
+
+    def merge_from(self, other: Any) -> "NullRecorder":
+        return self
 
     def summary(self) -> Dict[str, Any]:
         return {}
@@ -130,6 +134,33 @@ class TraceRecorder:
                        miss_ratio: Sequence[float]) -> None:
         self._built_series = None
         self._series.sample(time, queue_len, busy, utilization, miss_ratio)
+
+    def merge_from(self, other: "TraceRecorder") -> "TraceRecorder":
+        """Absorb another recorder (cross-process aggregation).
+
+        Events are appended with fresh sequence numbers, counters add,
+        gauges take the other's value (last writer wins — gauges are
+        end-of-run facts like utilization), the latency histogram
+        merges bucket-wise, and sampled server series concatenate in
+        merge order.  Used by the parallel experiment runner to fold a
+        worker-side recorder into the parent-side one.
+        """
+        for event in other.events:
+            self.events.append(dataclasses.replace(event,
+                                                   seq=len(self.events)))
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        self.gauges.update(other.gauges)
+        self.latency_hist.merge(other.latency_hist)
+        if len(other._series):
+            self._built_series = None
+            for i in range(len(other._series._time)):
+                self._series.sample(
+                    other._series._time[i], other._series._queue[i],
+                    other._series._busy[i], other._series._util[i],
+                    other._series._miss[i],
+                )
+        return self
 
     # ------------------------------------------------------------------
     def counts_by_type(self) -> Dict[str, int]:

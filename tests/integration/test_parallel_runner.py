@@ -1,0 +1,168 @@
+"""Determinism of the parallel experiment runner.
+
+The whole point of :mod:`repro.experiments.parallel` is that fanning
+independent ``simulate()`` calls over worker processes never changes a
+result: seeds are pinned per task *before* anything is submitted, so
+``workers=4`` must reproduce ``workers=1`` bit for bit.  These tests
+pin that contract on miniature fig4/fig6 grids (small enough for the
+CI box; the parallel paths still genuinely cross process boundaries).
+"""
+
+import pickle
+
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core import AdmissionFactory, DeadlineMissRatioAdmission
+from repro.errors import ExperimentError
+from repro.experiments import (
+    find_max_load,
+    load_sweep,
+    run_simulations,
+)
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.setups import (
+    paper_oldi_config,
+    paper_single_class_config,
+)
+from repro.obs import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def fig4_mini() -> ClusterConfig:
+    return paper_single_class_config("masstree", 0.8, n_queries=3_000)
+
+
+@pytest.fixture(scope="module")
+def fig6_mini() -> ClusterConfig:
+    return paper_oldi_config("masstree", 1.0, 1.5, n_queries=600)
+
+
+class TestResolveWorkers:
+    def test_serial_spellings(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(4) == 4
+
+    def test_minus_one_means_all_cpus(self):
+        assert resolve_workers(-1) >= 1
+
+    def test_other_negatives_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_workers(-2)
+
+
+class TestMaxLoadDeterminism:
+    def test_workers_match_serial_probe_for_probe(self, fig4_mini):
+        kwargs = dict(lo=0.2, hi=0.6, tol=0.05, seeds=(1, 2))
+        serial = find_max_load(fig4_mini, **kwargs)
+        parallel = find_max_load(fig4_mini, workers=4, **kwargs)
+        assert parallel.max_load == serial.max_load
+        # Not just the answer: the entire probe history (loads probed,
+        # feasibility votes, order) must be identical.
+        assert parallel.history == serial.history
+
+    def test_speculative_stays_within_tol(self, fig4_mini):
+        kwargs = dict(lo=0.2, hi=0.6, tol=0.05, seeds=(1, 2))
+        plain = find_max_load(fig4_mini, **kwargs)
+        spec = find_max_load(fig4_mini, workers=4, speculative=3, **kwargs)
+        # Speculative bisection probes a different (deterministic) load
+        # sequence, so the boundary may shift by at most one bracket.
+        assert abs(spec.max_load - plain.max_load) <= kwargs["tol"]
+        # The returned load must itself have probed feasible (or be lo).
+        feasible = {load for load, ok in spec.history if ok}
+        assert spec.max_load in feasible or spec.max_load == kwargs["lo"]
+
+    def test_speculative_validation(self, fig4_mini):
+        with pytest.raises(ExperimentError):
+            find_max_load(fig4_mini, speculative=0)
+
+
+class TestSweepDeterminism:
+    def test_workers_match_serial_bit_for_bit(self, fig6_mini):
+        loads = (0.3, 0.5)
+        serial = load_sweep(fig6_mini, loads, seed=3)
+        parallel = load_sweep(fig6_mini, loads, seed=3, workers=4)
+        # SweepPoint is a frozen dataclass of floats/dicts: equality
+        # here is bit-identity of every tail, ratio and load.
+        assert parallel == serial
+
+    def test_seed_none_falls_back_to_config_seed(self, fig6_mini):
+        loads = (0.3,)
+        first = load_sweep(fig6_mini, loads, seed=None)
+        second = load_sweep(fig6_mini, loads, seed=None, workers=2)
+        assert first == second
+
+    def test_parallel_rejects_shared_admission_controller(self, fig6_mini):
+        from dataclasses import replace
+
+        shared = replace(
+            fig6_mini, admission=DeadlineMissRatioAdmission(threshold=0.05))
+        with pytest.raises(ExperimentError):
+            load_sweep(shared, (0.3, 0.5), seed=1, workers=2)
+
+    def test_parallel_admission_factory_matches_serial(self, fig4_mini):
+        factory = AdmissionFactory(
+            DeadlineMissRatioAdmission,
+            {"threshold": 0.05, "min_samples": 200},
+        )
+        loads = (0.4, 0.6)
+        serial = load_sweep(fig4_mini, loads, seed=2,
+                            admission_factory=factory)
+        parallel = load_sweep(fig4_mini, loads, seed=2,
+                              admission_factory=factory, workers=2)
+        assert parallel == serial
+
+    def test_admission_factory_is_picklable(self):
+        factory = AdmissionFactory(DeadlineMissRatioAdmission,
+                                   {"threshold": 0.01})
+        clone = pickle.loads(pickle.dumps(factory))
+        controller = clone()
+        assert isinstance(controller, DeadlineMissRatioAdmission)
+
+
+class TestRunSimulations:
+    def test_preserves_input_order(self, fig6_mini):
+        configs = [fig6_mini.at_load(load).with_seed(7)
+                   for load in (0.3, 0.45, 0.6)]
+        serial = run_simulations(configs)
+        parallel = run_simulations(configs, workers=4)
+        assert len(parallel) == len(configs)
+        for s, p in zip(serial, parallel):
+            assert p.per_type_tails() == s.per_type_tails()
+            assert p.deadline_miss_ratio() == s.deadline_miss_ratio()
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_simulations([])
+
+    def test_obs_merged_home_matches_serial(self, fig6_mini):
+        from dataclasses import replace
+
+        def run(workers):
+            recorder = TraceRecorder()
+            configs = [
+                replace(fig6_mini.at_load(load).with_seed(5),
+                        recorder=recorder)
+                for load in (0.3, 0.5)
+            ]
+            run_simulations(configs, workers=workers)
+            return recorder
+
+        serial = run(None)
+        merged = run(2)
+        assert merged.counters == serial.counters
+        assert merged.latency_hist.snapshot() == serial.latency_hist.snapshot()
+        assert len(merged.events) == len(serial.events)
+
+    def test_results_rebound_to_parent_recorder(self, fig6_mini):
+        from dataclasses import replace
+
+        recorder = TraceRecorder()
+        config = replace(fig6_mini.at_load(0.3).with_seed(5),
+                         recorder=recorder)
+        result = run_simulations([config], workers=2)[0]
+        assert result.obs is recorder

@@ -177,3 +177,34 @@ class TestOnlineUpdating:
         assert estimator.unloaded_tail(99.0, fanout=2) == before
         estimator.invalidate()
         assert estimator.unloaded_tail(99.0, fanout=2) > before
+
+
+class TestTailCacheBound:
+    def test_cache_never_exceeds_cap(self, service):
+        estimator = DeadlineEstimator(service, n_servers=100,
+                                      tail_cache_max=4)
+        for fanout in range(1, 20):
+            estimator.unloaded_tail(99.0, fanout=fanout)
+            assert len(estimator._tail_cache) <= 4
+
+    def test_values_correct_across_overflow_clears(self, service):
+        capped = DeadlineEstimator(service, n_servers=100, tail_cache_max=3)
+        uncapped = DeadlineEstimator(service, n_servers=100)
+        # Fill well past the cap, then re-query everything: every value
+        # must match the uncapped estimator whether it was served from
+        # cache or recomputed after a clear.
+        for _ in range(2):
+            for fanout in range(1, 12):
+                assert (capped.unloaded_tail(99.0, fanout=fanout)
+                        == uncapped.unloaded_tail(99.0, fanout=fanout))
+
+    def test_repeated_key_stays_cached(self, service):
+        estimator = DeadlineEstimator(service, n_servers=100,
+                                      tail_cache_max=8)
+        first = estimator.unloaded_tail(99.0, fanout=10)
+        assert estimator.unloaded_tail(99.0, fanout=10) == first
+        assert len(estimator._tail_cache) == 1
+
+    def test_cap_validation(self, service):
+        with pytest.raises(ConfigurationError):
+            DeadlineEstimator(service, n_servers=100, tail_cache_max=0)
