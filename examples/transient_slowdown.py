@@ -9,7 +9,6 @@ transient, comparing FIFO against TailGuard.
 Run:  python examples/transient_slowdown.py
 """
 
-from dataclasses import replace
 
 from repro import simulate
 from repro.cluster.config import ServicePerturbation
@@ -39,8 +38,7 @@ def main() -> None:
           f"at {LOAD:.0%} load\n")
 
     for policy in ("fifo", "tailguard"):
-        config = replace(
-            base,
+        config = base.evolve(
             policy=policy,
             perturbations=(perturbation,),
             timeline_interval_ms=horizon / 150.0,

@@ -10,7 +10,6 @@ SLOs by shedding exactly the surplus load (paper Fig. 7).
 Run:  python examples/web_search_oldi.py
 """
 
-from dataclasses import replace
 
 from repro import DeadlineMissRatioAdmission, find_max_load, simulate
 from repro.experiments.setups import paper_oldi_config
@@ -51,7 +50,7 @@ def main() -> None:
             mode="duty-cycle",
             ctl_interval_ms=ctl_interval_ms,
         )
-        config = replace(base.at_load(offered), admission=admission)
+        config = base.at_load(offered).with_admission(admission)
         result = simulate(config)
         p99_interactive = result.tail(99.0, "class-I")
         p99_bulk = result.tail(99.0, "class-II")

@@ -29,9 +29,20 @@ Quickstart::
                            workload=workload, n_queries=20_000)
     result = simulate(config.at_load(0.40))
     print(result.per_type_tails())
+
+This module is the package's *stable public surface*: every name in
+``__all__`` is covered by the snapshot test in
+``tests/unit/test_public_api.py`` and by the compatibility policy in
+``docs/api.md``.  Internals imported from submodules directly carry no
+such guarantee.
 """
 
-from repro.cluster import ClusterConfig, SimulationResult, simulate
+from repro.cluster import (
+    ClusterConfig,
+    ServicePerturbation,
+    SimulationResult,
+    simulate,
+)
 from repro.core import (
     AdmissionController,
     DeadlineEstimator,
@@ -57,6 +68,17 @@ from repro.experiments import (
     load_sweep,
     run_experiment,
 )
+from repro.experiments.parallel import run_simulations
+from repro.faults import (
+    CrashProcess,
+    Downtime,
+    FaultPlan,
+    HedgePolicy,
+    RetryPolicy,
+    StragglerEpisode,
+    install_faults,
+)
+from repro.obs import NullRecorder, TraceRecorder
 from repro.sas import SaSTestbed
 from repro.types import QueryRecord, QuerySpec, RequestSpec, ServiceClass, Task
 from repro.workloads import (
@@ -76,12 +98,17 @@ __all__ = [
     "AdmissionRejected",
     "ClusterConfig",
     "ConfigurationError",
+    "CrashProcess",
     "DeadlineEstimator",
     "DeadlineMissRatioAdmission",
     "DistributionError",
+    "Downtime",
     "EXPERIMENTS",
     "ExperimentError",
+    "FaultPlan",
+    "HedgePolicy",
     "NoAdmission",
+    "NullRecorder",
     "ParetoArrivals",
     "PoissonArrivals",
     "Policy",
@@ -91,19 +118,25 @@ __all__ = [
     "ReproError",
     "RequestPlanner",
     "RequestSpec",
+    "RetryPolicy",
     "SaSTestbed",
     "ServiceClass",
+    "ServicePerturbation",
     "SimulationError",
     "SimulationResult",
+    "StragglerEpisode",
     "Task",
     "TaskServer",
+    "TraceRecorder",
     "Workload",
     "find_max_load",
     "get_policy",
     "get_workload",
+    "install_faults",
     "inverse_proportional_fanout",
     "load_sweep",
     "run_experiment",
+    "run_simulations",
     "simulate",
     "single_class_mix",
     "uniform_class_mix",

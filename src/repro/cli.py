@@ -8,10 +8,17 @@ Subcommands:
   table is printed only when neither is requested);
 * ``all [--quick]`` — run every experiment in registry order;
 * ``simulate`` — run a one-off simulation with explicit parameters;
+* ``faults`` — run a one-off fault-injected simulation (crashes,
+  retry, hedging) and print the tail plus the fault counters;
 * ``trace record / replay`` — query-trace capture and paired replay;
 * ``trace run`` — run a traced simulation and export the task
   lifecycle as Chrome trace-event JSON (``chrome://tracing`` /
   Perfetto) or JSONL.
+
+Exit codes: 0 on success, 2 for configuration errors (bad flags or an
+invalid setup), 1 for runtime failures inside a simulation or
+experiment.  Library errors print a one-line message instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -19,15 +26,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
 
 from repro.cluster import ClusterConfig, simulate
+from repro.errors import ConfigurationError, ExperimentError, SimulationError
 from repro.experiments.parallel import run_simulations
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.setups import paper_single_class_config
+from repro.faults import CrashProcess, FaultPlan, HedgePolicy, RetryPolicy
 from repro.metrics import LatencyCollector
 from repro.obs import (
     TraceRecorder,
@@ -101,7 +109,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     # Routed through the parallel runner: with --workers the simulation
     # executes in a worker process and the recorder's events, counters
     # and histogram are merged back into this parent-side recorder.
-    result = run_simulations([replace(config, recorder=recorder)],
+    result = run_simulations([config.with_recorder(recorder)],
                              workers=args.workers)[0]
 
     collector = LatencyCollector()
@@ -152,6 +160,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """One-off fault-injected simulation with crash/retry/hedge knobs."""
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(max_retries=args.retries,
+                            backoff_ms=args.backoff_ms,
+                            timeout_ms=args.timeout_ms)
+    hedge = None
+    if args.hedge:
+        hedge = HedgePolicy(quantile=args.hedge_quantile,
+                            delay_ms=args.hedge_delay_ms,
+                            max_hedges=args.max_hedges)
+    plan = FaultPlan(
+        crashes=CrashProcess(mtbf_ms=args.mtbf_ms, mttr_ms=args.mttr_ms,
+                             seed=args.seed),
+        retry=retry,
+        hedge=hedge,
+    )
+    config = paper_single_class_config(
+        args.workload, args.slo_ms, policy=args.policy,
+        n_servers=args.servers, n_queries=args.queries, seed=args.seed,
+    ).at_load(args.load).with_faults(plan)
+    result = simulate(config)
+    print(f"policy={result.policy_name} load={args.load:.2f} "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f}")
+    print(f"server_failures={result.server_failures} "
+          f"tasks_retried={result.tasks_retried} "
+          f"tasks_hedged={result.tasks_hedged} "
+          f"tasks_cancelled={result.tasks_cancelled} "
+          f"failed_queries={result.queries_failed()} "
+          f"(failed_ratio={result.failed_ratio():.4f})")
+    for (class_name, fanout), tail in result.per_type_tails().items():
+        print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms "
+              f"({result.count(class_name, fanout)} queries)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tailguard",
@@ -190,6 +236,38 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--servers", type=int, default=100)
     sim_parser.add_argument("--queries", type=int, default=20_000)
     sim_parser.add_argument("--seed", type=int, default=1)
+
+    faults_parser = sub.add_parser(
+        "faults", help="one-off fault-injected simulation")
+    faults_parser.add_argument("--workload", default="masstree",
+                               choices=["masstree", "shore", "xapian"])
+    faults_parser.add_argument("--policy", default="tailguard")
+    faults_parser.add_argument("--slo-ms", type=float, default=1.0)
+    faults_parser.add_argument("--load", type=float, default=0.4)
+    faults_parser.add_argument("--servers", type=int, default=100)
+    faults_parser.add_argument("--queries", type=int, default=20_000)
+    faults_parser.add_argument("--seed", type=int, default=1)
+    faults_parser.add_argument("--mtbf-ms", type=float, default=500.0,
+                               help="per-server mean time between failures")
+    faults_parser.add_argument("--mttr-ms", type=float, default=20.0,
+                               help="per-server mean time to repair")
+    faults_parser.add_argument("--retries", type=int, default=0, metavar="N",
+                               help="kill-and-requeue with up to N retries "
+                                    "per task copy (0 = pause mode)")
+    faults_parser.add_argument("--backoff-ms", type=float, default=0.1,
+                               help="requeue backoff per attempt")
+    faults_parser.add_argument("--timeout-ms", type=float, default=None,
+                               help="retry queued copies older than this")
+    faults_parser.add_argument("--hedge", action="store_true",
+                               help="duplicate slow tasks after a delay")
+    faults_parser.add_argument("--hedge-quantile", type=float, default=0.95,
+                               help="hedge delay = this quantile of the "
+                                    "primary server's service CDF")
+    faults_parser.add_argument("--hedge-delay-ms", type=float, default=None,
+                               help="explicit hedge delay (overrides "
+                                    "--hedge-quantile)")
+    faults_parser.add_argument("--max-hedges", type=int, default=1,
+                               help="duplicates per task slot")
 
     trace_parser = sub.add_parser("trace", help="record/replay query traces")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
@@ -248,15 +326,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "all": _cmd_all,
         "simulate": _cmd_simulate,
+        "faults": _cmd_faults,
     }
-    if args.command == "trace":
-        trace_handlers = {
-            "record": _cmd_trace_record,
-            "replay": _cmd_trace_replay,
-            "run": _cmd_trace_run,
-        }
-        return trace_handlers[args.trace_command](args)
-    return handlers[args.command](args)
+    try:
+        if args.command == "trace":
+            trace_handlers = {
+                "record": _cmd_trace_record,
+                "replay": _cmd_trace_replay,
+                "run": _cmd_trace_run,
+            }
+            return trace_handlers[args.trace_command](args)
+        return handlers[args.command](args)
+    except ConfigurationError as exc:
+        print(f"tailguard: configuration error: {exc}", file=sys.stderr)
+        return 2
+    except (SimulationError, ExperimentError) as exc:
+        print(f"tailguard: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

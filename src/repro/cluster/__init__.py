@@ -7,8 +7,9 @@ queries in seconds, producing a :class:`~repro.cluster.results.SimulationResult`
 with per-type tail latencies, utilization and deadline-miss statistics.
 """
 
-from repro.cluster.config import ClusterConfig
+from repro.cluster.config import ClusterConfig, ServicePerturbation
 from repro.cluster.results import SimulationResult
 from repro.cluster.simulation import simulate
 
-__all__ = ["ClusterConfig", "SimulationResult", "simulate"]
+__all__ = ["ClusterConfig", "ServicePerturbation",
+           "SimulationResult", "simulate"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import KW_ONLY, dataclass, fields, replace
 from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -12,6 +12,7 @@ from repro.core.deadline import DeadlineEstimator
 from repro.core.policies import Policy, get_policy
 from repro.distributions import Distribution
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.obs.recorder import TraceRecorder
 from repro.types import QuerySpec
 from repro.workloads.generator import Workload
@@ -59,10 +60,19 @@ class ClusterConfig:
     queries are generated from a workload model, or a pre-materialized
     spec list (trace replay — the mode that makes policy comparisons
     perfectly paired) is replayed.
+
+    All optional fields are **keyword-only** (public-API contract; see
+    ``docs/api.md``): the positional form ``ClusterConfig(100, "fifo",
+    workload)`` was ambiguous and is no longer accepted.  Prefer the
+    fluent helpers (:meth:`at_load`, :meth:`with_seed`,
+    :meth:`with_recorder`, :meth:`with_faults`, :meth:`with_admission`,
+    :meth:`evolve`) over ``dataclasses.replace`` — they re-run
+    validation and keep call sites readable.
     """
 
     n_servers: int
     policy: Union[str, Policy]
+    _: KW_ONLY
     workload: Optional[Workload] = None
     n_queries: int = 50_000
     specs: Optional[Sequence[QuerySpec]] = None
@@ -89,6 +99,12 @@ class ClusterConfig:
     #: (e.g. :class:`repro.obs.NullRecorder`) keeps the hot path free
     #: of instrumentation.
     recorder: Optional[TraceRecorder] = None
+    #: Fault injection: crash/recovery schedules, straggler episodes,
+    #: and mitigations (retry/requeue, hedged requests).  ``None`` or an
+    #: inactive plan keeps the optimized no-fault hot path; an active
+    #: plan routes the run through the fault-aware event loop
+    #: (:mod:`repro.cluster.faultsim`).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -142,3 +158,34 @@ class ClusterConfig:
         ``np.random.default_rng(seed).spawn(...)`` on this field.
         """
         return replace(self, seed=seed)
+
+    def with_recorder(self, recorder: Optional[TraceRecorder]
+                      ) -> "ClusterConfig":
+        """A copy instrumented with the given trace recorder."""
+        return replace(self, recorder=recorder)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "ClusterConfig":
+        """A copy running under the given fault plan (None removes it)."""
+        return replace(self, faults=faults)
+
+    def with_admission(self, admission: Optional[AdmissionController]
+                       ) -> "ClusterConfig":
+        """A copy with the given admission controller installed."""
+        return replace(self, admission=admission)
+
+    def evolve(self, **changes) -> "ClusterConfig":
+        """A validated copy with arbitrary fields replaced.
+
+        The supported spelling of ``dataclasses.replace`` for configs:
+        unknown field names raise :class:`ConfigurationError` instead
+        of ``TypeError``, and ``__post_init__`` re-validates the result
+        as usual.
+        """
+        known = {f.name for f in fields(self) if f.name != "_"}
+        unknown = set(changes) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config field(s): {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return replace(self, **changes)

@@ -1,0 +1,620 @@
+"""Fault-aware event-calendar simulation (the fast path under faults).
+
+:func:`repro.cluster.simulation.simulate` routes here when the config
+carries an active :class:`~repro.faults.plan.FaultPlan`.  The no-fault
+hot loop stays untouched; this loop layers crash/recovery transitions,
+pause/kill semantics, retry-with-backoff requeues, queued-copy timeouts,
+and hedged requests on top of the same model, sharing the spec/budget
+preparation helpers so the underlying trace is byte-identical.
+
+Event ordering at equal timestamps (the contract the DES-kernel fault
+path mirrors; see ``docs/faults.md``):
+
+1. crash/recovery transitions,
+2. task completions,
+3. retry requeues and queued-copy timeouts,
+4. hedge timers,
+5. query arrivals.
+
+Ties *within* a rank replay in creation order (a monotone sequence
+number), matching the kernel's (time, priority, insertion-order) rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import SimulationResult, Timeline
+from repro.core.deadline import DeadlineEstimator
+from repro.errors import ConfigurationError
+from repro.faults.plan import FAIL, fault_horizon, pick_server
+from repro.obs.events import (
+    DEADLINE_MISS,
+    QUERY_ARRIVE,
+    QUERY_REJECTED,
+    SERVER_FAIL,
+    SERVER_RECOVER,
+    TASK_CANCEL,
+    TASK_COMPLETE,
+    TASK_DEQUEUE,
+    TASK_ENQUEUE,
+    TASK_HEDGE,
+    TASK_RETRY,
+)
+
+#: Heap ranks (orderd processing at equal times).
+_R_TRANSITION = 0
+_R_COMPLETE = 1
+_R_RETRY = 2
+_R_HEDGE = 3
+
+
+class _Slot:
+    """Mitigation state of one (query, slot) pair — the fast-path twin
+    of :class:`repro.faults.kernel._Slot`."""
+
+    __slots__ = ("qidx", "slot", "key", "deadline", "primary_sid", "done",
+                 "failed", "attempts", "hedges", "pending", "live")
+
+    def __init__(self, qidx: int, slot: int, key: Tuple, deadline: float,
+                 primary_sid: int) -> None:
+        self.qidx = qidx
+        self.slot = slot
+        self.key = key
+        self.deadline = deadline
+        self.primary_sid = primary_sid
+        self.done = False
+        self.failed = False
+        self.attempts = 0
+        self.hedges = 0
+        self.pending = 0
+        self.live: Dict[int, int] = {}  # copy id -> server id
+
+    @property
+    def open(self) -> bool:
+        return not self.done and not self.failed
+
+
+def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
+    """Run one fault-injected simulation.
+
+    Same statistics contract as the no-fault loop, plus fault outcome
+    counters and the per-query ``failed`` mask (failed queries keep
+    ``latency`` = NaN and are excluded from latency statistics).
+    """
+    from repro.cluster.simulation import (
+        _budget_array,
+        _prepare_specs,
+        _server_streams,
+    )
+
+    plan = config.faults
+    assert plan is not None and plan.active
+    policy = config.resolve_policy()
+    root_rng = np.random.default_rng(config.seed)
+    spec_rng, placement_rng, service_rng = root_rng.spawn(3)
+
+    n = config.n_servers
+    server_cdfs = config.resolve_server_cdfs()
+    server_stream = _server_streams(config, server_cdfs, service_rng)
+
+    estimator = config.estimator
+    if estimator is None:
+        estimator = DeadlineEstimator(dict(server_cdfs))
+
+    specs, classes, class_index, fanout, arrival = _prepare_specs(
+        config, spec_rng)
+    m = len(specs)
+
+    remaining = fanout.astype(np.int64).copy()
+    latency = np.full(m, np.nan)
+    rejected = np.zeros(m, dtype=bool)
+    failed_q = np.zeros(m, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Fault machinery.
+    # ------------------------------------------------------------------
+    materialized = plan.materialize(n, fault_horizon(float(arrival[-1])))
+    kill_mode = plan.kill_mode
+    retry = plan.retry
+    hedge = plan.hedge
+    straggling = bool(plan.stragglers)
+    straggler_factor = materialized.straggler_factor
+
+    # ------------------------------------------------------------------
+    # Server state.  ``busy[sid]`` holds the in-service copy id or -1;
+    # ``epoch`` invalidates completions scheduled before a crash.
+    # ------------------------------------------------------------------
+    queues = [policy.create_queue() for _ in range(n)]
+    busy = [-1] * n
+    down = [False] * n
+    epoch = [0] * n
+    service_start = [0.0] * n
+    paused: List[Optional[int]] = [None] * n
+    all_servers = tuple(range(n))
+
+    copy_slot: Dict[int, _Slot] = {}   # copy id -> its slot
+    started: set = set()               # copies that entered service once
+    cancelled: set = set()             # queued phantoms (lazy removal)
+    discard: set = set()               # in-service losers (result void)
+    next_cid = 0
+
+    heap: List[Tuple] = []  # (time, rank, seq, kind, payload...)
+    seq = 0
+    push, pop = heapq.heappush, heapq.heappop
+    for time, sid, kind in materialized.transitions():
+        push(heap, (time, _R_TRANSITION, seq,
+                    "F" if kind == FAIL else "R", sid))
+        seq += 1
+
+    admission = config.admission
+    placement = config.placement
+    placement_wants_depths = bool(
+        placement is not None and getattr(placement, "needs_queue_depths",
+                                          False)
+    )
+    perturbations = tuple(config.perturbations)
+
+    online = estimator.online_enabled
+    homogeneous_fast = (estimator.homogeneous and not online
+                        and placement is None)
+    query_budget: List[float] = []
+    if homogeneous_fast:
+        query_budget = _budget_array(estimator, specs, classes, class_index,
+                                     fanout, n)
+    use_budget_array = bool(query_budget)
+
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+    tasks_failed = 0
+    tasks_retried = 0
+    tasks_hedged = 0
+    tasks_cancelled = 0
+    server_failures = 0
+    now = 0.0
+    qi = 0
+    infinity = float("inf")
+
+    sample_interval = config.timeline_interval_ms
+    next_sample = sample_interval if sample_interval is not None else infinity
+    sample_times: List[float] = []
+    sample_queued: List[int] = []
+    sample_busy: List[int] = []
+    queued_tasks = 0
+    busy_servers = 0
+
+    rec = config.recorder
+    tracing = rec is not None and rec.enabled
+
+    # ------------------------------------------------------------------
+    # Helpers (closures over the state above).
+    # ------------------------------------------------------------------
+    def depths() -> List[int]:
+        return [len(queues[sid]) + (1 if busy[sid] >= 0 else 0)
+                for sid in range(n)]
+
+    def up() -> List[bool]:
+        return [not down[sid] for sid in range(n)]
+
+    def sample_duration(sid: int) -> float:
+        duration = server_stream[sid].next()
+        if straggling:
+            duration *= straggler_factor(sid, now)
+        for perturbation in perturbations:
+            if perturbation.applies(sid, now):
+                duration *= perturbation.factor
+        return duration
+
+    def start_service(sid: int, cid: int, restart: bool = False) -> None:
+        nonlocal seq, tasks_total, tasks_missed, busy_servers
+        slot = copy_slot[cid]
+        busy[sid] = cid
+        busy_servers += 1
+        service_start[sid] = now
+        duration = sample_duration(sid)
+        if not restart:
+            started.add(cid)
+            tasks_total += 1
+            missed = now > slot.deadline
+            if missed:
+                tasks_missed += 1
+            if admission is not None:
+                admission.record_task(missed, now)
+            if tracing:
+                rec.inc("tasks_dequeued")
+                rec.emit(TASK_DEQUEUE, now, server_id=sid,
+                         query_id=slot.qidx,
+                         class_name=classes[class_index[slot.qidx]].name,
+                         fanout=int(fanout[slot.qidx]),
+                         deadline=slot.deadline, slack=slot.deadline - now)
+                if missed:
+                    rec.inc("deadline_misses")
+                    rec.emit(DEADLINE_MISS, now, server_id=sid,
+                             query_id=slot.qidx, deadline=slot.deadline,
+                             slack=slot.deadline - now)
+        push(heap, (now + duration, _R_COMPLETE, seq, "C", sid, cid,
+                    duration, epoch[sid]))
+        seq += 1
+
+    def start_next(sid: int) -> bool:
+        """Pull the next live queued copy, skipping phantoms."""
+        queue = queues[sid]
+        nonlocal queued_tasks
+        while len(queue) > 0:
+            qidx, cid = queue.pop()
+            queued_tasks -= 1
+            if cid in cancelled:
+                cancelled.discard(cid)
+                continue
+            start_service(sid, cid)
+            return True
+        return False
+
+    def enqueue_copy(sid: int, cid: int) -> None:
+        nonlocal queued_tasks
+        slot = copy_slot[cid]
+        if busy[sid] >= 0 or down[sid]:
+            queues[sid].push((slot.qidx, cid), slot.key)
+            queued_tasks += 1
+            if tracing:
+                rec.emit(TASK_ENQUEUE, now, server_id=sid,
+                         query_id=slot.qidx, deadline=slot.deadline,
+                         slack=slot.deadline - now,
+                         extra={"queue_len": len(queues[sid])})
+        else:
+            start_service(sid, cid)
+
+    def new_copy(slot: _Slot, sid: int) -> int:
+        nonlocal next_cid
+        cid = next_cid
+        next_cid += 1
+        copy_slot[cid] = slot
+        slot.live[cid] = sid
+        return cid
+
+    def arm_timeout(cid: int) -> None:
+        nonlocal seq
+        if retry is not None and retry.timeout_ms is not None:
+            push(heap, (now + retry.timeout_ms, _R_RETRY, seq, "T", cid))
+            seq += 1
+
+    def arm_hedge(slot: _Slot) -> None:
+        nonlocal seq
+        if hedge is not None:
+            delay = hedge.delay_for(server_cdfs[slot.primary_sid])
+            push(heap, (now + delay, _R_HEDGE, seq, "H", slot, delay))
+            seq += 1
+
+    def slot_fail(slot: _Slot) -> None:
+        nonlocal tasks_failed
+        slot.failed = True
+        tasks_failed += 1
+        failed_q[slot.qidx] = True
+        remaining[slot.qidx] -= 1
+
+    def schedule_requeue(slot: _Slot, reason: str) -> None:
+        nonlocal seq
+        if retry is None or slot.attempts >= retry.max_retries:
+            slot_fail(slot)
+            return
+        slot.attempts += 1
+        slot.pending += 1
+        push(heap, (now + retry.backoff_ms * slot.attempts, _R_RETRY, seq,
+                    "Q", slot, reason))
+        seq += 1
+
+    def handle_kill(cid: int) -> None:
+        nonlocal tasks_cancelled
+        slot = copy_slot[cid]
+        if not slot.open:
+            return
+        sid = slot.live.pop(cid, -1)
+        if slot.live or slot.pending:
+            tasks_cancelled += 1
+            if tracing:
+                rec.emit(TASK_CANCEL, now, server_id=sid,
+                         query_id=slot.qidx,
+                         extra={"reason": "server_fail"})
+            return
+        schedule_requeue(slot, "server_fail")
+
+    # ------------------------------------------------------------------
+    # Main loop: heap events (transitions, completions, timers) merge
+    # with sorted arrivals; heap wins ties, matching the no-fault loop.
+    # ------------------------------------------------------------------
+    while qi < m or heap:
+        next_arrival = arrival[qi] if qi < m else infinity
+        if sample_interval is not None:
+            next_event = min(next_arrival, heap[0][0] if heap else infinity)
+            while next_sample <= next_event:
+                sample_times.append(next_sample)
+                sample_queued.append(queued_tasks)
+                sample_busy.append(busy_servers)
+                next_sample += sample_interval
+        if heap and heap[0][0] <= next_arrival:
+            entry = pop(heap)
+            now = entry[0]
+            kind = entry[3]
+
+            if kind == "F":                      # ----- server crash
+                sid = entry[4]
+                server_failures += 1
+                down[sid] = True
+                epoch[sid] += 1
+                if tracing:
+                    rec.emit(SERVER_FAIL, now, server_id=sid)
+                victims: List[int] = []
+                cid = busy[sid]
+                if cid >= 0:
+                    busy_total += now - service_start[sid]
+                    busy[sid] = -1
+                    busy_servers -= 1
+                    if cid in discard:
+                        discard.discard(cid)
+                    elif kill_mode:
+                        victims.append(cid)
+                    else:
+                        paused[sid] = cid
+                if kill_mode:
+                    queue = queues[sid]
+                    while len(queue) > 0:
+                        _, qcid = queue.pop()
+                        queued_tasks -= 1
+                        if qcid in cancelled:
+                            cancelled.discard(qcid)
+                            continue
+                        victims.append(qcid)
+                    for victim in victims:
+                        handle_kill(victim)
+
+            elif kind == "R":                    # ----- server recovery
+                sid = entry[4]
+                down[sid] = False
+                if tracing:
+                    rec.emit(SERVER_RECOVER, now, server_id=sid)
+                if paused[sid] is not None:
+                    cid, paused[sid] = paused[sid], None
+                    start_service(sid, cid, restart=True)
+                else:
+                    start_next(sid)
+
+            elif kind == "C":                    # ----- task completion
+                _, _, _, _, sid, cid, duration, ev_epoch = entry
+                if ev_epoch != epoch[sid]:
+                    continue  # stale: the server crashed mid-service
+                busy_total += duration
+                busy[sid] = -1
+                busy_servers -= 1
+                if cid in discard:
+                    discard.discard(cid)
+                else:
+                    slot = copy_slot[cid]
+                    slot.done = True
+                    slot.live.pop(cid, None)
+                    if online:
+                        estimator.record(sid, duration)
+                    if tracing:
+                        rec.emit(TASK_COMPLETE, now, server_id=sid,
+                                 query_id=slot.qidx,
+                                 class_name=classes[class_index[slot.qidx]].name,
+                                 extra={"duration": duration})
+                    for other_cid, other_sid in slot.live.items():
+                        if busy[other_sid] == other_cid:
+                            discard.add(other_cid)
+                        elif paused[other_sid] == other_cid:
+                            # A paused loser evaporates: nothing to
+                            # restart at its server's recovery.
+                            paused[other_sid] = None
+                        else:
+                            cancelled.add(other_cid)
+                        tasks_cancelled += 1
+                        if tracing:
+                            rec.emit(TASK_CANCEL, now, server_id=other_sid,
+                                     query_id=slot.qidx,
+                                     extra={"reason": "hedge_lost"})
+                    slot.live.clear()
+                    qidx = slot.qidx
+                    remaining[qidx] -= 1
+                    if remaining[qidx] == 0 and not failed_q[qidx]:
+                        latency[qidx] = now - arrival[qidx]
+                        if tracing:
+                            rec.observe_latency(latency[qidx])
+                            rec.inc("queries_completed")
+                if not down[sid]:
+                    start_next(sid)
+
+            elif kind == "Q":                    # ----- retry requeue
+                slot, reason = entry[4], entry[5]
+                slot.pending -= 1
+                if not slot.open:
+                    continue
+                target = pick_server(depths(), up(),
+                                     exclude=list(slot.live.values()))
+                if target < 0:
+                    slot_fail(slot)
+                    continue
+                tasks_retried += 1
+                if tracing:
+                    rec.emit(TASK_RETRY, now, server_id=target,
+                             query_id=slot.qidx, deadline=slot.deadline,
+                             extra={"attempt": slot.attempts,
+                                    "reason": reason})
+                cid = new_copy(slot, target)
+                enqueue_copy(target, cid)
+                arm_timeout(cid)
+
+            elif kind == "T":                    # ----- queued-copy timeout
+                cid = entry[4]
+                slot = copy_slot[cid]
+                if not slot.open or cid not in slot.live:
+                    continue
+                if cid in started:
+                    continue  # in (or past) service
+                if slot.attempts >= retry.max_retries:
+                    continue  # budget exhausted: leave it queued
+                sid = slot.live.pop(cid)
+                cancelled.add(cid)
+                tasks_cancelled += 1
+                if tracing:
+                    rec.emit(TASK_CANCEL, now, server_id=sid,
+                             query_id=slot.qidx,
+                             extra={"reason": "timeout"})
+                schedule_requeue(slot, "timeout")
+
+            else:                                # ----- hedge timer ("H")
+                slot, delay = entry[4], entry[5]
+                if not slot.open or slot.hedges >= hedge.max_hedges:
+                    continue
+                target = pick_server(depths(), up(),
+                                     exclude=list(slot.live.values()))
+                if target >= 0:
+                    slot.hedges += 1
+                    tasks_hedged += 1
+                    if tracing:
+                        rec.emit(TASK_HEDGE, now, server_id=target,
+                                 query_id=slot.qidx, deadline=slot.deadline,
+                                 extra={"hedge": slot.hedges})
+                    cid = new_copy(slot, target)
+                    enqueue_copy(target, cid)
+                    arm_timeout(cid)
+                    if slot.hedges >= hedge.max_hedges:
+                        continue
+                push(heap, (now + delay, _R_HEDGE, seq, "H", slot, delay))
+                seq += 1
+            continue
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        if tracing:
+            rec.inc("queries_arrived")
+            rec.emit(QUERY_ARRIVE, now, query_id=qidx,
+                     class_name=classes[class_index[qidx]].name,
+                     fanout=int(fanout[qidx]))
+        if admission is not None and not admission.admit(now):
+            rejected[qidx] = True
+            if tracing:
+                rec.inc("queries_rejected")
+                rec.emit(QUERY_REJECTED, now, query_id=qidx,
+                         class_name=classes[class_index[qidx]].name,
+                         fanout=int(fanout[qidx]),
+                         extra={"miss_ratio": admission.miss_ratio()})
+            continue
+
+        spec = specs[qidx]
+        k = int(fanout[qidx])
+        cls = classes[class_index[qidx]]
+
+        if spec.servers is not None:
+            servers = spec.servers
+        elif placement is not None:
+            if placement_wants_depths:
+                servers = placement(spec, placement_rng, tuple(depths()))
+            else:
+                servers = placement(spec, placement_rng)
+            if len(servers) != k:
+                raise ConfigurationError(
+                    f"placement returned {len(servers)} servers for fanout {k}"
+                )
+        elif k == n:
+            servers = all_servers
+        elif k == 1:
+            servers = (int(placement_rng.integers(n)),)
+        else:
+            servers = tuple(
+                int(s) for s in placement_rng.choice(n, size=k, replace=False)
+            )
+
+        if use_budget_array and spec.servers is None:
+            deadline = now + query_budget[qidx]
+        elif estimator.homogeneous:
+            deadline = estimator.deadline(now, cls, fanout=k)
+        else:
+            deadline = estimator.deadline(now, cls, servers=servers)
+
+        key = policy.queue_key(now, cls, deadline)
+        for j, sid in enumerate(servers):
+            slot = _Slot(qidx, j, key, deadline, sid)
+            if kill_mode and down[sid]:
+                # Dispatch-time redirect away from a down server (free:
+                # no retry budget consumed).
+                target = pick_server(depths(), up())
+                if target < 0:
+                    slot_fail(slot)
+                    continue
+                tasks_retried += 1
+                if tracing:
+                    rec.emit(TASK_RETRY, now, server_id=target,
+                             query_id=qidx, deadline=deadline,
+                             extra={"attempt": 0, "reason": "redirect"})
+                sid = target
+            cid = new_copy(slot, sid)
+            enqueue_copy(sid, cid)
+            arm_timeout(cid)
+            arm_hedge(slot)
+
+    # ------------------------------------------------------------------
+    # Wrap up.
+    # ------------------------------------------------------------------
+    warmup_count = int(m * config.warmup_fraction)
+    measured = np.zeros(m, dtype=bool)
+    measured[warmup_count:] = True
+
+    timeline = None
+    if sample_interval is not None:
+        timeline = Timeline(
+            time=np.asarray(sample_times),
+            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
+            busy_servers=np.asarray(sample_busy, dtype=np.int64),
+        )
+
+    mean_service = float(
+        np.mean([server_cdfs[sid].mean() for sid in range(n)])
+    )
+    if config.workload is not None:
+        offered = config.workload.load(n)
+    else:
+        span = float(arrival.max() - arrival.min())
+        offered = (
+            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
+        )
+
+    if tracing:
+        rec.set_gauge("utilization",
+                      busy_total / (n * now) if now > 0 else 0.0)
+        rec.set_gauge("deadline_miss_ratio",
+                      tasks_missed / tasks_total if tasks_total else 0.0)
+        rec.set_gauge("duration_ms", now)
+
+    return SimulationResult(
+        policy_name=policy.name,
+        n_servers=n,
+        seed=config.seed,
+        offered_load=offered,
+        classes=tuple(classes),
+        class_index=class_index,
+        fanout=fanout,
+        arrival=arrival,
+        latency=latency,
+        rejected=rejected,
+        measured=measured,
+        tasks_total=tasks_total,
+        tasks_missed_deadline=tasks_missed,
+        busy_time_total=busy_total,
+        duration=now,
+        mean_service_ms=mean_service,
+        timeline=timeline,
+        obs=rec if tracing else None,
+        failed=failed_q,
+        tasks_failed=tasks_failed,
+        tasks_retried=tasks_retried,
+        tasks_hedged=tasks_hedged,
+        tasks_cancelled=tasks_cancelled,
+        server_failures=server_failures,
+    )

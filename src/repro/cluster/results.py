@@ -74,6 +74,15 @@ class SimulationResult:
     #: streaming counters/histogram, and — when sampling was on — the
     #: per-server :class:`repro.obs.ServerSeries`.
     obs: Optional[TraceRecorder] = None
+    #: Fault injection outcome (all zeros / None for fault-free runs).
+    #: ``failed`` marks queries that lost a task slot for good (retries
+    #: exhausted or no surviving server); their ``latency`` stays NaN.
+    failed: Optional[np.ndarray] = None
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_hedged: int = 0
+    tasks_cancelled: int = 0
+    server_failures: int = 0
 
     def with_obs(self, recorder: Optional[TraceRecorder]) -> "SimulationResult":
         """A copy bound to a different recorder.
@@ -277,12 +286,36 @@ class SimulationResult:
         demand = float(self.fanout[window].sum()) * self.mean_service_ms
         return demand / (self.n_servers * horizon)
 
+    def queries_failed(self) -> int:
+        """Queries that permanently lost a task slot to failures."""
+        if self.failed is None:
+            return 0
+        return int(self.failed.sum())
+
+    def failed_ratio(self) -> float:
+        """Fraction of measured queries that failed under fault injection."""
+        if self.failed is None:
+            return 0.0
+        total = int(self.measured.sum())
+        if total == 0:
+            return 0.0
+        return float((self.failed & self.measured).sum()) / total
+
     def summary(self) -> Dict[str, float]:
         """Headline numbers for logging/CLI output."""
-        return {
+        out = {
             "offered_load": self.offered_load,
             "utilization": self.utilization(),
             "deadline_miss_ratio": self.deadline_miss_ratio(),
             "rejection_ratio": self.rejection_ratio(),
             "queries_measured": float(self._mask(None, None).sum()),
         }
+        if self.server_failures or self.queries_failed():
+            out.update({
+                "server_failures": float(self.server_failures),
+                "failed_ratio": self.failed_ratio(),
+                "tasks_retried": float(self.tasks_retried),
+                "tasks_hedged": float(self.tasks_hedged),
+                "tasks_cancelled": float(self.tasks_cancelled),
+            })
+        return out

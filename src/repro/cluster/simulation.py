@@ -43,12 +43,13 @@ from repro.types import ServiceClass
 from repro.workloads.generator import generate_queries
 
 
-def simulate(config: ClusterConfig) -> SimulationResult:
-    """Run one simulation and collect per-query statistics."""
-    policy = config.resolve_policy()
-    root_rng = np.random.default_rng(config.seed)
-    spec_rng, placement_rng, service_rng = root_rng.spawn(3)
+def _prepare_specs(config: ClusterConfig, spec_rng: np.random.Generator):
+    """Materialize the spec list and its per-query arrays.
 
+    Shared by the no-fault hot loop below and the fault-aware loop in
+    :mod:`repro.cluster.faultsim` so both paths see byte-identical
+    traces for a given config.
+    """
     if config.specs is not None:
         specs = sorted(config.specs, key=lambda s: s.arrival_time)
     else:
@@ -57,26 +58,6 @@ def simulate(config: ClusterConfig) -> SimulationResult:
         raise ConfigurationError("no queries to simulate")
 
     n = config.n_servers
-    server_cdfs = config.resolve_server_cdfs()
-
-    # One block sampler per distinct service-time distribution object.
-    streams: Dict[int, SampleStream] = {}
-    server_stream: List[SampleStream] = []
-    for sid in range(n):
-        dist = server_cdfs[sid]
-        stream = streams.get(id(dist))
-        if stream is None:
-            stream = SampleStream(dist, service_rng.spawn(1)[0])
-            streams[id(dist)] = stream
-        server_stream.append(stream)
-
-    estimator = config.estimator
-    if estimator is None:
-        estimator = DeadlineEstimator(dict(server_cdfs))
-
-    # ------------------------------------------------------------------
-    # Per-query arrays.
-    # ------------------------------------------------------------------
     m = len(specs)
     classes: List[ServiceClass] = []
     class_of: Dict[str, int] = {}
@@ -99,6 +80,85 @@ def simulate(config: ClusterConfig) -> SimulationResult:
             raise ConfigurationError(
                 f"query {spec.query_id}: fanout {spec.fanout} > {n} servers"
             )
+    return specs, classes, class_index, fanout, arrival
+
+
+def _budget_array(estimator: DeadlineEstimator, specs, classes,
+                  class_index: np.ndarray, fanout: np.ndarray,
+                  n: int) -> List[float]:
+    """Hoisted deadline budgets for the static homogeneous fast path.
+
+    Budgets depend only on the (class, fanout) pair, so evaluate the
+    whole table once — one ``budget_table()`` call per class over the
+    distinct fanouts, gathered into a per-query array.  Stamping ``t_D``
+    then costs an indexed add instead of an estimator call per query.
+    Returns ``[]`` when no query is eligible (all pre-placed).
+    """
+    m = len(specs)
+    free = np.fromiter((spec.servers is None for spec in specs),
+                       dtype=bool, count=m)
+    if not free.any():
+        return []
+    codes = class_index.astype(np.int64) * (np.int64(n) + 1) + fanout
+    uniq_codes, inverse = np.unique(codes[free], return_inverse=True)
+    fanouts_by_class: Dict[int, List[int]] = {}
+    for code in uniq_codes:
+        ci, k = divmod(int(code), n + 1)
+        fanouts_by_class.setdefault(ci, []).append(k)
+    budget_by_code: Dict[int, float] = {}
+    for ci, ks in fanouts_by_class.items():
+        for k, value in estimator.budget_table(classes[ci], ks).items():
+            budget_by_code[ci * (n + 1) + k] = value
+    table = np.array([budget_by_code[int(code)] for code in uniq_codes])
+    budgets = np.full(m, np.nan)
+    budgets[free] = table[inverse]
+    return budgets.tolist()
+
+
+def _server_streams(config: ClusterConfig, server_cdfs,
+                    service_rng: np.random.Generator) -> List[SampleStream]:
+    """One block sampler per distinct service-time distribution object."""
+    streams: Dict[int, SampleStream] = {}
+    server_stream: List[SampleStream] = []
+    for sid in range(config.n_servers):
+        dist = server_cdfs[sid]
+        stream = streams.get(id(dist))
+        if stream is None:
+            stream = SampleStream(dist, service_rng.spawn(1)[0])
+            streams[id(dist)] = stream
+        server_stream.append(stream)
+    return server_stream
+
+
+def simulate(config: ClusterConfig) -> SimulationResult:
+    """Run one simulation and collect per-query statistics.
+
+    Fault-free configs run the optimized two-stream merge below;
+    configs with an active :class:`~repro.faults.FaultPlan` route
+    through the fault-aware event calendar in
+    :mod:`repro.cluster.faultsim` (same semantics contract, plus
+    crash/recovery, retries, and hedging).
+    """
+    if config.faults is not None and config.faults.active:
+        from repro.cluster.faultsim import simulate_with_faults
+
+        return simulate_with_faults(config)
+
+    policy = config.resolve_policy()
+    root_rng = np.random.default_rng(config.seed)
+    spec_rng, placement_rng, service_rng = root_rng.spawn(3)
+
+    n = config.n_servers
+    server_cdfs = config.resolve_server_cdfs()
+    server_stream = _server_streams(config, server_cdfs, service_rng)
+
+    estimator = config.estimator
+    if estimator is None:
+        estimator = DeadlineEstimator(dict(server_cdfs))
+
+    specs, classes, class_index, fanout, arrival = _prepare_specs(
+        config, spec_rng)
+    m = len(specs)
 
     remaining = fanout.astype(np.int64).copy()
     latency = np.full(m, np.nan)
@@ -135,32 +195,10 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     online = estimator.online_enabled
     homogeneous_fast = estimator.homogeneous and not online and placement is None
 
-    # Static homogeneous fast path: deadline budgets depend only on the
-    # (class, fanout) pair, so hoist the whole table out of the event
-    # loop — one budget_table() evaluation per class over the distinct
-    # fanouts, gathered into a per-query array.  Stamping t_D then costs
-    # an indexed add instead of an estimator call per query.
     query_budget: List[float] = []
     if homogeneous_fast:
-        free = np.fromiter((spec.servers is None for spec in specs),
-                           dtype=bool, count=m)
-        if free.any():
-            codes = class_index.astype(np.int64) * (np.int64(n) + 1) + fanout
-            uniq_codes, inverse = np.unique(codes[free], return_inverse=True)
-            fanouts_by_class: Dict[int, List[int]] = {}
-            for code in uniq_codes:
-                ci, k = divmod(int(code), n + 1)
-                fanouts_by_class.setdefault(ci, []).append(k)
-            budget_by_code: Dict[int, float] = {}
-            for ci, ks in fanouts_by_class.items():
-                for k, value in estimator.budget_table(classes[ci],
-                                                       ks).items():
-                    budget_by_code[ci * (n + 1) + k] = value
-            table = np.array([budget_by_code[int(code)]
-                              for code in uniq_codes])
-            budgets = np.full(m, np.nan)
-            budgets[free] = table[inverse]
-            query_budget = budgets.tolist()
+        query_budget = _budget_array(estimator, specs, classes, class_index,
+                                     fanout, n)
     use_budget_array = bool(query_budget)
 
     busy_total = 0.0

@@ -77,6 +77,12 @@ class QueryHandler:
         self._remaining: Dict[int, int] = {}
         self.completed: List[QueryRecord] = []
         self.rejected: List[QueryRecord] = []
+        #: Queries that permanently lost a task slot to a failure.
+        self.failed: List[QueryRecord] = []
+        #: Optional :class:`repro.faults.FaultManager` (set by
+        #: :func:`repro.faults.install_faults`): owns dispatch under a
+        #: fault plan and filters completions down to winning copies.
+        self.fault_manager = None
         for server in self.servers:
             if server.on_complete is not None:
                 raise ConfigurationError(
@@ -158,11 +164,15 @@ class QueryHandler:
                 deadline=deadline,
                 class_priority=spec.service_class.priority,
                 enqueue_time=spec.arrival_time,
+                slot=slot,
             )
-            for server_id in servers
+            for slot, server_id in enumerate(servers)
         ]
         self._inflight[spec.query_id] = (record, done, tasks)
         self._remaining[spec.query_id] = len(tasks)
+        if self.fault_manager is not None:
+            self.fault_manager.dispatch(spec, tasks, key, deadline)
+            return record, done
         for task in tasks:
             if self._dispatch_stream is None:
                 self.servers[task.server_id].enqueue(task, key)
@@ -178,6 +188,9 @@ class QueryHandler:
     # ------------------------------------------------------------------
     def _task_done(self, task: Task, server: TaskServer) -> None:
         """Merge path: one task result arrived at the handler."""
+        if self.fault_manager is not None:
+            if not self.fault_manager.on_complete(task, server):
+                return  # a stale copy: its slot already won elsewhere
         self.estimator.record(task.server_id, task.post_queuing_time)
         missed = task.missed_deadline
         self.admission.record_task(missed, self.env.now)
@@ -187,10 +200,28 @@ class QueryHandler:
             record.tasks_missed_deadline += 1
         self._remaining[task.query_id] -= 1
         if self._remaining[task.query_id] == 0:
-            record.finish_time = self.env.now
-            self.completed.append(record)
+            if record.failed:
+                # Another slot was permanently lost: the query failed
+                # even though this slot finished.
+                self.failed.append(record)
+            else:
+                record.finish_time = self.env.now
+                self.completed.append(record)
             del self._inflight[task.query_id]
             del self._remaining[task.query_id]
+            done.succeed(record)
+
+    def _slot_failed(self, query_id: int) -> None:
+        """A task slot was permanently lost: the query can never
+        complete.  Its record keeps ``finish_time`` unset (latency is
+        undefined) and lands on :attr:`failed` once all slots resolve."""
+        record, done, _ = self._inflight[query_id]
+        record.failed = True
+        self._remaining[query_id] -= 1
+        if self._remaining[query_id] == 0:
+            self.failed.append(record)
+            del self._inflight[query_id]
+            del self._remaining[query_id]
             done.succeed(record)
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ from repro.obs.events import (
     TASK_DEQUEUE,
     TASK_ENQUEUE,
 )
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Interrupt
 from repro.types import Task
 
 #: Signature of the completion callback: (task, server) -> None.
@@ -67,6 +67,16 @@ class TaskServer:
         self._busy_since = 0.0
         self._busy_total = 0.0
         self.tasks_served = 0
+        # Fault-injection state (driven by repro.faults.kernel).
+        self.down = False
+        #: Service-time scale hook: ``(server_id, start_time) -> factor``
+        #: applied to every sampled duration (straggler episodes).
+        self.service_scale: Optional[Callable[[int, float], float]] = None
+        self._current: Optional[Task] = None
+        self._current_proc = None
+        self._paused: Optional[Task] = None
+        self._cancelled: set = set()   # queued tasks to skip (by identity)
+        self._discard: set = set()     # in-service tasks whose result is void
 
     # ------------------------------------------------------------------
     @property
@@ -76,6 +86,17 @@ class TaskServer:
     @property
     def queue_length(self) -> int:
         return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        """Queue length including the in-service task.
+
+        The load signal used by the fault layer's requeue/hedge target
+        rule (:func:`repro.faults.pick_server`).  Lazily cancelled
+        (phantom) entries still count — both simulation paths share
+        that convention so the rule picks identical servers.
+        """
+        return len(self._queue) + (1 if self._busy else 0)
 
     def busy_time(self) -> float:
         """Cumulative busy time, including an in-progress task so far."""
@@ -92,8 +113,13 @@ class TaskServer:
 
     # ------------------------------------------------------------------
     def enqueue(self, task: Task, key: Tuple) -> None:
-        """Accept a task; start it immediately if the server is idle."""
-        if self._busy:
+        """Accept a task; start it immediately if the server is idle.
+
+        A down (crashed) server still accepts tasks into its queue —
+        pause-mode semantics let them wait out the downtime; kill-mode
+        dispatch redirects *before* calling this method.
+        """
+        if self._busy or self.down:
             rec = self._recorder
             if rec is not None:
                 depth = self._queue.reorder_depth(key)
@@ -113,39 +139,130 @@ class TaskServer:
                                     server_id=self.server_id)
             self._start(task)
 
-    def _start(self, task: Task) -> None:
+    def _start(self, task: Task, restart: bool = False) -> None:
         self._busy = True
         self._busy_since = self.env.now
-        task.dequeue_time = self.env.now
         duration = self._stream.next()
+        if self.service_scale is not None:
+            duration *= self.service_scale(self.server_id, self.env.now)
+        self._current = task
         rec = self._recorder
-        if rec is not None:
-            slack = task.deadline - self.env.now
-            rec.emit(TASK_DEQUEUE, self.env.now, server_id=self.server_id,
-                     query_id=task.query_id, deadline=task.deadline,
-                     slack=slack)
-            if slack < 0:
-                rec.emit(DEADLINE_MISS, self.env.now,
+        if not restart:
+            # A pause-mode restart is not a second dequeue: the task
+            # left the waiting line (and was judged against t_D) when
+            # its first service attempt began.
+            task.dequeue_time = self.env.now
+            if rec is not None:
+                slack = task.deadline - self.env.now
+                rec.emit(TASK_DEQUEUE, self.env.now,
                          server_id=self.server_id, query_id=task.query_id,
                          deadline=task.deadline, slack=slack)
-        self.env.process(self._serve(task, duration))
+                if slack < 0:
+                    rec.emit(DEADLINE_MISS, self.env.now,
+                             server_id=self.server_id, query_id=task.query_id,
+                             deadline=task.deadline, slack=slack)
+        self._current_proc = self.env.process(self._serve(task, duration))
 
     def _serve(self, task: Task, duration: float):
-        yield self.env.timeout(duration)
-        task.finish_time = self.env.now
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt:
+            # fail() interrupted this service; it owns the bookkeeping.
+            return
         self.tasks_served += 1
         self._busy_total += self.env.now - self._busy_since
         self._busy = False
+        self._current = None
+        self._current_proc = None
         rec = self._recorder
-        if rec is not None:
-            rec.emit(TASK_COMPLETE, self.env.now, server_id=self.server_id,
-                     query_id=task.query_id, deadline=task.deadline,
-                     extra={"duration": duration})
-        if self.on_complete is not None:
-            self.on_complete(task, self)
+        if id(task) in self._discard:
+            # A cancelled hedge loser: it held the server until now
+            # (service is not preemptible) but its result is void.
+            self._discard.discard(id(task))
+        else:
+            task.finish_time = self.env.now
+            if rec is not None:
+                rec.emit(TASK_COMPLETE, self.env.now,
+                         server_id=self.server_id, query_id=task.query_id,
+                         deadline=task.deadline, extra={"duration": duration})
+            if self.on_complete is not None:
+                self.on_complete(task, self)
         # The callback may have enqueued more work; only pull from the
-        # queue if we are still idle.
-        if not self._busy and len(self._queue) > 0:
-            self._start(self._queue.pop())
-        elif rec is not None and not self._busy:
-            rec.emit(SERVER_IDLE, self.env.now, server_id=self.server_id)
+        # queue if we are still idle (and not crashed meanwhile).
+        if not self._busy and not self.down:
+            if not self._start_next() and rec is not None:
+                rec.emit(SERVER_IDLE, self.env.now, server_id=self.server_id)
+
+    def _start_next(self) -> bool:
+        """Start the next live queued task, skipping lazily cancelled
+        (phantom) entries.  Returns whether a task was started."""
+        while len(self._queue) > 0:
+            task = self._queue.pop()
+            if id(task) in self._cancelled:
+                self._cancelled.discard(id(task))
+                continue
+            self._start(task)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Fault-injection primitives (driven by repro.faults.kernel; the
+    # semantics contract lives in docs/faults.md).
+    # ------------------------------------------------------------------
+    def fail(self, kill: bool) -> list:
+        """Crash the server.  Returns the killed tasks (kill mode) in
+        drain order: the in-flight victim first, then queued tasks in
+        policy order.  Pause mode returns ``[]`` and holds the in-flight
+        task aside to restart from scratch at recovery."""
+        self.down = True
+        victims: list = []
+        if self._busy:
+            self._busy_total += self.env.now - self._busy_since
+            self._busy = False
+            inflight, self._current = self._current, None
+            proc, self._current_proc = self._current_proc, None
+            if proc is not None and proc.is_alive:
+                proc.interrupt("server_fail")
+            if id(inflight) in self._discard:
+                # A cancelled loser dies with the server: nobody is
+                # waiting for it, so it is neither paused nor retried.
+                self._discard.discard(id(inflight))
+            elif kill:
+                victims.append(inflight)
+            else:
+                self._paused = inflight
+        if kill:
+            while len(self._queue) > 0:
+                task = self._queue.pop()
+                if id(task) in self._cancelled:
+                    self._cancelled.discard(id(task))
+                    continue
+                victims.append(task)
+        return victims
+
+    def recover(self) -> None:
+        """Come back up: restart the paused in-flight task (fresh
+        service-time sample), else pull from the queue."""
+        self.down = False
+        if self._paused is not None:
+            task, self._paused = self._paused, None
+            if self._recorder is not None:
+                self._recorder.emit(SERVER_BUSY, self.env.now,
+                                    server_id=self.server_id)
+            self._start(task, restart=True)
+        elif self._start_next() and self._recorder is not None:
+            self._recorder.emit(SERVER_BUSY, self.env.now,
+                                server_id=self.server_id)
+
+    def cancel(self, task: Task) -> None:
+        """Cancel one task copy.  Queued copies become phantoms removed
+        lazily at pop time; the in-service copy runs to completion but
+        its result is discarded (service is not preemptible)."""
+        if task is self._current:
+            self._discard.add(id(task))
+        elif task is self._paused:
+            # A paused loser simply evaporates: nothing to restart at
+            # recovery.
+            self._paused = None
+        else:
+            self._cancelled.add(id(task))

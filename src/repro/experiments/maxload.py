@@ -26,7 +26,7 @@ The search parallelizes two ways (see :mod:`repro.experiments.parallel`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
@@ -60,7 +60,7 @@ def _feasible(config: ClusterConfig, load: float, seeds: Tuple[int, ...],
     """Whether every seed's run meets all SLOs at this load (serial)."""
     rated = config.at_load(load)
     for seed in seeds:
-        result = simulate(replace(rated, seed=seed))
+        result = simulate(rated.with_seed(seed))
         if not result.meets_all_slos(min_samples=min_samples,
                                      fanout_buckets=fanout_buckets):
             return False

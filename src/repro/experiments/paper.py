@@ -8,7 +8,6 @@ finish in minutes; the registry's quick mode shrinks them further.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -161,7 +160,7 @@ def table3_per_fanout_tails(
             max_load = find_max_load(config, tol=tol, seeds=seeds,
                                      workers=workers).max_load
             measured = simulate(
-                replace(config, n_queries=n_queries).at_load(max(max_load, 0.05))
+                config.evolve(n_queries=n_queries).at_load(max(max_load, 0.05))
             )
             paper_row = PAPER_TABLE3.get((slo, policy), {})
             for fanout in (1, 10, 100):
@@ -316,7 +315,7 @@ def fig7_admission_control(
         notes=f"R_th={threshold:.4f} calibrated at max acceptable load "
               f"{max_acceptable:.3f} (paper: 1.7% at 54%)",
     )
-    sweep_config = replace(base, n_queries=n_queries)
+    sweep_config = base.evolve(n_queries=n_queries)
     points = load_sweep(
         sweep_config,
         offered_loads,

@@ -179,6 +179,16 @@ def _ablation_server_slowdown(quick: bool,
     return extensions.ablation_server_slowdown()
 
 
+def _ext_fault_sweep(quick: bool,
+                     workers: Optional[int] = None) -> ExperimentReport:
+    if quick:
+        return extensions.ext_fault_sweep(
+            n_queries=4_000, mtbf_values=(500.0,),
+            policies=("tailguard",), workers=workers,
+        )
+    return extensions.ext_fault_sweep(workers=workers)
+
+
 def _ext_request_decomposition(quick: bool,
                                workers: Optional[int] = None
                                ) -> ExperimentReport:
@@ -206,6 +216,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "ext_arrival_burstiness": _ext_arrival_burstiness,
     "ext_replica_selection": _ext_replica_selection,
     "ext_scale": _ext_scale,
+    "ext_fault_sweep": _ext_fault_sweep,
     "ext_four_classes": _ext_four_classes,
     "ext_request_decomposition": _ext_request_decomposition,
     "ablation_inaccurate_cdf": _ablation_inaccurate_cdf,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
@@ -54,7 +54,7 @@ def _sweep_point_task(args) -> SweepPoint:
     process runs it."""
     config, load, admission_factory = args
     if admission_factory is not None:
-        config = replace(config, admission=admission_factory())
+        config = config.with_admission(admission_factory())
     return _point(simulate(config), load)
 
 

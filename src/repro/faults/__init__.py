@@ -1,0 +1,50 @@
+"""Fault injection and tail-cutting redundancy (crash/recovery + mitigation).
+
+The paper's model assumes servers never fail; production deployments
+cannot.  This package adds the robustness layer:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (crash windows, seeded
+  MTBF/MTTR processes, straggler episodes) and the mitigations
+  (:class:`RetryPolicy`, :class:`HedgePolicy`), plus the deterministic
+  materialization both simulation paths replay;
+* :mod:`repro.faults.kernel` — :class:`FaultManager` /
+  :func:`install_faults`, the DES-kernel wiring (the optimized fast
+  path lives in :mod:`repro.cluster.faultsim` and is selected
+  automatically by :func:`repro.cluster.simulation.simulate` whenever
+  ``config.faults`` is active).
+
+Both paths implement one semantics contract (``docs/faults.md``); an
+integration test asserts identical per-query latencies on a shared
+trace with a non-trivial plan active.
+"""
+
+from repro.faults.plan import (
+    CrashProcess,
+    Downtime,
+    FAIL,
+    FaultPlan,
+    HedgePolicy,
+    MaterializedFaults,
+    RECOVER,
+    RetryPolicy,
+    StragglerEpisode,
+    fault_horizon,
+    pick_server,
+)
+from repro.faults.kernel import FaultManager, install_faults
+
+__all__ = [
+    "CrashProcess",
+    "Downtime",
+    "FAIL",
+    "FaultManager",
+    "FaultPlan",
+    "HedgePolicy",
+    "MaterializedFaults",
+    "RECOVER",
+    "RetryPolicy",
+    "StragglerEpisode",
+    "fault_horizon",
+    "install_faults",
+    "pick_server",
+]

@@ -1,0 +1,333 @@
+"""Fault injection for the composable DES-kernel path.
+
+The :class:`FaultManager` drives a :class:`~repro.core.server.TaskServer`
+fleet through a :class:`~repro.faults.plan.FaultPlan`: it replays the
+materialized crash transitions as a kernel process, redirects dispatch
+away from down servers (kill mode), requeues killed and timed-out task
+copies, launches hedged duplicates, and filters stale completions so the
+query handler only ever merges each slot's *winning* copy.
+
+The semantics contract (shared with the fast path in
+:mod:`repro.cluster.faultsim`) is documented in ``docs/faults.md``; an
+integration test asserts both paths produce identical per-query
+latencies on a shared trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.server import TaskServer
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    FAIL,
+    FaultPlan,
+    MaterializedFaults,
+    pick_server,
+)
+from repro.obs.events import (
+    SERVER_FAIL,
+    SERVER_RECOVER,
+    TASK_CANCEL,
+    TASK_HEDGE,
+    TASK_RETRY,
+)
+from repro.sim.engine import Environment
+from repro.types import QuerySpec, Task
+
+
+class _Slot:
+    """Mitigation state of one (query, slot) pair."""
+
+    __slots__ = ("query_id", "slot", "key", "deadline", "class_priority",
+                 "primary_sid", "done", "failed", "attempts", "hedges",
+                 "pending", "live")
+
+    def __init__(self, query_id: int, slot: int, key: Tuple,
+                 deadline: float, class_priority: int,
+                 primary_sid: int) -> None:
+        self.query_id = query_id
+        self.slot = slot
+        self.key = key
+        self.deadline = deadline
+        self.class_priority = class_priority
+        self.primary_sid = primary_sid
+        self.done = False
+        self.failed = False
+        self.attempts = 0          # retry budget consumed
+        self.hedges = 0            # hedged duplicates launched
+        self.pending = 0           # requeues in backoff flight
+        #: Live copies: ``id(task) -> (task, server_id)``.
+        self.live: Dict[int, Tuple[Task, int]] = {}
+
+    @property
+    def open(self) -> bool:
+        return not self.done and not self.failed
+
+    def live_servers(self) -> List[int]:
+        return [sid for _, sid in self.live.values()]
+
+
+class FaultManager:
+    """Orchestrates a fault plan over DES-kernel servers and handler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        servers: Sequence[TaskServer],
+        server_cdfs,
+        recorder=None,
+    ) -> None:
+        if not plan.active:
+            raise ConfigurationError("fault plan is inactive; nothing to do")
+        self.env = env
+        self.plan = plan
+        self.servers = list(servers)
+        self.server_cdfs = server_cdfs
+        self._recorder = recorder if (recorder is not None
+                                      and recorder.enabled) else None
+        self.handler = None
+        self.materialized: Optional[MaterializedFaults] = None
+        self._slots: Dict[Tuple[int, int], _Slot] = {}
+        # Outcome counters (mirrored into SimulationResult by callers).
+        self.server_failures = 0
+        self.tasks_retried = 0
+        self.tasks_hedged = 0
+        self.tasks_cancelled = 0
+        self.tasks_failed = 0
+
+    # ------------------------------------------------------------------
+    def install(self, horizon_ms: float) -> None:
+        """Materialize the plan and start the transition replay."""
+        self.materialized = self.plan.materialize(len(self.servers),
+                                                  horizon_ms)
+        if self.plan.stragglers:
+            factor = self.materialized.straggler_factor
+            for server in self.servers:
+                server.service_scale = factor
+        transitions = self.materialized.transitions()
+        if transitions:
+            self.env.process(self._transition_proc(transitions))
+
+    def _transition_proc(self, transitions):
+        for time, sid, kind in transitions:
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            if kind == FAIL:
+                self._fail(sid)
+            else:
+                self._recover(sid)
+
+    # ------------------------------------------------------------------
+    def _depths(self) -> List[int]:
+        return [server.depth for server in self.servers]
+
+    def _up(self) -> List[bool]:
+        return [not server.down for server in self.servers]
+
+    def _fail(self, sid: int) -> None:
+        self.server_failures += 1
+        if self._recorder is not None:
+            self._recorder.emit(SERVER_FAIL, self.env.now, server_id=sid)
+        victims = self.servers[sid].fail(self.plan.kill_mode)
+        for task in victims:
+            self._handle_kill(task)
+
+    def _recover(self, sid: int) -> None:
+        if self._recorder is not None:
+            self._recorder.emit(SERVER_RECOVER, self.env.now, server_id=sid)
+        self.servers[sid].recover()
+
+    def _handle_kill(self, task: Task) -> None:
+        slot = self._slots.get((task.query_id, task.slot))
+        if slot is None or not slot.open:
+            return
+        slot.live.pop(id(task), None)
+        if slot.live or slot.pending:
+            # A sibling copy survives the crash; this copy just dies.
+            self.tasks_cancelled += 1
+            if self._recorder is not None:
+                self._recorder.emit(TASK_CANCEL, self.env.now,
+                                    server_id=task.server_id,
+                                    query_id=task.query_id,
+                                    extra={"reason": "server_fail"})
+            return
+        self._schedule_requeue(slot, "server_fail")
+
+    # ------------------------------------------------------------------
+    def _schedule_requeue(self, slot: _Slot, reason: str) -> None:
+        """Consume one retry and requeue the slot after backoff."""
+        retry = self.plan.retry
+        if retry is None or slot.attempts >= retry.max_retries:
+            self._slot_fail(slot)
+            return
+        slot.attempts += 1
+        slot.pending += 1
+        self.env.process(self._requeue_proc(slot, reason,
+                                            retry.backoff_ms * slot.attempts))
+
+    def _requeue_proc(self, slot: _Slot, reason: str, backoff: float):
+        if backoff > 0:
+            yield self.env.timeout(backoff)
+        else:
+            yield self.env.timeout(0.0)
+        slot.pending -= 1
+        if not slot.open:
+            return
+        target = pick_server(self._depths(), self._up(),
+                             exclude=slot.live_servers())
+        if target < 0:
+            self._slot_fail(slot)
+            return
+        self.tasks_retried += 1
+        if self._recorder is not None:
+            self._recorder.emit(TASK_RETRY, self.env.now, server_id=target,
+                                query_id=slot.query_id,
+                                deadline=slot.deadline,
+                                extra={"attempt": slot.attempts,
+                                       "reason": reason})
+        self._launch_copy(slot, target)
+
+    def _launch_copy(self, slot: _Slot, sid: int) -> None:
+        task = Task(
+            query_id=slot.query_id,
+            server_id=sid,
+            deadline=slot.deadline,
+            class_priority=slot.class_priority,
+            enqueue_time=self.env.now,
+            slot=slot.slot,
+        )
+        slot.live[id(task)] = (task, sid)
+        self.servers[sid].enqueue(task, slot.key)
+        self._arm_timeout(slot, task)
+
+    # ------------------------------------------------------------------
+    def _arm_timeout(self, slot: _Slot, task: Task) -> None:
+        retry = self.plan.retry
+        if retry is not None and retry.timeout_ms is not None:
+            self.env.process(self._timeout_proc(slot, task,
+                                                retry.timeout_ms))
+
+    def _timeout_proc(self, slot: _Slot, task: Task, timeout_ms: float):
+        yield self.env.timeout(timeout_ms)
+        if not slot.open or id(task) not in slot.live:
+            return
+        if task.dequeue_time >= 0:
+            return  # in (or past) service — timeouts cover queued copies
+        if slot.attempts >= self.plan.retry.max_retries:
+            return  # budget exhausted: leave it queued
+        sid = slot.live.pop(id(task))[1]
+        self.servers[sid].cancel(task)
+        self.tasks_cancelled += 1
+        if self._recorder is not None:
+            self._recorder.emit(TASK_CANCEL, self.env.now, server_id=sid,
+                                query_id=slot.query_id,
+                                extra={"reason": "timeout"})
+        self._schedule_requeue(slot, "timeout")
+
+    # ------------------------------------------------------------------
+    def _arm_hedge(self, slot: _Slot) -> None:
+        hedge = self.plan.hedge
+        if hedge is not None:
+            delay = hedge.delay_for(self.server_cdfs[slot.primary_sid])
+            self.env.process(self._hedge_proc(slot, delay))
+
+    def _hedge_proc(self, slot: _Slot, delay: float):
+        hedge = self.plan.hedge
+        while True:
+            yield self.env.timeout(delay)
+            if not slot.open or slot.hedges >= hedge.max_hedges:
+                return
+            target = pick_server(self._depths(), self._up(),
+                                 exclude=slot.live_servers())
+            if target >= 0:
+                slot.hedges += 1
+                self.tasks_hedged += 1
+                if self._recorder is not None:
+                    self._recorder.emit(TASK_HEDGE, self.env.now,
+                                        server_id=target,
+                                        query_id=slot.query_id,
+                                        deadline=slot.deadline,
+                                        extra={"hedge": slot.hedges})
+                self._launch_copy(slot, target)
+                if slot.hedges >= hedge.max_hedges:
+                    return
+
+    # ------------------------------------------------------------------
+    def dispatch(self, spec: QuerySpec, tasks: Sequence[Task], key: Tuple,
+                 deadline: float) -> None:
+        """Dispatch a query's task slots under the fault plan."""
+        kill = self.plan.kill_mode
+        for task in tasks:
+            slot = _Slot(spec.query_id, task.slot, key, deadline,
+                         task.class_priority, task.server_id)
+            self._slots[(spec.query_id, task.slot)] = slot
+            sid = task.server_id
+            if kill and self.servers[sid].down:
+                # Dispatch-time redirect away from a down server: free
+                # (attempt 0, no retry budget consumed).
+                target = pick_server(self._depths(), self._up())
+                if target < 0:
+                    self._slot_fail(slot)
+                    continue
+                task.server_id = sid = target
+                self.tasks_retried += 1
+                if self._recorder is not None:
+                    self._recorder.emit(TASK_RETRY, self.env.now,
+                                        server_id=sid,
+                                        query_id=spec.query_id,
+                                        deadline=deadline,
+                                        extra={"attempt": 0,
+                                               "reason": "redirect"})
+            slot.live[id(task)] = (task, sid)
+            self.servers[sid].enqueue(task, key)
+            self._arm_timeout(slot, task)
+            self._arm_hedge(slot)
+
+    def on_complete(self, task: Task, server: TaskServer) -> bool:
+        """Filter a task completion.  Returns True exactly once per
+        slot — for the winning copy — after cancelling the losers."""
+        slot = self._slots.get((task.query_id, task.slot))
+        if slot is None or not slot.open:
+            return False
+        slot.done = True
+        slot.live.pop(id(task), None)
+        for other, sid in slot.live.values():
+            self.servers[sid].cancel(other)
+            self.tasks_cancelled += 1
+            if self._recorder is not None:
+                self._recorder.emit(TASK_CANCEL, self.env.now, server_id=sid,
+                                    query_id=task.query_id,
+                                    extra={"reason": "hedge_lost"})
+        slot.live.clear()
+        return True
+
+    def _slot_fail(self, slot: _Slot) -> None:
+        slot.failed = True
+        self.tasks_failed += 1
+        if self.handler is not None:
+            self.handler._slot_failed(slot.query_id)
+
+
+def install_faults(
+    env: Environment,
+    handler,
+    servers: Sequence[TaskServer],
+    plan: FaultPlan,
+    horizon_ms: float,
+    server_cdfs,
+    recorder=None,
+) -> FaultManager:
+    """Wire a fault plan into a handler + server fleet.
+
+    ``horizon_ms`` should come from
+    :func:`repro.faults.plan.fault_horizon` on the trace's last arrival
+    so seeded crash schedules match the fast path exactly.
+    """
+    manager = FaultManager(env, plan, servers, server_cdfs,
+                           recorder=recorder)
+    manager.handler = handler
+    handler.fault_manager = manager
+    manager.install(horizon_ms)
+    return manager

@@ -40,6 +40,24 @@ SERVER_IDLE = "SERVER_IDLE"
 SERVER_BUSY = "SERVER_BUSY"
 #: The online-updating estimator absorbed a service-time observation.
 CDF_UPDATE = "CDF_UPDATE"
+#: A server crashed (fault injection).  With a retry policy active its
+#: in-flight and queued tasks are killed and requeued; without one the
+#: server pauses and its work waits out the downtime.
+SERVER_FAIL = "SERVER_FAIL"
+#: A crashed server came back and resumed serving.
+SERVER_RECOVER = "SERVER_RECOVER"
+#: A killed or timed-out task was requeued to a surviving server;
+#: ``extra["attempt"]`` counts retries (0 for a dispatch-time redirect
+#: away from a down server) and ``extra["reason"]`` is one of
+#: ``"server_fail"``, ``"timeout"``, ``"redirect"``.
+TASK_RETRY = "TASK_RETRY"
+#: A hedged duplicate was launched; ``extra["hedge"]`` counts the
+#: slot's hedges so far.
+TASK_HEDGE = "TASK_HEDGE"
+#: A task copy was cancelled: the losing copy of a hedged pair, a
+#: timed-out queued copy, or a copy that died with its server while a
+#: sibling copy stayed live (``extra["reason"]``).
+TASK_CANCEL = "TASK_CANCEL"
 
 #: Every recognised lifecycle event type.
 EVENT_TYPES = frozenset({
@@ -52,6 +70,11 @@ EVENT_TYPES = frozenset({
     SERVER_IDLE,
     SERVER_BUSY,
     CDF_UPDATE,
+    SERVER_FAIL,
+    SERVER_RECOVER,
+    TASK_RETRY,
+    TASK_HEDGE,
+    TASK_CANCEL,
 })
 
 _NAN = float("nan")

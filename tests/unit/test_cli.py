@@ -78,6 +78,53 @@ class TestCommands:
         assert first == second
 
 
+class TestFaultsCommand:
+    def test_faults_run(self, capsys):
+        assert main([
+            "faults", "--queries", "2000", "--load", "0.3",
+            "--mtbf-ms", "500", "--hedge",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "server_failures=" in out
+        assert "tasks_hedged=" in out
+        assert "p99=" in out
+
+    def test_faults_with_retries(self, capsys):
+        assert main([
+            "faults", "--queries", "2000", "--load", "0.3",
+            "--mtbf-ms", "300", "--retries", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tasks_retried=" in out
+
+
+class TestErrorMapping:
+    def test_configuration_error_exits_2(self, capsys):
+        assert main([
+            "faults", "--queries", "100", "--mtbf-ms", "-5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("tailguard: configuration error:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_bad_slo_exits_2(self, capsys):
+        assert main([
+            "simulate", "--queries", "100", "--slo-ms", "-1",
+        ]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_experiment_error_exits_1(self, capsys, monkeypatch):
+        from repro.errors import ExperimentError
+
+        def boom(name, quick=False, workers=None):
+            raise ExperimentError("deliberate failure")
+
+        monkeypatch.setattr("repro.cli.run_experiment", boom)
+        assert main(["run", "table2"]) == 1
+        err = capsys.readouterr().err
+        assert err == "tailguard: error: deliberate failure\n"
+
+
 class TestCombinedOutputs:
     def test_run_csv_and_json_together(self, capsys, tmp_path):
         """--csv and --json may be combined; each output is emitted and

@@ -1,0 +1,83 @@
+"""Snapshot test for the stable public surface (``repro.__all__``).
+
+``docs/api.md`` promises that names exported from the top-level
+``repro`` package only ever change deliberately.  This test pins the
+exact surface: adding a name means extending ``EXPECTED`` (and the
+docs); removing or renaming one fails loudly here first.
+"""
+
+import repro
+
+#: The frozen public surface, alphabetical (dunders last).  Keep in
+#: sync with docs/api.md.
+EXPECTED = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ClusterConfig",
+    "ConfigurationError",
+    "CrashProcess",
+    "DeadlineEstimator",
+    "DeadlineMissRatioAdmission",
+    "DistributionError",
+    "Downtime",
+    "EXPERIMENTS",
+    "ExperimentError",
+    "FaultPlan",
+    "HedgePolicy",
+    "NoAdmission",
+    "NullRecorder",
+    "ParetoArrivals",
+    "PoissonArrivals",
+    "Policy",
+    "QueryHandler",
+    "QueryRecord",
+    "QuerySpec",
+    "ReproError",
+    "RequestPlanner",
+    "RequestSpec",
+    "RetryPolicy",
+    "SaSTestbed",
+    "ServiceClass",
+    "ServicePerturbation",
+    "SimulationError",
+    "SimulationResult",
+    "StragglerEpisode",
+    "Task",
+    "TaskServer",
+    "TraceRecorder",
+    "Workload",
+    "find_max_load",
+    "get_policy",
+    "get_workload",
+    "install_faults",
+    "inverse_proportional_fanout",
+    "load_sweep",
+    "run_experiment",
+    "run_simulations",
+    "simulate",
+    "single_class_mix",
+    "uniform_class_mix",
+    "__version__",
+]
+
+
+def test_all_matches_snapshot():
+    assert list(repro.__all__) == EXPECTED
+
+
+def test_every_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_star_import_exports_exactly_the_surface(tmp_path):
+    namespace = {}
+    exec("from repro import *", namespace)
+    exported = {k for k in namespace if not k.startswith("__")}
+    assert exported == {n for n in EXPECTED if not n.startswith("__")}
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
