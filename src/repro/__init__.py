@@ -79,6 +79,15 @@ from repro.faults import (
     install_faults,
 )
 from repro.obs import NullRecorder, TraceRecorder
+from repro.overload import (
+    AdaptiveAdmission,
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    DriftPolicy,
+    OverloadPolicy,
+    install_overload,
+)
 from repro.sas import SaSTestbed
 from repro.types import QueryRecord, QuerySpec, RequestSpec, ServiceClass, Task
 from repro.workloads import (
@@ -94,21 +103,27 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveAdmission",
+    "AdaptiveAdmissionPolicy",
     "AdmissionController",
     "AdmissionRejected",
+    "BreakerPolicy",
     "ClusterConfig",
     "ConfigurationError",
     "CrashProcess",
     "DeadlineEstimator",
     "DeadlineMissRatioAdmission",
+    "DegradePolicy",
     "DistributionError",
     "Downtime",
+    "DriftPolicy",
     "EXPERIMENTS",
     "ExperimentError",
     "FaultPlan",
     "HedgePolicy",
     "NoAdmission",
     "NullRecorder",
+    "OverloadPolicy",
     "ParetoArrivals",
     "PoissonArrivals",
     "Policy",
@@ -133,6 +148,7 @@ __all__ = [
     "get_policy",
     "get_workload",
     "install_faults",
+    "install_overload",
     "inverse_proportional_fanout",
     "load_sweep",
     "run_experiment",

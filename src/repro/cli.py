@@ -10,6 +10,9 @@ Subcommands:
 * ``simulate`` — run a one-off simulation with explicit parameters;
 * ``faults`` — run a one-off fault-injected simulation (crashes,
   retry, hedging) and print the tail plus the fault counters;
+* ``overload`` — run a one-off simulation under an overload policy
+  (adaptive admission, optional degradation / circuit breakers /
+  drift re-bootstrap) and print the degradation counters;
 * ``trace record / replay`` — query-trace capture and paired replay;
 * ``trace run`` — run a traced simulation and export the task
   lifecycle as Chrome trace-event JSON (``chrome://tracing`` /
@@ -37,6 +40,13 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.setups import paper_single_class_config
 from repro.faults import CrashProcess, FaultPlan, HedgePolicy, RetryPolicy
 from repro.metrics import LatencyCollector
+from repro.overload import (
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    DriftPolicy,
+    OverloadPolicy,
+)
 from repro.obs import (
     TraceRecorder,
     text_summary,
@@ -198,6 +208,58 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """One-off overload-protected simulation with degradation knobs."""
+    degrade = None
+    if args.degrade:
+        degrade = DegradePolicy(min_coverage=args.min_coverage,
+                                pressure_alpha=args.pressure_alpha,
+                                safety=args.safety)
+    breakers = None
+    if args.breakers:
+        breakers = BreakerPolicy(miss_threshold=args.breaker_misses,
+                                 open_ms=args.breaker_open_ms,
+                                 half_open_probes=args.half_open_probes,
+                                 close_successes=args.close_successes)
+    drift = None
+    if args.drift:
+        drift = DriftPolicy(threshold=args.drift_threshold,
+                            window=args.drift_window,
+                            check_interval=args.drift_interval)
+    policy = OverloadPolicy(
+        admission=AdaptiveAdmissionPolicy(
+            target_miss_ratio=args.target_miss_ratio,
+            max_latch_ms=args.max_latch_ms),
+        breakers=breakers,
+        degrade=degrade,
+        drift=drift,
+    )
+    config = paper_single_class_config(
+        args.workload, args.slo_ms, policy=args.policy,
+        n_servers=args.servers, n_queries=args.queries, seed=args.seed,
+    ).at_load(args.load).with_overload(policy)
+    if args.mtbf_ms is not None:
+        config = config.with_faults(FaultPlan(crashes=CrashProcess(
+            mtbf_ms=args.mtbf_ms, mttr_ms=args.mttr_ms, seed=args.seed)))
+    result = simulate(config)
+    print(f"policy={result.policy_name} load={args.load:.2f} "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f}")
+    print(f"rejected={int(result.rejected.sum())} "
+          f"(rejection_ratio={result.rejection_ratio():.4f}) "
+          f"degraded_queries={result.degraded_queries} "
+          f"shed_tasks={result.shed_tasks} "
+          f"breaker_trips={result.breaker_trips} "
+          f"cdf_rebootstraps={result.cdf_rebootstraps}")
+    print(f"coverage_p50={result.coverage_p50():.3f} "
+          f"coverage_p99={result.coverage_p99():.3f} "
+          f"admit_probability={result.overload.admit_probability:.3f}")
+    for (class_name, fanout), tail in result.per_type_tails().items():
+        print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms "
+              f"({result.count(class_name, fanout)} queries)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tailguard",
@@ -269,6 +331,62 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--max-hedges", type=int, default=1,
                                help="duplicates per task slot")
 
+    overload_parser = sub.add_parser(
+        "overload", help="one-off overload-protected simulation")
+    overload_parser.add_argument("--workload", default="masstree",
+                                 choices=["masstree", "shore", "xapian"])
+    overload_parser.add_argument("--policy", default="tailguard")
+    overload_parser.add_argument("--slo-ms", type=float, default=1.0)
+    overload_parser.add_argument("--load", type=float, default=0.6)
+    overload_parser.add_argument("--servers", type=int, default=100)
+    overload_parser.add_argument("--queries", type=int, default=20_000)
+    overload_parser.add_argument("--seed", type=int, default=1)
+    overload_parser.add_argument("--target-miss-ratio", type=float,
+                                 default=0.005,
+                                 help="AIMD admission steers the "
+                                      "deadline-miss ratio toward this")
+    overload_parser.add_argument("--max-latch-ms", type=float, default=50.0,
+                                 help="evict a stale all-miss window after "
+                                      "this much silence")
+    overload_parser.add_argument("--degrade", action="store_true",
+                                 help="serve denied queries at reduced "
+                                      "fanout when the budget fits")
+    overload_parser.add_argument("--min-coverage", type=float, default=0.3,
+                                 help="floor on the dispatched fanout "
+                                      "fraction of a degraded query")
+    overload_parser.add_argument("--pressure-alpha", type=float, default=0.05,
+                                 help="EWMA weight of the overshoot "
+                                      "pressure signal")
+    overload_parser.add_argument("--safety", type=float, default=2.0,
+                                 help="pressure multiplier a degraded "
+                                      "fanout's budget must clear")
+    overload_parser.add_argument("--breakers", action="store_true",
+                                 help="per-server circuit breakers")
+    overload_parser.add_argument("--breaker-misses", type=int, default=2,
+                                 help="consecutive misses that trip a "
+                                      "breaker open")
+    overload_parser.add_argument("--breaker-open-ms", type=float, default=3.0,
+                                 help="open window before half-open probing")
+    overload_parser.add_argument("--half-open-probes", type=int, default=4,
+                                 help="probe tasks allowed while half-open")
+    overload_parser.add_argument("--close-successes", type=int, default=4,
+                                 help="on-time probes that close a breaker")
+    overload_parser.add_argument("--drift", action="store_true",
+                                 help="KS drift monitor + CDF re-bootstrap")
+    overload_parser.add_argument("--drift-threshold", type=float,
+                                 default=0.15,
+                                 help="KS distance that triggers a "
+                                      "re-bootstrap")
+    overload_parser.add_argument("--drift-window", type=int, default=500,
+                                 help="per-server service samples per check")
+    overload_parser.add_argument("--drift-interval", type=int, default=200,
+                                 help="samples between checks")
+    overload_parser.add_argument("--mtbf-ms", type=float, default=None,
+                                 help="also crash servers at this MTBF "
+                                      "(pause mode)")
+    overload_parser.add_argument("--mttr-ms", type=float, default=0.3,
+                                 help="repair time for --mtbf-ms crashes")
+
     trace_parser = sub.add_parser("trace", help="record/replay query traces")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
                                             required=True)
@@ -327,6 +445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "all": _cmd_all,
         "simulate": _cmd_simulate,
         "faults": _cmd_faults,
+        "overload": _cmd_overload,
     }
     try:
         if args.command == "trace":

@@ -14,6 +14,7 @@ from repro.distributions import Distribution
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.obs.recorder import TraceRecorder
+from repro.overload.policy import OverloadPolicy
 from repro.types import QuerySpec
 from repro.workloads.generator import Workload
 
@@ -66,7 +67,8 @@ class ClusterConfig:
     workload)`` was ambiguous and is no longer accepted.  Prefer the
     fluent helpers (:meth:`at_load`, :meth:`with_seed`,
     :meth:`with_recorder`, :meth:`with_faults`, :meth:`with_admission`,
-    :meth:`evolve`) over ``dataclasses.replace`` — they re-run
+    :meth:`with_overload`, :meth:`evolve`) over ``dataclasses.replace``
+    — they re-run
     validation and keep call sites readable.
     """
 
@@ -105,6 +107,11 @@ class ClusterConfig:
     #: plan routes the run through the fault-aware event loop
     #: (:mod:`repro.cluster.faultsim`).
     faults: Optional[FaultPlan] = None
+    #: Overload protection: adaptive admission, per-server circuit
+    #: breakers, partial-fanout degradation, and CDF drift re-bootstrap
+    #: (see :mod:`repro.overload`).  An active policy routes the run
+    #: through the fault-aware event loop, with or without a fault plan.
+    overload: Optional[OverloadPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -121,6 +128,13 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"timeline_interval_ms must be positive, "
                 f"got {self.timeline_interval_ms}"
+            )
+        if (self.overload is not None and self.overload.active
+                and self.admission is not None):
+            raise ConfigurationError(
+                "admission and overload are mutually exclusive: with an "
+                "OverloadPolicy, admission control lives on "
+                "OverloadPolicy.admission"
             )
 
     def resolve_policy(self) -> Policy:
@@ -172,6 +186,12 @@ class ClusterConfig:
                        ) -> "ClusterConfig":
         """A copy with the given admission controller installed."""
         return replace(self, admission=admission)
+
+    def with_overload(self, overload: Optional[OverloadPolicy]
+                      ) -> "ClusterConfig":
+        """A copy running under the given overload policy (None removes
+        it)."""
+        return replace(self, overload=overload)
 
     def evolve(self, **changes) -> "ClusterConfig":
         """A validated copy with arbitrary fields replaced.

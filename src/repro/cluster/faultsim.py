@@ -1,11 +1,15 @@
 """Fault-aware event-calendar simulation (the fast path under faults).
 
 :func:`repro.cluster.simulation.simulate` routes here when the config
-carries an active :class:`~repro.faults.plan.FaultPlan`.  The no-fault
-hot loop stays untouched; this loop layers crash/recovery transitions,
-pause/kill semantics, retry-with-backoff requeues, queued-copy timeouts,
-and hedged requests on top of the same model, sharing the spec/budget
-preparation helpers so the underlying trace is byte-identical.
+carries an active :class:`~repro.faults.plan.FaultPlan` or an active
+:class:`~repro.overload.OverloadPolicy` (overload-only runs use an
+empty fault plan).  The no-fault hot loop stays untouched; this loop
+layers crash/recovery transitions, pause/kill semantics,
+retry-with-backoff requeues, queued-copy timeouts, hedged requests,
+and the overload controller (adaptive admission, circuit breakers,
+partial-fanout degradation, CDF drift re-bootstrap) on top of the same
+model, sharing the spec/budget preparation helpers so the underlying
+trace is byte-identical.
 
 Event ordering at equal timestamps (the contract the DES-kernel fault
 path mirrors; see ``docs/faults.md``):
@@ -31,7 +35,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.results import SimulationResult, Timeline
 from repro.core.deadline import DeadlineEstimator
 from repro.errors import ConfigurationError
-from repro.faults.plan import FAIL, fault_horizon, pick_server
+from repro.faults.plan import FAIL, FaultPlan, fault_horizon, pick_server
 from repro.obs.events import (
     DEADLINE_MISS,
     QUERY_ARRIVE,
@@ -93,7 +97,13 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     )
 
     plan = config.faults
-    assert plan is not None and plan.active
+    overload_policy = config.overload
+    overload_active = overload_policy is not None and overload_policy.active
+    assert (plan is not None and plan.active) or overload_active
+    if plan is None:
+        # Overload-only run: an empty (inactive) plan keeps the fault
+        # machinery inert without special-casing the loop.
+        plan = FaultPlan()
     policy = config.resolve_policy()
     root_rng = np.random.default_rng(config.seed)
     spec_rng, placement_rng, service_rng = root_rng.spawn(3)
@@ -114,6 +124,11 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     latency = np.full(m, np.nan)
     rejected = np.zeros(m, dtype=bool)
     failed_q = np.zeros(m, dtype=bool)
+    coverage_q: Optional[np.ndarray] = None
+    degraded_q: Optional[np.ndarray] = None
+    if overload_active:
+        coverage_q = np.full(m, np.nan)
+        degraded_q = np.zeros(m, dtype=bool)
 
     # ------------------------------------------------------------------
     # Fault machinery.
@@ -152,6 +167,9 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
         seq += 1
 
     admission = config.admission
+    ctrl = None
+    if overload_active:
+        ctrl = overload_policy.build(n, estimator, config.recorder)
     placement = config.placement
     placement_wants_depths = bool(
         placement is not None and getattr(placement, "needs_queue_depths",
@@ -160,8 +178,11 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     perturbations = tuple(config.perturbations)
 
     online = estimator.online_enabled
+    # A drift re-bootstrap can swap CDFs mid-run, and an overload
+    # controller stamps its own deadlines anyway — skip the
+    # precomputed-budget fast path whenever one is active.
     homogeneous_fast = (estimator.homogeneous and not online
-                        and placement is None)
+                        and placement is None and ctrl is None)
     query_budget: List[float] = []
     if homogeneous_fast:
         query_budget = _budget_array(estimator, specs, classes, class_index,
@@ -237,6 +258,9 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                     rec.emit(DEADLINE_MISS, now, server_id=sid,
                              query_id=slot.qidx, deadline=slot.deadline,
                              slack=slot.deadline - now)
+            if ctrl is not None:
+                ctrl.record_task(sid, slot.qidx, missed,
+                                 slot.deadline - now, now)
         push(heap, (now + duration, _R_COMPLETE, seq, "C", sid, cid,
                     duration, epoch[sid]))
         seq += 1
@@ -348,6 +372,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 epoch[sid] += 1
                 if tracing:
                     rec.emit(SERVER_FAIL, now, server_id=sid)
+                if ctrl is not None:
+                    ctrl.on_server_fail(sid, now)
                 victims: List[int] = []
                 cid = busy[sid]
                 if cid >= 0:
@@ -377,6 +403,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 down[sid] = False
                 if tracing:
                     rec.emit(SERVER_RECOVER, now, server_id=sid)
+                if ctrl is not None:
+                    ctrl.on_server_recover(sid, now)
                 if paused[sid] is not None:
                     cid, paused[sid] = paused[sid], None
                     start_service(sid, cid, restart=True)
@@ -398,6 +426,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                     slot.live.pop(cid, None)
                     if online:
                         estimator.record(sid, duration)
+                    if ctrl is not None:
+                        ctrl.on_task_complete(sid, duration, now)
                     if tracing:
                         rec.emit(TASK_COMPLETE, now, server_id=sid,
                                  query_id=slot.qidx,
@@ -531,7 +561,22 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 int(s) for s in placement_rng.choice(n, size=k, replace=False)
             )
 
-        if use_budget_array and spec.servers is None:
+        if ctrl is not None:
+            decision = ctrl.route_query(now, qidx, cls, servers, depths())
+            if decision is None:
+                rejected[qidx] = True
+                if tracing:
+                    rec.inc("queries_rejected")
+                    rec.emit(QUERY_REJECTED, now, query_id=qidx,
+                             class_name=cls.name, fanout=k,
+                             extra={"miss_ratio": ctrl.miss_ratio()})
+                continue
+            servers = decision.servers
+            deadline = decision.deadline
+            coverage_q[qidx] = decision.coverage
+            degraded_q[qidx] = decision.degraded
+            remaining[qidx] = len(servers)
+        elif use_budget_array and spec.servers is None:
             deadline = now + query_budget[qidx]
         elif estimator.homogeneous:
             deadline = estimator.deadline(now, cls, fanout=k)
@@ -617,4 +662,11 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
         tasks_hedged=tasks_hedged,
         tasks_cancelled=tasks_cancelled,
         server_failures=server_failures,
+        coverage=coverage_q,
+        degraded=degraded_q,
+        degraded_queries=ctrl.degraded_queries if ctrl is not None else 0,
+        shed_tasks=ctrl.shed_tasks if ctrl is not None else 0,
+        breaker_trips=ctrl.breaker_trips if ctrl is not None else 0,
+        cdf_rebootstraps=ctrl.cdf_rebootstraps if ctrl is not None else 0,
+        overload=ctrl,
     )

@@ -83,6 +83,20 @@ class SimulationResult:
     tasks_hedged: int = 0
     tasks_cancelled: int = 0
     server_failures: int = 0
+    #: Overload protection outcome (see :mod:`repro.overload`; all
+    #: zeros / None without an overload policy).  ``coverage`` is the
+    #: per-query served fraction of the requested fanout (NaN for
+    #: rejected queries); ``degraded`` marks queries served partially.
+    coverage: Optional[np.ndarray] = None
+    degraded: Optional[np.ndarray] = None
+    degraded_queries: int = 0
+    shed_tasks: int = 0
+    breaker_trips: int = 0
+    cdf_rebootstraps: int = 0
+    #: The run's :class:`repro.overload.OverloadController` (None
+    #: without an overload policy) — exposes the admit-probability
+    #: trace and breaker states for tests and diagnostics.
+    overload: Optional[object] = None
 
     def with_obs(self, recorder: Optional[TraceRecorder]) -> "SimulationResult":
         """A copy bound to a different recorder.
@@ -286,6 +300,36 @@ class SimulationResult:
         demand = float(self.fanout[window].sum()) * self.mean_service_ms
         return demand / (self.n_servers * horizon)
 
+    def coverage_values(self) -> np.ndarray:
+        """Served-fraction of every measured completed query.
+
+        All-ones when the run had no overload policy (every completed
+        query was served in full).
+        """
+        mask = self._mask(None, None)
+        if self.coverage is None:
+            return np.ones(int(mask.sum()))
+        return self.coverage[mask]
+
+    def coverage_p50(self) -> float:
+        """Median served coverage of completed queries (1.0 = full)."""
+        values = self.coverage_values()
+        if values.size == 0:
+            return 1.0
+        return float(exact_percentile(values, 50.0))
+
+    def coverage_p99(self) -> float:
+        """Coverage attained by at least 99% of completed queries.
+
+        Coverage is a higher-is-better metric, so its "p99" is the 1st
+        percentile of the distribution: 99% of served queries got at
+        least this fraction of their fanout.
+        """
+        values = self.coverage_values()
+        if values.size == 0:
+            return 1.0
+        return float(exact_percentile(values, 1.0))
+
     def queries_failed(self) -> int:
         """Queries that permanently lost a task slot to failures."""
         if self.failed is None:
@@ -317,5 +361,15 @@ class SimulationResult:
                 "tasks_retried": float(self.tasks_retried),
                 "tasks_hedged": float(self.tasks_hedged),
                 "tasks_cancelled": float(self.tasks_cancelled),
+            })
+        if (self.degraded_queries or self.shed_tasks or self.breaker_trips
+                or self.cdf_rebootstraps):
+            out.update({
+                "degraded_queries": float(self.degraded_queries),
+                "shed_tasks": float(self.shed_tasks),
+                "breaker_trips": float(self.breaker_trips),
+                "cdf_rebootstraps": float(self.cdf_rebootstraps),
+                "coverage_p50": self.coverage_p50(),
+                "coverage_p99": self.coverage_p99(),
             })
         return out

@@ -134,12 +134,14 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     """Run one simulation and collect per-query statistics.
 
     Fault-free configs run the optimized two-stream merge below;
-    configs with an active :class:`~repro.faults.FaultPlan` route
-    through the fault-aware event calendar in
-    :mod:`repro.cluster.faultsim` (same semantics contract, plus
-    crash/recovery, retries, and hedging).
+    configs with an active :class:`~repro.faults.FaultPlan` or an
+    active :class:`~repro.overload.OverloadPolicy` route through the
+    fault-aware event calendar in :mod:`repro.cluster.faultsim` (same
+    semantics contract, plus crash/recovery, retries, hedging, and
+    overload protection).
     """
-    if config.faults is not None and config.faults.active:
+    if ((config.faults is not None and config.faults.active)
+            or (config.overload is not None and config.overload.active)):
         from repro.cluster.faultsim import simulate_with_faults
 
         return simulate_with_faults(config)

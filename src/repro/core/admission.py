@@ -122,6 +122,13 @@ class DeadlineMissRatioAdmission(AdmissionController):
         Duty-cycle tuning: multiplicative decrease factor, additive
         increase step, the lowest admit probability, and how often (in
         simulation time) the probability may be adjusted.
+    max_latch_ms:
+        Anti-windup escape hatch.  With ``window_ms`` unset, an
+        all-miss window has no way to age out once rejection stops the
+        flow of new task outcomes — the controller latches shut forever
+        even after the load vanishes.  When set, the entire window is
+        flushed if no outcome has arrived for this long, so admission
+        resumes on the next decision.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class DeadlineMissRatioAdmission(AdmissionController):
         increase: float = 0.05,
         floor: float = 0.02,
         ctl_interval_ms: float = 50.0,
+        max_latch_ms: Optional[float] = None,
     ) -> None:
         if not 0 < threshold < 1:
             raise ConfigurationError(
@@ -158,9 +166,14 @@ class DeadlineMissRatioAdmission(AdmissionController):
             raise ConfigurationError(
                 f"ctl_interval_ms must be positive, got {ctl_interval_ms}"
             )
+        if max_latch_ms is not None and max_latch_ms <= 0:
+            raise ConfigurationError(
+                f"max_latch_ms must be positive, got {max_latch_ms}"
+            )
         self.threshold = float(threshold)
         self.window_tasks = int(window_tasks)
         self.window_ms = window_ms
+        self.max_latch_ms = max_latch_ms
         self.min_samples = int(min_samples)
         self.mode = mode
         self._decrease = float(decrease)
@@ -178,6 +191,14 @@ class DeadlineMissRatioAdmission(AdmissionController):
 
     def _evict(self, now: float) -> None:
         entries = self._entries
+        if (self.max_latch_ms is not None and entries
+                and now - entries[-1][0] > self.max_latch_ms):
+            # The whole window is stale: no task outcome for longer
+            # than the latch timeout.  Flush it wholesale so an
+            # all-miss window recorded during a drained overload cannot
+            # keep the controller shut forever.
+            entries.clear()
+            self._misses = 0
         while len(entries) > self.window_tasks:
             _, missed = entries.popleft()
             if missed:

@@ -186,6 +186,30 @@ class DeadlineEstimator:
         self._tail_cache.clear()
         self._updates_since_refresh = 0
 
+    def rebootstrap(self, server_id: int, dist: Distribution) -> None:
+        """Replace one server's offline CDF with a re-estimated one.
+
+        The overload layer's drift monitor calls this when the
+        bootstrapped ``F_l^u`` no longer matches observed post-queuing
+        samples (KS distance past threshold).  Every future budget is
+        re-stamped from the new distribution: the signature index is
+        rebuilt and the tail cache dropped.
+
+        Only meaningful for offline (static) estimators — the online
+        updating of §III.B.2 already tracks drift through its windowed
+        empirical CDFs.
+        """
+        if self._online is not None:
+            raise ConfigurationError(
+                "rebootstrap applies to offline estimators; online "
+                "updating already adapts to drift"
+            )
+        if server_id not in self._offline:
+            raise ConfigurationError(f"unknown server {server_id}")
+        self._offline[server_id] = dist
+        self._rebuild_signature_index()
+        self.invalidate()
+
     def _cache_tail(self, key: Tuple, value: float) -> None:
         """Insert into the bounded tail cache (full clear on overflow)."""
         if len(self._tail_cache) >= self._tail_cache_max:

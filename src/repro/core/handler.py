@@ -83,6 +83,11 @@ class QueryHandler:
         #: :func:`repro.faults.install_faults`): owns dispatch under a
         #: fault plan and filters completions down to winning copies.
         self.fault_manager = None
+        #: Optional :class:`repro.overload.OverloadController` (set by
+        #: :func:`repro.overload.install_overload`): votes on every
+        #: submitted query — admit, admit degraded at reduced fanout,
+        #: re-route around open breakers, or reject.
+        self.overload = None
         for server in self.servers:
             if server.on_complete is not None:
                 raise ConfigurationError(
@@ -145,6 +150,27 @@ class QueryHandler:
             return record, done
 
         servers = self.choose_servers(spec)
+        if self.overload is not None and deadline is None:
+            decision = self.overload.route_query(
+                self.env.now, spec.query_id, spec.service_class, servers,
+                [server.depth for server in self.servers],
+            )
+            if decision is None:
+                record.rejected = True
+                self.rejected.append(record)
+                if rec is not None:
+                    rec.inc("queries_rejected")
+                    rec.emit(QUERY_REJECTED, self.env.now,
+                             query_id=spec.query_id,
+                             class_name=spec.service_class.name,
+                             fanout=spec.fanout,
+                             extra={"miss_ratio": self.overload.miss_ratio()})
+                done.succeed(record)
+                return record, done
+            servers = decision.servers
+            deadline = decision.deadline
+            record.coverage = decision.coverage
+            record.degraded = decision.degraded
         if deadline is None:
             if self.estimator.homogeneous:
                 deadline = self.estimator.deadline(
@@ -192,6 +218,12 @@ class QueryHandler:
             if not self.fault_manager.on_complete(task, server):
                 return  # a stale copy: its slot already won elsewhere
         self.estimator.record(task.server_id, task.post_queuing_time)
+        if self.overload is not None:
+            # Drift monitoring wants the service sample the server
+            # actually drew (a pause-mode restart resamples, so the
+            # task's post-queuing time is not it).
+            self.overload.on_task_complete(task.server_id,
+                                           server.last_duration, self.env.now)
         missed = task.missed_deadline
         self.admission.record_task(missed, self.env.now)
 

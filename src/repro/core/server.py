@@ -61,6 +61,17 @@ class TaskServer:
         self._queue = policy.create_queue()
         self._busy = False
         self.on_complete = on_complete
+        #: Optional dequeue hook ``(task, server) -> None``, invoked
+        #: once per task when its first service attempt begins (never
+        #: on a pause-mode restart) — where the overload controller
+        #: observes queuing-deadline outcomes, matching the fast path's
+        #: dequeue-time feed.
+        self.on_dequeue: Optional[CompletionCallback] = None
+        #: Service duration of the most recent completion.  Distinct
+        #: from the task's post-queuing time when a pause-mode restart
+        #: resampled the service; the drift monitor wants the actual
+        #: sample the server drew.
+        self.last_duration = 0.0
         self._recorder = recorder if (recorder is not None
                                       and recorder.enabled) else None
         # Utilization accounting.
@@ -161,6 +172,8 @@ class TaskServer:
                     rec.emit(DEADLINE_MISS, self.env.now,
                              server_id=self.server_id, query_id=task.query_id,
                              deadline=task.deadline, slack=slack)
+            if self.on_dequeue is not None:
+                self.on_dequeue(task, self)
         self._current_proc = self.env.process(self._serve(task, duration))
 
     def _serve(self, task: Task, duration: float):
@@ -174,6 +187,7 @@ class TaskServer:
         self._busy = False
         self._current = None
         self._current_proc = None
+        self.last_duration = duration
         rec = self._recorder
         if id(task) in self._discard:
             # A cancelled hedge loser: it held the server until now

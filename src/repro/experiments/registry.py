@@ -189,6 +189,15 @@ def _ext_fault_sweep(quick: bool,
     return extensions.ext_fault_sweep(workers=workers)
 
 
+def _ext_overload_sweep(quick: bool,
+                        workers: Optional[int] = None) -> ExperimentReport:
+    if quick:
+        return extensions.ext_overload_sweep(
+            loads=(0.60, 0.90), n_queries=3_000, workers=workers,
+        )
+    return extensions.ext_overload_sweep(workers=workers)
+
+
 def _ext_request_decomposition(quick: bool,
                                workers: Optional[int] = None
                                ) -> ExperimentReport:
@@ -218,6 +227,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "ext_scale": _ext_scale,
     "ext_fault_sweep": _ext_fault_sweep,
     "ext_four_classes": _ext_four_classes,
+    "ext_overload_sweep": _ext_overload_sweep,
     "ext_request_decomposition": _ext_request_decomposition,
     "ablation_inaccurate_cdf": _ablation_inaccurate_cdf,
     "ablation_online_updating": _ablation_online_updating,

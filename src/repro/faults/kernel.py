@@ -88,6 +88,10 @@ class FaultManager:
         self._recorder = recorder if (recorder is not None
                                       and recorder.enabled) else None
         self.handler = None
+        #: Optional :class:`repro.overload.OverloadController` (set by
+        #: :func:`repro.overload.install_overload`): notified of every
+        #: fail/recover transition so circuit breakers track crashes.
+        self.overload = None
         self.materialized: Optional[MaterializedFaults] = None
         self._slots: Dict[Tuple[int, int], _Slot] = {}
         # Outcome counters (mirrored into SimulationResult by callers).
@@ -130,6 +134,8 @@ class FaultManager:
         self.server_failures += 1
         if self._recorder is not None:
             self._recorder.emit(SERVER_FAIL, self.env.now, server_id=sid)
+        if self.overload is not None:
+            self.overload.on_server_fail(sid, self.env.now)
         victims = self.servers[sid].fail(self.plan.kill_mode)
         for task in victims:
             self._handle_kill(task)
@@ -137,6 +143,8 @@ class FaultManager:
     def _recover(self, sid: int) -> None:
         if self._recorder is not None:
             self._recorder.emit(SERVER_RECOVER, self.env.now, server_id=sid)
+        if self.overload is not None:
+            self.overload.on_server_recover(sid, self.env.now)
         self.servers[sid].recover()
 
     def _handle_kill(self, task: Task) -> None:

@@ -58,6 +58,20 @@ TASK_HEDGE = "TASK_HEDGE"
 #: timed-out queued copy, or a copy that died with its server while a
 #: sibling copy stayed live (``extra["reason"]``).
 TASK_CANCEL = "TASK_CANCEL"
+#: A query was admitted *degraded*: only ``extra["dispatched"]`` of its
+#: ``fanout`` tasks were sent (``extra["coverage"]`` is the fraction).
+QUERY_DEGRADED = "QUERY_DEGRADED"
+#: A shard was shed: its server's circuit breaker refused it and no
+#: permitted replica was available.
+TASK_SHED = "TASK_SHED"
+#: A server's circuit breaker tripped open (consecutive queuing-deadline
+#: misses, or the fault layer reported the server down).
+BREAKER_OPEN = "BREAKER_OPEN"
+#: A half-open breaker saw enough on-time probes and closed.
+BREAKER_CLOSE = "BREAKER_CLOSE"
+#: The drift monitor replaced a server's unloaded CDF estimate;
+#: ``extra["ks_distance"]`` is the divergence that triggered it.
+CDF_REBOOTSTRAP = "CDF_REBOOTSTRAP"
 
 #: Every recognised lifecycle event type.
 EVENT_TYPES = frozenset({
@@ -75,6 +89,11 @@ EVENT_TYPES = frozenset({
     TASK_RETRY,
     TASK_HEDGE,
     TASK_CANCEL,
+    QUERY_DEGRADED,
+    TASK_SHED,
+    BREAKER_OPEN,
+    BREAKER_CLOSE,
+    CDF_REBOOTSTRAP,
 })
 
 _NAN = float("nan")

@@ -1,0 +1,39 @@
+"""Overload protection and graceful degradation.
+
+Four cooperating mechanisms behind one declarative
+:class:`OverloadPolicy`: adaptive (AIMD) admission, per-server circuit
+breakers, partial-fanout degradation, and CDF drift re-bootstrap.
+Attach a policy to :class:`~repro.cluster.config.ClusterConfig` (the
+fast path) or call :func:`install_overload` on the DES kernel; both
+paths share the same deterministic :class:`OverloadController`.
+
+The semantics contract lives in ``docs/overload.md``.
+"""
+
+from repro.overload.admission import AdaptiveAdmission
+from repro.overload.breaker import BreakerBank
+from repro.overload.controller import (
+    OverloadController,
+    OverloadDecision,
+    install_overload,
+)
+from repro.overload.policy import (
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    DriftPolicy,
+    OverloadPolicy,
+)
+
+__all__ = [
+    "AdaptiveAdmission",
+    "AdaptiveAdmissionPolicy",
+    "BreakerBank",
+    "BreakerPolicy",
+    "DegradePolicy",
+    "DriftPolicy",
+    "OverloadController",
+    "OverloadDecision",
+    "OverloadPolicy",
+    "install_overload",
+]

@@ -1,0 +1,84 @@
+"""AIMD admit-probability control (overload mechanism 1).
+
+:class:`AdaptiveAdmission` keeps the moving-window bookkeeping of
+:class:`~repro.core.admission.DeadlineMissRatioAdmission` (same window
+bounds, same deterministic duty-cycle thinning) but replaces the
+control law: instead of the paper's binary gate, the admit probability
+is steered toward a *target* miss ratio with a hysteresis band.
+
+* ratio above ``target * (1 + hysteresis)`` — multiplicative decrease;
+* ratio below ``target * (1 - hysteresis)`` — additive increase;
+* inside the band — hold (the band is what damps oscillation on a
+  bursty miss process).
+
+Anti-windup comes from two sides: the probability is hard-clamped to
+``[floor, 1]`` so the integrator cannot run away, and the inherited
+``max_latch_ms`` window flush guarantees a stale all-miss window cannot
+keep the controller shut after the overload that filled it has passed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.admission import DeadlineMissRatioAdmission
+
+
+class AdaptiveAdmission(DeadlineMissRatioAdmission):
+    """Admit-probability controller targeting a deadline-miss ratio."""
+
+    def __init__(
+        self,
+        target_miss_ratio: float = 0.02,
+        window_tasks: int = 5_000,
+        window_ms: Optional[float] = None,
+        min_samples: int = 200,
+        decrease: float = 0.7,
+        increase: float = 0.08,
+        floor: float = 0.05,
+        hysteresis: float = 0.25,
+        ctl_interval_ms: float = 25.0,
+        max_latch_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            threshold=target_miss_ratio,
+            window_tasks=window_tasks,
+            window_ms=window_ms,
+            min_samples=min_samples,
+            mode="duty-cycle",
+            decrease=decrease,
+            increase=increase,
+            floor=floor,
+            ctl_interval_ms=ctl_interval_ms,
+            max_latch_ms=max_latch_ms,
+        )
+        self._hysteresis = float(hysteresis)
+        #: Every probability adjustment as ``(time, probability)``,
+        #: starting from the initial 1.0 — the property tests assert
+        #: boundedness and recovery on this trace.
+        self.probability_trace: List[Tuple[float, float]] = [(0.0, 1.0)]
+
+    def _decide_duty_cycle(self, now: float) -> bool:
+        if (self._seen >= self.min_samples
+                and now - self._last_control >= self._ctl_interval):
+            self._last_control = now
+            ratio = self.miss_ratio()
+            target = self.threshold
+            if ratio > target * (1.0 + self._hysteresis):
+                probability = max(
+                    self._floor, self._admit_probability * self._decrease
+                )
+            elif ratio < target * (1.0 - self._hysteresis):
+                probability = min(
+                    1.0, self._admit_probability + self._increase
+                )
+            else:
+                probability = self._admit_probability
+            if probability != self._admit_probability:
+                self._admit_probability = probability
+                self.probability_trace.append((now, probability))
+        self._duty_accumulator += self._admit_probability
+        if self._duty_accumulator >= 1.0:
+            self._duty_accumulator -= 1.0
+            return True
+        return False

@@ -1,0 +1,129 @@
+"""Per-server circuit breakers (overload mechanism 2).
+
+One breaker per task server, with the classic three-state machine:
+
+* **CLOSED** — traffic flows; ``miss_threshold`` *consecutive*
+  queuing-deadline misses trip it OPEN.
+* **OPEN** — the dispatcher routes this server's shards elsewhere (or
+  sheds them).  After ``open_ms`` the breaker lazily transitions to
+  half-open on the next permit check.  A breaker opened by the fault
+  layer's ``fail`` hook stays open until the matching ``recover``.
+* **HALF_OPEN** — at most ``half_open_probes`` probe tasks are let
+  through; ``close_successes`` consecutive on-time probes close the
+  breaker, one missed probe re-trips it.
+
+The bank is deliberately split into a pure :meth:`permits` (safe to
+call while *searching* for a routing) and a :meth:`consume` that
+charges the probe budget only once a task is actually committed to a
+server — a replacement search must not burn probes on servers it ends
+up not using.  State transitions are returned as ``"open"``/``"close"``
+strings so the owning controller can emit the matching obs events; the
+bank itself knows nothing about recorders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.overload.policy import BreakerPolicy
+
+CLOSED, OPEN, HALF_OPEN = 0, 1, 2
+
+_STATE_NAMES = {CLOSED: "closed", OPEN: "open", HALF_OPEN: "half-open"}
+
+
+class BreakerBank:
+    """The circuit breakers of one simulated cluster."""
+
+    def __init__(self, policy: BreakerPolicy, n_servers: int) -> None:
+        self.policy = policy
+        self.n_servers = n_servers
+        self._state = [CLOSED] * n_servers
+        self._open_until = [0.0] * n_servers
+        self._consecutive_misses = [0] * n_servers
+        self._probes = [0] * n_servers
+        self._successes = [0] * n_servers
+        #: Total CLOSED/HALF_OPEN -> OPEN transitions.
+        self.trips = 0
+
+    def state_name(self, server_id: int) -> str:
+        return _STATE_NAMES[self._state[server_id]]
+
+    def _refresh(self, server_id: int, now: float) -> None:
+        """Lazy OPEN -> HALF_OPEN once the open window has elapsed."""
+        if (self._state[server_id] == OPEN
+                and now >= self._open_until[server_id]):
+            self._state[server_id] = HALF_OPEN
+            self._probes[server_id] = 0
+            self._successes[server_id] = 0
+
+    def permits(self, server_id: int, now: float) -> bool:
+        """Whether a new task may be routed to this server.
+
+        Pure with respect to the probe budget: call freely while
+        searching for replacements, then :meth:`consume` for the
+        servers actually used.
+        """
+        self._refresh(server_id, now)
+        state = self._state[server_id]
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        return self._probes[server_id] < self.policy.half_open_probes
+
+    def consume(self, server_id: int, now: float) -> None:
+        """Charge one committed task against a half-open probe budget."""
+        if self._state[server_id] == HALF_OPEN:
+            self._probes[server_id] += 1
+
+    def _trip(self, server_id: int, now: float, until: float) -> str:
+        self._state[server_id] = OPEN
+        self._open_until[server_id] = until
+        self._consecutive_misses[server_id] = 0
+        self._probes[server_id] = 0
+        self._successes[server_id] = 0
+        self.trips += 1
+        return "open"
+
+    def record(self, server_id: int, missed: bool, now: float
+               ) -> Optional[str]:
+        """Feed one dequeue outcome; returns a transition or ``None``."""
+        self._refresh(server_id, now)
+        state = self._state[server_id]
+        if missed:
+            self._consecutive_misses[server_id] += 1
+            if state == HALF_OPEN:
+                # One failed probe re-trips immediately.
+                return self._trip(server_id, now, now + self.policy.open_ms)
+            if (state == CLOSED and self._consecutive_misses[server_id]
+                    >= self.policy.miss_threshold):
+                return self._trip(server_id, now, now + self.policy.open_ms)
+            return None
+        self._consecutive_misses[server_id] = 0
+        if state == HALF_OPEN:
+            self._successes[server_id] += 1
+            if self._successes[server_id] >= self.policy.close_successes:
+                self._state[server_id] = CLOSED
+                return "close"
+        return None
+
+    def on_server_fail(self, server_id: int, now: float) -> Optional[str]:
+        """Fault-layer hook: hold the breaker open for the whole
+        downtime (no timed half-open — the server is known dead)."""
+        was_open = self._state[server_id] == OPEN
+        transition = self._trip(server_id, now, float("inf"))
+        if was_open:
+            # Already open (e.g. tripped by misses just before the
+            # crash): extend, but it is not a new trip or transition.
+            self.trips -= 1
+            return None
+        return transition
+
+    def on_server_recover(self, server_id: int, now: float) -> None:
+        """Fault-layer hook: a recovered server goes straight to
+        half-open probing — its backlog may still be sick."""
+        if self._state[server_id] == OPEN:
+            self._state[server_id] = HALF_OPEN
+            self._probes[server_id] = 0
+            self._successes[server_id] = 0

@@ -1,0 +1,333 @@
+"""The stateful overload controller shared by both simulation paths.
+
+One :class:`OverloadController` is built per run (from the declarative
+:class:`~repro.overload.policy.OverloadPolicy`) and wired into either
+the DES kernel (via :func:`install_overload`) or the event-calendar
+fast path (``repro.cluster.faultsim``).  It is deliberately free of
+randomness: every decision is a deterministic function of the feed
+order, so the two paths — which share arrival traces and service
+streams — make identical per-query decisions and the equivalence suite
+can compare them exactly.
+
+Decision pipeline for one arriving query (see ``docs/overload.md`` for
+the semantics contract):
+
+1. *Admission* — the AIMD controller votes admit/deny.
+2. *Degradation* — a denied query may still be served at reduced
+   fanout ``k' < kf`` when the order-statistics budget recomputed for
+   the first ``k'`` selected servers (Eq. 1-2) clears the full-fanout
+   budget plus the current pressure margin.  Failing that, the query
+   is rejected.
+3. *Breaker routing* — each remaining shard is checked against its
+   server's breaker; a refused shard is re-routed to the least-loaded
+   permitted replica not already serving this query, or shed.
+4. *Coverage floor* — if shedding dropped the query below
+   ``ceil(min_coverage * kf)`` dispatched tasks (or below one task
+   without a degrade policy), the whole query is rejected instead.
+5. *Commit* — probe budgets are charged, shed/degraded events are
+   emitted, and the queuing deadline ``t_D`` is re-stamped from the
+   budget of the servers actually used.
+
+Feedback flows in through :meth:`record_task` (at dequeue, where the
+paper observes deadline misses), :meth:`on_task_complete` (service
+samples for the drift monitor), and the fault layer's
+:meth:`on_server_fail` / :meth:`on_server_recover` hooks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from math import ceil
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions import EmpiricalDistribution, ks_distance
+from repro.errors import ConfigurationError
+from repro.faults.plan import pick_server
+from repro.obs.events import (
+    BREAKER_CLOSE,
+    BREAKER_OPEN,
+    CDF_REBOOTSTRAP,
+    QUERY_DEGRADED,
+    TASK_SHED,
+)
+from repro.overload.breaker import BreakerBank
+from repro.overload.policy import OverloadPolicy
+from repro.types import ServiceClass
+
+
+@dataclass(frozen=True)
+class OverloadDecision:
+    """The outcome of routing one admitted (possibly degraded) query."""
+
+    servers: Tuple[int, ...]
+    deadline: float
+    coverage: float
+    degraded: bool
+
+
+class OverloadController:
+    """Per-run overload state machine for one simulated cluster."""
+
+    def __init__(self, policy: OverloadPolicy, n_servers: int,
+                 estimator, recorder=None) -> None:
+        if not policy.active:
+            raise ConfigurationError("OverloadPolicy has no mechanism enabled")
+        if policy.drift is not None and estimator.online_enabled:
+            raise ConfigurationError(
+                "drift re-bootstrap requires a static (offline) estimator; "
+                "the online updating of §III.B.2 already tracks drift"
+            )
+        self.policy = policy
+        self.n_servers = int(n_servers)
+        self.estimator = estimator
+        self._recorder = recorder if (recorder is not None
+                                      and recorder.enabled) else None
+        self.admission = (policy.admission.build()
+                          if policy.admission is not None else None)
+        self._breakers = (BreakerBank(policy.breakers, n_servers)
+                          if policy.breakers is not None else None)
+        self._degrade = policy.degrade
+        self._drift = policy.drift
+        #: EWMA of the observed deadline overshoot at dequeue (ms past
+        #: ``t_D``; 0 while tasks dequeue on time).  The degradation
+        #: margin — how much extra budget a reduced fanout must buy.
+        self.pressure = 0.0
+        self._drift_windows: List[Deque[float]] = []
+        self._drift_since: List[int] = []
+        if policy.drift is not None:
+            self._drift_windows = [deque(maxlen=policy.drift.window)
+                                   for _ in range(n_servers)]
+            self._drift_since = [0] * n_servers
+        self.degraded_queries = 0
+        self.shed_tasks = 0
+        self.cdf_rebootstraps = 0
+        #: Queries committed degraded.  Their tasks are best-effort:
+        #: they feed the breakers and the pressure EWMA but NOT the
+        #: admission window — partial traffic is the relief valve, and
+        #: letting its misses clamp the admit probability would make
+        #: degradation throttle the full-service traffic it exists to
+        #: protect.
+        self._degraded_ids: set = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def breaker_trips(self) -> int:
+        return self._breakers.trips if self._breakers is not None else 0
+
+    @property
+    def admit_probability(self) -> float:
+        return (self.admission.admit_probability
+                if self.admission is not None else 1.0)
+
+    @property
+    def probability_trace(self) -> List[Tuple[float, float]]:
+        return (self.admission.probability_trace
+                if self.admission is not None else [(0.0, 1.0)])
+
+    def miss_ratio(self) -> float:
+        return self.admission.miss_ratio() if self.admission is not None else 0.0
+
+    def breaker_state(self, server_id: int) -> str:
+        if self._breakers is None:
+            return "closed"
+        return self._breakers.state_name(server_id)
+
+    # ------------------------------------------------------------------
+    # Arrival-side decision
+    # ------------------------------------------------------------------
+    def _budget(self, service_class: ServiceClass,
+                servers: Sequence[int]) -> float:
+        if self.estimator.homogeneous:
+            return self.estimator.budget(service_class, fanout=len(servers))
+        return self.estimator.budget(service_class, servers=list(servers))
+
+    def _degraded_fanout(self, service_class: ServiceClass,
+                         servers: Tuple[int, ...]) -> Optional[int]:
+        """Largest ``k' < kf`` (respecting the coverage floor) whose
+        recomputed budget clears the pressure margin, or ``None``."""
+        assert self._degrade is not None
+        fanout = len(servers)
+        k_min = max(1, ceil(self._degrade.min_coverage * fanout))
+        if k_min >= fanout:
+            return None
+        required = (self._budget(service_class, servers)
+                    + self._degrade.safety * self.pressure)
+        for k_prime in range(fanout - 1, k_min - 1, -1):
+            if self._budget(service_class, servers[:k_prime]) >= required:
+                return k_prime
+        return None
+
+    def _route_breakers(self, selection: Sequence[int],
+                        depths: Sequence[int], now: float
+                        ) -> Tuple[List[int], List[int]]:
+        """Replace or shed shards whose breaker refuses them."""
+        assert self._breakers is not None
+        permitted = [self._breakers.permits(sid, now)
+                     for sid in range(self.n_servers)]
+        used = set(selection)
+        routed: List[int] = []
+        shed: List[int] = []
+        for sid in selection:
+            if permitted[sid]:
+                routed.append(sid)
+                continue
+            replacement = pick_server(depths, permitted, exclude=used)
+            if replacement >= 0:
+                routed.append(replacement)
+                used.add(replacement)
+            else:
+                shed.append(sid)
+        return routed, shed
+
+    def route_query(self, now: float, query_id: int,
+                    service_class: ServiceClass, servers: Sequence[int],
+                    depths: Sequence[int]) -> Optional[OverloadDecision]:
+        """Admit (possibly degraded), re-route, or reject one query.
+
+        ``servers`` is the dispatcher's nominal selection (already
+        drawn, so RNG consumption is identical with and without an
+        overload policy); ``depths`` are current per-server queue
+        depths including in-service tasks.  Returns ``None`` to reject
+        the query — nothing has been committed in that case.
+        """
+        fanout = len(servers)
+        selection = tuple(servers)
+        if self.admission is not None and not self.admission.admit(now):
+            k_prime = (self._degraded_fanout(service_class, selection)
+                       if self._degrade is not None else None)
+            if k_prime is None:
+                return None
+            selection = selection[:k_prime]
+        if self._breakers is not None:
+            routed, shed = self._route_breakers(selection, depths, now)
+        else:
+            routed, shed = list(selection), []
+        floor = (max(1, ceil(self._degrade.min_coverage * fanout))
+                 if self._degrade is not None else 1)
+        if len(routed) < floor:
+            # Below the coverage floor the partial answer is worthless:
+            # reject the whole query, committing none of the tentative
+            # sheds.
+            return None
+        recorder = self._recorder
+        if self._breakers is not None:
+            for sid in routed:
+                self._breakers.consume(sid, now)
+        for sid in shed:
+            self.shed_tasks += 1
+            if recorder is not None:
+                recorder.emit(TASK_SHED, now, server_id=sid,
+                              query_id=query_id)
+        coverage = len(routed) / fanout
+        degraded = len(routed) < fanout
+        if degraded:
+            self.degraded_queries += 1
+            self._degraded_ids.add(query_id)
+            if recorder is not None:
+                recorder.emit(QUERY_DEGRADED, now, query_id=query_id,
+                              class_name=service_class.name, fanout=fanout,
+                              extra={"coverage": coverage,
+                                     "dispatched": len(routed)})
+        deadline = now + self._budget(service_class, routed)
+        return OverloadDecision(tuple(routed), deadline, coverage, degraded)
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def record_task(self, server_id: int, query_id: int, missed: bool,
+                    slack: float, now: float) -> None:
+        """Feed one dequeue outcome (``slack`` = ``t_D - now``, negative
+        on a miss) into admission, pressure, and the breaker.
+
+        Tasks of degraded queries are excluded from the admission
+        window (see ``_degraded_ids``) but still feed pressure and the
+        per-server breakers — backlog is backlog, whoever queued it.
+        """
+        if (self.admission is not None
+                and query_id not in self._degraded_ids):
+            self.admission.record_task(missed, now)
+        if self._degrade is not None:
+            overshoot = -slack if slack < 0 else 0.0
+            alpha = self._degrade.pressure_alpha
+            self.pressure += alpha * (overshoot - self.pressure)
+        if self._breakers is not None:
+            self._emit_breaker(self._breakers.record(server_id, missed, now),
+                               server_id, now)
+
+    def on_task_complete(self, server_id: int, duration: float,
+                         now: float) -> None:
+        """Feed one completed task's service sample to the drift monitor."""
+        if self._drift is None:
+            return
+        window = self._drift_windows[server_id]
+        window.append(duration)
+        self._drift_since[server_id] += 1
+        if (len(window) < self._drift.window
+                or self._drift_since[server_id] < self._drift.check_interval):
+            return
+        self._drift_since[server_id] = 0
+        samples = np.asarray(window)
+        distance = ks_distance(self.estimator.server_cdf(server_id), samples)
+        if distance <= self._drift.threshold:
+            return
+        self.estimator.rebootstrap(server_id, EmpiricalDistribution(samples))
+        self.cdf_rebootstraps += 1
+        if self._recorder is not None:
+            self._recorder.emit(CDF_REBOOTSTRAP, now, server_id=server_id,
+                                extra={"ks_distance": float(distance),
+                                       "samples": int(samples.size)})
+        window.clear()
+
+    def on_server_fail(self, server_id: int, now: float) -> None:
+        if self._breakers is not None:
+            self._emit_breaker(self._breakers.on_server_fail(server_id, now),
+                               server_id, now)
+
+    def on_server_recover(self, server_id: int, now: float) -> None:
+        if self._breakers is not None:
+            self._breakers.on_server_recover(server_id, now)
+
+    def _emit_breaker(self, transition: Optional[str], server_id: int,
+                      now: float) -> None:
+        if transition is None or self._recorder is None:
+            return
+        event = BREAKER_OPEN if transition == "open" else BREAKER_CLOSE
+        self._recorder.emit(event, now, server_id=server_id)
+
+
+def install_overload(env, handler, servers, policy: OverloadPolicy,
+                     recorder=None) -> OverloadController:
+    """Wire an :class:`OverloadPolicy` into the DES-kernel path.
+
+    Mirrors :func:`repro.faults.install_faults`: builds the controller
+    from the handler's estimator, hooks the handler's submit path, each
+    server's dequeue, and — when a :class:`~repro.faults.FaultManager`
+    is already installed — its fail/recover notifications.  Call after
+    ``install_faults`` when combining the two.
+    """
+    controller = OverloadController(policy, len(servers),
+                                    handler.estimator, recorder)
+    if handler.overload is not None:
+        raise ConfigurationError("handler already has an overload controller")
+    handler.overload = controller
+
+    def _feed_dequeue(task, server, _controller=controller):
+        now = server.env.now
+        _controller.record_task(server.server_id, task.query_id,
+                                now > task.deadline,
+                                task.deadline - now, now)
+
+    for server in servers:
+        if server.on_dequeue is not None:
+            raise ConfigurationError(
+                f"server {server.server_id} already has a dequeue hook"
+            )
+        server.on_dequeue = _feed_dequeue
+    if handler.fault_manager is not None:
+        handler.fault_manager.overload = controller
+    return controller

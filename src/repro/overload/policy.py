@@ -1,0 +1,246 @@
+"""Declarative overload-control policies (the config layer).
+
+The overload subsystem composes four cooperating mechanisms behind one
+:class:`OverloadPolicy` attached to
+:class:`~repro.cluster.config.ClusterConfig`:
+
+1. **Adaptive admission** (:class:`AdaptiveAdmissionPolicy`) — an AIMD
+   controller that modulates an admit *probability* toward a target
+   deadline-miss ratio instead of latching on/off (§III.C's gate made
+   continuous), with a hysteresis band and anti-windup.
+2. **Per-server circuit breakers** (:class:`BreakerPolicy`) —
+   closed/open/half-open state per server, driven by queuing-deadline
+   misses and the fault layer's fail/recover hooks, so a query's shard
+   is routed to a replica or shed rather than queued behind a sick
+   server.
+3. **Graceful partial-fanout degradation** (:class:`DegradePolicy`) —
+   a query the admission controller would reject may instead be
+   admitted *degraded*: only ``k' < kf`` tasks are dispatched, chosen so
+   the order-statistics budget recomputed for ``k'`` (Eq. 1-2) still
+   fits, and the reply carries a coverage fraction.
+4. **CDF drift re-bootstrap** (:class:`DriftPolicy`) — a KS-distance
+   monitor on per-server post-queuing service samples that swaps in a
+   re-estimated unloaded CDF when the offline bootstrap has drifted.
+
+Every policy here is an immutable, picklable dataclass validated at
+construction (misconfiguration raises
+:class:`~repro.errors.ConfigurationError`, which the CLI maps to exit
+code 2).  The stateful per-run machinery lives in
+:mod:`repro.overload.controller`; :meth:`OverloadPolicy.build` bridges
+the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overload.controller import OverloadController
+
+
+@dataclass(frozen=True)
+class AdaptiveAdmissionPolicy:
+    """Tuning for the AIMD admit-probability controller.
+
+    ``target_miss_ratio`` replaces the on/off threshold ``R_th``: the
+    controller steers the windowed miss ratio toward it, decreasing the
+    admit probability multiplicatively while the ratio sits above
+    ``target * (1 + hysteresis)`` and increasing additively while it
+    sits below ``target * (1 - hysteresis)``.  Inside the band the
+    probability holds — the hysteresis is what stops the controller
+    from oscillating on a noisy miss process.
+
+    ``max_latch_ms`` is the anti-windup escape hatch: if no task
+    outcome has arrived for that long, the whole window is flushed so
+    a saturated all-miss window cannot latch the controller shut after
+    the load that produced it has vanished.
+    """
+
+    target_miss_ratio: float = 0.02
+    window_tasks: int = 5_000
+    window_ms: Optional[float] = None
+    min_samples: int = 200
+    decrease: float = 0.7
+    increase: float = 0.08
+    floor: float = 0.05
+    hysteresis: float = 0.25
+    ctl_interval_ms: float = 25.0
+    max_latch_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_miss_ratio < 1:
+            raise ConfigurationError(
+                "target_miss_ratio must be a ratio in (0, 1), got "
+                f"{self.target_miss_ratio}"
+            )
+        if not 0 <= self.hysteresis < 1:
+            raise ConfigurationError(
+                f"hysteresis must be in [0, 1), got {self.hysteresis}"
+            )
+        if self.max_latch_ms is not None and self.max_latch_ms <= 0:
+            raise ConfigurationError(
+                f"max_latch_ms must be positive, got {self.max_latch_ms}"
+            )
+        # The remaining fields share DeadlineMissRatioAdmission's
+        # constraints; build a throwaway controller so bad values fail
+        # here, at config time, instead of mid-run in a worker process.
+        self.build()
+
+    def build(self) -> "AdaptiveAdmission":
+        from repro.overload.admission import AdaptiveAdmission
+
+        return AdaptiveAdmission(
+            target_miss_ratio=self.target_miss_ratio,
+            window_tasks=self.window_tasks,
+            window_ms=self.window_ms,
+            min_samples=self.min_samples,
+            decrease=self.decrease,
+            increase=self.increase,
+            floor=self.floor,
+            hysteresis=self.hysteresis,
+            ctl_interval_ms=self.ctl_interval_ms,
+            max_latch_ms=self.max_latch_ms,
+        )
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-server circuit-breaker thresholds.
+
+    A CLOSED breaker trips OPEN after ``miss_threshold`` *consecutive*
+    queuing-deadline misses on its server (or immediately when the
+    fault layer reports the server failed).  After ``open_ms`` it
+    half-opens and lets through at most ``half_open_probes``
+    outstanding probe tasks; ``close_successes`` consecutive on-time
+    probes close it, a single missed probe re-trips it.
+    """
+
+    miss_threshold: int = 5
+    open_ms: float = 50.0
+    half_open_probes: int = 3
+    close_successes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.miss_threshold <= 0:
+            raise ConfigurationError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        if self.open_ms <= 0:
+            raise ConfigurationError(
+                f"open_ms must be positive, got {self.open_ms}"
+            )
+        if self.half_open_probes <= 0:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+        if self.close_successes <= 0:
+            raise ConfigurationError(
+                f"close_successes must be >= 1, got {self.close_successes}"
+            )
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Partial-fanout degradation bounds.
+
+    ``min_coverage`` is the floor on the served fraction of a query's
+    fanout: a degraded query dispatches at least
+    ``ceil(min_coverage * kf)`` tasks, and a query that cannot be
+    served at that coverage (breakers shedding below the floor, or no
+    reduced fanout whose recomputed budget clears the pressure margin)
+    is rejected outright.
+
+    ``pressure_alpha`` is the EWMA gain on the observed deadline
+    overshoot (ms past ``t_D`` at dequeue); ``safety`` scales that
+    pressure into the extra budget a reduced fanout must buy before
+    degradation is worthwhile.
+    """
+
+    min_coverage: float = 0.5
+    pressure_alpha: float = 0.05
+    safety: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_coverage <= 1:
+            raise ConfigurationError(
+                f"min_coverage must be in (0, 1], got {self.min_coverage}"
+            )
+        if not 0 < self.pressure_alpha <= 1:
+            raise ConfigurationError(
+                f"pressure_alpha must be in (0, 1], got {self.pressure_alpha}"
+            )
+        if self.safety < 0:
+            raise ConfigurationError(
+                f"safety must be >= 0, got {self.safety}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """CDF drift detection thresholds.
+
+    Per server, the last ``window`` post-queuing service samples are
+    compared against the estimator's current unloaded CDF every
+    ``check_interval`` completions (once the window is full).  When the
+    KS distance exceeds ``threshold``, the server's CDF is replaced by
+    the empirical distribution of the window, future budgets are
+    re-stamped (the estimator's tail cache is invalidated), and a
+    ``CDF_REBOOTSTRAP`` event is emitted.
+    """
+
+    threshold: float = 0.15
+    window: int = 500
+    check_interval: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1), got {self.threshold}"
+            )
+        if self.window < 8:
+            raise ConfigurationError(
+                f"window must be >= 8 samples, got {self.window}"
+            )
+        if self.check_interval < 1:
+            raise ConfigurationError(
+                f"check_interval must be >= 1, got {self.check_interval}"
+            )
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """The declarative bundle of overload-control mechanisms.
+
+    Any subset may be enabled by setting its sub-policy; ``None`` turns
+    the mechanism off.  Degradation is the admission controller's
+    reject alternative, so ``degrade`` requires ``admission``.
+    """
+
+    admission: Optional[AdaptiveAdmissionPolicy] = None
+    breakers: Optional[BreakerPolicy] = None
+    degrade: Optional[DegradePolicy] = None
+    drift: Optional[DriftPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.degrade is not None and self.admission is None:
+            raise ConfigurationError(
+                "DegradePolicy requires AdaptiveAdmissionPolicy: "
+                "degradation serves the queries adaptive admission "
+                "would otherwise reject"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any mechanism is enabled."""
+        return (self.admission is not None or self.breakers is not None
+                or self.degrade is not None or self.drift is not None)
+
+    def build(self, n_servers: int, estimator, recorder=None
+              ) -> "OverloadController":
+        """Materialize the stateful per-run controller."""
+        from repro.overload.controller import OverloadController
+
+        return OverloadController(self, n_servers, estimator, recorder)

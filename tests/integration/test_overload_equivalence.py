@@ -1,0 +1,288 @@
+"""Both simulation paths implement identical overload semantics.
+
+Same discipline as test_equivalence.py / test_faults_equivalence.py —
+one shared overloaded trace, pre-assigned servers, deterministic
+per-server service times — now with the overload-protection layer on:
+adaptive AIMD admission, partial-fanout degradation, per-server circuit
+breakers, and CDF drift re-bootstrap, optionally combined with fault
+plans.  The composable DES-kernel path (QueryHandler + TaskServer +
+install_overload) and the overload-aware event calendar
+(repro.cluster.faultsim) must make identical per-query decisions:
+the same queries admitted / degraded / rejected / failed, the same
+coverage fractions, and bit-identical latencies.
+
+The controller is deliberately RNG-free and both paths draw each
+query's nominal servers *before* consulting it, which is what makes
+this exact comparison possible.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic
+from repro.faults import (
+    Downtime,
+    FaultPlan,
+    RetryPolicy,
+    fault_horizon,
+    install_faults,
+)
+from repro.overload import (
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    DriftPolicy,
+    OverloadPolicy,
+    install_overload,
+)
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+
+N_SERVERS = 8
+
+
+def build_trace(n_queries=400, seed=9):
+    """A deliberately overloaded trace: mean work per ms exceeds the
+    cluster's service capacity, so the admission controller engages."""
+    rng = np.random.default_rng(seed)
+    classes = [
+        ServiceClass("class-I", slo_ms=5.0, priority=0),
+        ServiceClass("class-II", slo_ms=7.5, priority=1),
+    ]
+    specs = []
+    now = 0.0
+    for qid in range(n_queries):
+        now += float(rng.exponential(0.35))
+        fanout = int(rng.choice([1, 2, 4, 8]))
+        servers = tuple(
+            int(s) for s in rng.choice(N_SERVERS, size=fanout, replace=False)
+        )
+        specs.append(
+            QuerySpec(
+                query_id=qid,
+                arrival_time=now,
+                fanout=fanout,
+                service_class=classes[int(rng.integers(2))],
+                servers=servers,
+            )
+        )
+    return specs
+
+
+def server_cdfs():
+    return {
+        sid: Deterministic(0.5 + 0.1 * sid) for sid in range(N_SERVERS)
+    }
+
+
+#: Tight window/interval so the AIMD controller reacts within the short
+#: trace; max_latch_ms exercises the anti-windup path.
+ADM = AdaptiveAdmissionPolicy(
+    target_miss_ratio=0.08,
+    window_tasks=400,
+    window_ms=30.0,
+    min_samples=60,
+    decrease=0.6,
+    increase=0.1,
+    floor=0.05,
+    hysteresis=0.2,
+    ctl_interval_ms=1.0,
+    max_latch_ms=50.0,
+)
+
+#: The overload policies under test, from a single mechanism up to all
+#: four.  Breaker open_ms uses an odd decimal so re-close instants never
+#: tie exactly with completions (the two paths order different event
+#: kinds at equal times by different rules).
+OVERLOADS = {
+    "admission": OverloadPolicy(admission=ADM),
+    "degrade": OverloadPolicy(
+        admission=ADM,
+        degrade=DegradePolicy(min_coverage=0.5, pressure_alpha=0.1,
+                              safety=1.0),
+    ),
+    "full": OverloadPolicy(
+        admission=ADM,
+        degrade=DegradePolicy(min_coverage=0.5, pressure_alpha=0.1,
+                              safety=1.0),
+        breakers=BreakerPolicy(miss_threshold=4, open_ms=5.113,
+                               half_open_probes=2, close_successes=3),
+        drift=DriftPolicy(threshold=0.5, window=40, check_interval=20),
+    ),
+}
+
+#: Fault plans layered under the overload policies (times use odd
+#: decimals, as in test_faults_equivalence.py).
+PLANS = {
+    "none": None,
+    "pause": FaultPlan(
+        downtimes=(
+            Downtime(2, 10.113, 17.391),
+            Downtime(5, 30.207, 38.119),
+        ),
+    ),
+    "kill-retry": FaultPlan(
+        downtimes=(
+            Downtime(2, 10.113, 17.391),
+            Downtime(5, 30.207, 38.119),
+        ),
+        retry=RetryPolicy(max_retries=3, backoff_ms=0.377),
+    ),
+}
+
+
+def run_kernel_path(specs, policy_name, overload, plan):
+    env = Environment()
+    policy = get_policy(policy_name)
+    cdfs = server_cdfs()
+    estimator = DeadlineEstimator(dict(cdfs))
+    servers = [
+        TaskServer(env, sid, policy, cdfs[sid], np.random.default_rng(sid))
+        for sid in range(N_SERVERS)
+    ]
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(123))
+    if plan is not None:
+        install_faults(env, handler, servers, plan,
+                       fault_horizon(specs[-1].arrival_time), cdfs)
+    install_overload(env, handler, servers, overload)
+    env.process(handler.drive(specs))
+    env.run()
+    outcomes = {}
+    for record in handler.completed:
+        outcomes[record.spec.query_id] = (
+            "completed", record.latency, record.coverage, record.degraded,
+        )
+    for record in handler.rejected:
+        outcomes[record.spec.query_id] = ("rejected", None, None, None)
+    for record in handler.failed:
+        outcomes[record.spec.query_id] = ("failed", None, None, None)
+    return outcomes, handler.overload
+
+
+def run_fast_path(specs, policy_name, overload, plan):
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        policy=policy_name,
+        specs=specs,
+        server_cdfs=server_cdfs(),
+        warmup_fraction=0.0,
+    ).with_overload(overload)
+    if plan is not None:
+        config = config.with_faults(plan)
+    result = simulate(config)
+    outcomes = {}
+    for i, spec in enumerate(specs):
+        if result.rejected[i]:
+            outcomes[spec.query_id] = ("rejected", None, None, None)
+        elif result.failed is not None and result.failed[i]:
+            outcomes[spec.query_id] = ("failed", None, None, None)
+        elif not math.isnan(result.latency[i]):
+            outcomes[spec.query_id] = (
+                "completed",
+                result.latency[i],
+                float(result.coverage[i]),
+                bool(result.degraded[i]),
+            )
+    return outcomes, result
+
+
+def assert_outcomes_agree(kernel, fast, context):
+    assert set(kernel) == set(fast), context
+    for qid in kernel:
+        k_status, k_lat, k_cov, k_deg = kernel[qid]
+        f_status, f_lat, f_cov, f_deg = fast[qid]
+        assert k_status == f_status, (
+            f"query {qid} status diverged under {context}: "
+            f"{k_status} != {f_status}"
+        )
+        if k_status == "completed":
+            assert k_lat == pytest.approx(f_lat, abs=1e-9), (
+                f"query {qid} latency diverged under {context}"
+            )
+            assert k_cov == pytest.approx(f_cov, abs=1e-12), (
+                f"query {qid} coverage diverged under {context}"
+            )
+            assert k_deg == f_deg, (
+                f"query {qid} degraded flag diverged under {context}"
+            )
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("overload_name", sorted(OVERLOADS))
+@pytest.mark.parametrize("policy_name", ["fifo", "tailguard"])
+def test_overload_paths_agree_exactly(policy_name, overload_name, plan_name):
+    specs = build_trace()
+    overload = OVERLOADS[overload_name]
+    plan = PLANS[plan_name]
+    kernel, kernel_ctrl = run_kernel_path(specs, policy_name, overload, plan)
+    fast, result = run_fast_path(specs, policy_name, overload, plan)
+    context = f"{policy_name}/{overload_name}/{plan_name}"
+    assert_outcomes_agree(kernel, fast, context)
+    # The controllers walked the same AIMD trajectory...
+    assert kernel_ctrl.probability_trace == result.overload.probability_trace
+    # ...and agree on the aggregate overload counters.
+    assert kernel_ctrl.degraded_queries == result.overload.degraded_queries
+    assert kernel_ctrl.shed_tasks == result.overload.shed_tasks
+    assert kernel_ctrl.breaker_trips == result.overload.breaker_trips
+    assert kernel_ctrl.cdf_rebootstraps == result.overload.cdf_rebootstraps
+    assert result.degraded_queries == result.overload.degraded_queries
+    assert result.shed_tasks == result.overload.shed_tasks
+
+
+def test_overload_actually_bites():
+    """Non-vacuity: under the overloaded trace the admission controller
+    rejects real traffic, degradation serves partial queries, and the
+    combined run with faults trips breakers — on both paths."""
+    specs = build_trace()
+    fast, result = run_fast_path(specs, "tailguard", OVERLOADS["full"],
+                                 PLANS["kill-retry"])
+    statuses = [status for status, *_ in fast.values()]
+    assert statuses.count("rejected") > 0
+    assert result.overload.degraded_queries > 0
+    assert result.overload.breaker_trips > 0
+    assert any(deg for status, _, _, deg in fast.values()
+               if status == "completed")
+    # The AIMD controller moved off its initial probability.
+    assert len(result.overload.probability_trace) > 1
+    assert result.overload.admit_probability < 1.0 or any(
+        p < 1.0 for _, p in result.overload.probability_trace
+    )
+
+
+def test_admission_alone_matches_unprotected_when_idle():
+    """A lightly loaded trace never reaches min_samples pressure: the
+    overload layer admits everything and latencies match a run without
+    any policy (the wrapper is pay-for-what-you-use)."""
+    rng = np.random.default_rng(3)
+    cls = ServiceClass("class-I", slo_ms=5.0, priority=0)
+    specs = []
+    now = 0.0
+    for qid in range(120):
+        now += float(rng.exponential(4.0))
+        servers = tuple(
+            int(s) for s in rng.choice(N_SERVERS, size=2, replace=False)
+        )
+        specs.append(QuerySpec(query_id=qid, arrival_time=now, fanout=2,
+                               service_class=cls, servers=servers))
+    protected, result = run_fast_path(specs, "tailguard",
+                                      OVERLOADS["admission"], None)
+    clean = simulate(ClusterConfig(
+        n_servers=N_SERVERS,
+        policy="tailguard",
+        specs=specs,
+        server_cdfs=server_cdfs(),
+        warmup_fraction=0.0,
+    ))
+    assert all(status == "completed" for status, *_ in protected.values())
+    for i, spec in enumerate(specs):
+        assert protected[spec.query_id][1] == pytest.approx(
+            clean.latency[i], abs=1e-9
+        )

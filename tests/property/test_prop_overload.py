@@ -1,0 +1,214 @@
+"""Property-based tests for the adaptive admission controller.
+
+Satellite guarantees of the overload subsystem: the AIMD admit
+probability is a true probability under *any* feed sequence, and the
+controller always recovers — after an overload burst stops (including
+one driven by a seeded CrashProcess), admission returns to 1.0 within
+a bounded quiet period instead of latching shut.  The recovery
+property is checked on both simulation paths with the same seeds,
+which double-checks that the AIMD trajectory itself is path-invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic
+from repro.faults import CrashProcess, FaultPlan, fault_horizon, install_faults
+from repro.overload import (
+    AdaptiveAdmission,
+    AdaptiveAdmissionPolicy,
+    OverloadPolicy,
+    install_overload,
+)
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+
+#: One task outcome: (inter-arrival gap in ms, missed_deadline).
+outcome = st.tuples(st.floats(min_value=0.0, max_value=20.0,
+                              allow_nan=False, allow_infinity=False),
+                    st.booleans())
+
+
+def build_controller(**kwargs):
+    defaults = dict(target_miss_ratio=0.1, window_tasks=200,
+                    window_ms=30.0, min_samples=10, decrease=0.5,
+                    increase=0.1, floor=0.05, hysteresis=0.25,
+                    ctl_interval_ms=1.0, max_latch_ms=50.0)
+    defaults.update(kwargs)
+    return AdaptiveAdmission(**defaults)
+
+
+class TestProbabilityBounded:
+    @given(events=st.lists(outcome, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_probability_stays_in_unit_interval(self, events):
+        """Under any time-ordered outcome/decision interleaving the
+        admit probability is a probability at every step, and the
+        adjustment trace is time-ordered."""
+        ctl = build_controller()
+        now = 0.0
+        for gap, missed in events:
+            now += gap
+            ctl.record_task(missed, now)
+            ctl.admit(now)
+            assert 0.0 <= ctl.admit_probability <= 1.0
+        assert all(0.0 <= p <= 1.0 for _, p in ctl.probability_trace)
+        times = [t for t, _ in ctl.probability_trace]
+        assert times == sorted(times)
+        assert ctl.probability_trace[0] == (0.0, 1.0)
+
+    @given(events=st.lists(outcome, max_size=300),
+           floor=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_floor_is_respected(self, events, floor):
+        ctl = build_controller(floor=floor)
+        now = 0.0
+        for gap, missed in events:
+            now += gap
+            ctl.record_task(missed, now)
+            ctl.admit(now)
+            assert ctl.admit_probability >= floor
+
+
+class TestRecovery:
+    @given(burst=st.integers(min_value=20, max_value=400))
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_after_all_miss_burst(self, burst):
+        """However deep the overload burst, once outcomes turn clean the
+        probability climbs back to exactly 1.0 within the bounded number
+        of control intervals the additive increase implies."""
+        ctl = build_controller()
+        now = 0.0
+        for _ in range(burst):
+            now += 0.1
+            ctl.record_task(True, now)
+            ctl.admit(now)
+        assert ctl.admit_probability < 1.0
+        # The recovery bound: one time window (30 ms) for the burst
+        # misses to age out, then ceil((1 - floor)/increase) control
+        # intervals to climb from the floor.  Each outer iteration below
+        # advances 1.25 ms, so 24 iterations flush the window and 10
+        # more climb; a small margin on top.
+        intervals = 24 + int(np.ceil((1.0 - 0.05) / 0.1)) + 4
+        for _ in range(intervals):
+            for _ in range(5):
+                now += 0.25
+                ctl.record_task(False, now)
+            ctl.admit(now)
+        assert ctl.admit_probability == 1.0
+
+    @given(burst=st.integers(min_value=20, max_value=400))
+    @settings(max_examples=50, deadline=None)
+    def test_max_latch_unlatches_silent_controller(self, burst):
+        """If the burst is followed by *silence* (no outcomes at all —
+        the drained-overload regime), the max-latch flush still recovers
+        admission within one latch window plus the climb time."""
+        ctl = build_controller()
+        now = 0.0
+        for _ in range(burst):
+            now += 0.1
+            ctl.record_task(True, now)
+            ctl.admit(now)
+        assert ctl.miss_ratio() > 0.0
+        # One decision past the latch window flushes the stale misses;
+        # subsequent decisions climb back without any new outcomes.
+        now += 51.0
+        intervals = int(np.ceil((1.0 - 0.05) / 0.1)) + 2
+        for _ in range(intervals):
+            now += 1.5
+            ctl.admit(now)
+        assert ctl.miss_ratio() == 0.0
+        assert ctl.admit_probability == 1.0
+
+
+# ----------------------------------------------------------------------
+# Both simulation paths, same seeds (satellite 3)
+# ----------------------------------------------------------------------
+N_SERVERS = 6
+
+POLICY = OverloadPolicy(admission=AdaptiveAdmissionPolicy(
+    target_miss_ratio=0.08, window_tasks=300, window_ms=25.0,
+    min_samples=40, decrease=0.6, increase=0.1, floor=0.05,
+    hysteresis=0.2, ctl_interval_ms=1.0, max_latch_ms=40.0,
+))
+
+
+def burst_then_quiet_trace(seed):
+    """A hard overload burst (aggravated by crashes) followed by a long
+    quiet tail of sparse arrivals for the controller to recover in."""
+    rng = np.random.default_rng(seed)
+    cls = ServiceClass("class-I", slo_ms=4.0, priority=0)
+    specs = []
+    now = 0.0
+    for qid in range(220):
+        now += float(rng.exponential(0.2 if qid < 150 else 6.0))
+        fanout = int(rng.choice([2, 4]))
+        servers = tuple(
+            int(s) for s in rng.choice(N_SERVERS, size=fanout, replace=False)
+        )
+        specs.append(QuerySpec(query_id=qid, arrival_time=now, fanout=fanout,
+                               service_class=cls, servers=servers))
+    return specs
+
+
+def crash_plan(seed):
+    #: Crashes only during the burst window (horizon ends before the
+    #: quiet tail is over); short repairs keep queries completing.
+    return FaultPlan(crashes=CrashProcess(mtbf_ms=15.0, mttr_ms=0.7,
+                                          server_ids=(0, 1), seed=seed))
+
+
+def kernel_trace(specs, plan):
+    env = Environment()
+    policy = get_policy("tailguard")
+    cdfs = {sid: Deterministic(0.5 + 0.1 * sid) for sid in range(N_SERVERS)}
+    estimator = DeadlineEstimator(dict(cdfs))
+    servers = [
+        TaskServer(env, sid, policy, cdfs[sid], np.random.default_rng(sid))
+        for sid in range(N_SERVERS)
+    ]
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(123))
+    install_faults(env, handler, servers, plan,
+                   fault_horizon(specs[-1].arrival_time), cdfs)
+    ctrl = install_overload(env, handler, servers, POLICY)
+    env.process(handler.drive(specs))
+    env.run()
+    return ctrl
+
+
+def fast_trace(specs, plan):
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        policy="tailguard",
+        specs=specs,
+        server_cdfs={sid: Deterministic(0.5 + 0.1 * sid)
+                     for sid in range(N_SERVERS)},
+        warmup_fraction=0.0,
+    ).with_overload(POLICY).with_faults(plan)
+    return simulate(config).overload
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_recovery_after_crash_burst_on_both_paths(seed):
+    """Under a crash-aggravated overload burst, on both paths with the
+    same seeds: the probability stays in [0, 1] throughout, dips below
+    1.0 during the burst, returns to exactly 1.0 by the end of the
+    quiet tail — and the two paths walk the same AIMD trajectory."""
+    specs = burst_then_quiet_trace(seed)
+    plan = crash_plan(seed)
+    kernel = kernel_trace(specs, plan)
+    fast = fast_trace(specs, plan)
+    for ctrl in (kernel, fast):
+        probs = [p for _, p in ctrl.probability_trace]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert min(probs) < 1.0, "burst never engaged the controller"
+        assert ctrl.admit_probability == 1.0, "controller failed to recover"
+    assert kernel.probability_trace == fast.probability_trace

@@ -148,6 +148,123 @@ class TestCombinedOutputs:
             json.loads(out)
 
 
+class TestOverloadCommand:
+    def test_overload_run(self, capsys):
+        assert main([
+            "overload", "--queries", "3000", "--load", "1.2",
+            "--degrade", "--breakers", "--mtbf-ms", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded_queries=" in out
+        assert "shed_tasks=" in out
+        assert "breaker_trips=" in out
+        assert "coverage_p50=" in out
+        assert "admit_probability=" in out
+
+    def test_min_coverage_above_one_exits_2(self, capsys):
+        assert main([
+            "overload", "--queries", "100", "--degrade",
+            "--min-coverage", "1.5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("tailguard: configuration error:")
+        assert "min_coverage" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_nonpositive_breaker_threshold_exits_2(self, capsys):
+        assert main([
+            "overload", "--queries", "100", "--breakers",
+            "--breaker-misses", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("tailguard: configuration error:")
+        assert err.count("\n") == 1
+
+    def test_nonpositive_breaker_open_ms_exits_2(self, capsys):
+        assert main([
+            "overload", "--queries", "100", "--breakers",
+            "--breaker-open-ms", "-1",
+        ]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_bad_drift_threshold_exits_2(self, capsys):
+        assert main([
+            "overload", "--queries", "100", "--drift",
+            "--drift-threshold", "2.0",
+        ]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+
+def _tiny_overload(quick, workers=None):
+    """A registry-shaped shrink of ext_overload_sweep for round-trips."""
+    from repro.experiments import extensions
+
+    return extensions.ext_overload_sweep(loads=(1.2,), n_queries=1_500,
+                                         workers=workers)
+
+
+class TestOverloadRoundTrip:
+    """Satellite: the overload counters survive every serialization hop
+    — report rows -> ``run --json`` stdout, ``--csv`` files, and the
+    parallel runner's worker -> parent merge."""
+
+    COLUMNS = ("degraded_queries", "shed_tasks", "breaker_trips",
+               "coverage_p50", "coverage_p99")
+
+    def register(self, monkeypatch):
+        from repro.experiments.registry import EXPERIMENTS
+
+        monkeypatch.setitem(EXPERIMENTS, "tiny_overload", _tiny_overload)
+
+    def test_json_round_trip(self, capsys, monkeypatch):
+        self.register(monkeypatch)
+        assert main(["run", "tiny_overload", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "ext_overload_sweep"
+        assert len(data["rows"]) == 3
+        for row in data["rows"]:
+            for column in self.COLUMNS:
+                assert column in row, f"{column} lost in JSON round-trip"
+        by_mode = {row["mode"]: row for row in data["rows"]}
+        # Non-vacuity: the robust modes actually degraded and shed.
+        assert by_mode["degrade+breakers"]["degraded_queries"] > 0
+        assert by_mode["degrade+breakers"]["shed_tasks"] > 0
+        assert by_mode["degrade+breakers"]["breaker_trips"] > 0
+        assert by_mode["reject-only"]["degraded_queries"] == 0
+
+    def test_csv_matches_json(self, capsys, tmp_path, monkeypatch):
+        import csv
+
+        self.register(monkeypatch)
+        path = tmp_path / "rows.csv"
+        assert main(["run", "tiny_overload", "--json",
+                     "--csv", str(path)]) == 0
+        _, rest = capsys.readouterr().out.split("\n", 1)
+        json_rows = json.loads(rest)["rows"]
+        with open(path, newline="") as fh:
+            csv_rows = list(csv.DictReader(fh))
+        assert len(csv_rows) == len(json_rows)
+        for json_row, csv_row in zip(json_rows, csv_rows):
+            assert set(csv_row) == set(json_row)
+            for column, value in json_row.items():
+                if isinstance(value, bool):
+                    assert csv_row[column] == str(value)
+                elif isinstance(value, (int, float)):
+                    # str(float) round-trips exactly through the CSV.
+                    assert float(csv_row[column]) == value, column
+                else:
+                    assert csv_row[column] == value
+
+    def test_parallel_merge_matches_serial(self, capsys, monkeypatch):
+        self.register(monkeypatch)
+        assert main(["run", "tiny_overload", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)["rows"]
+        assert main(["run", "tiny_overload", "--json",
+                     "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)["rows"]
+        assert serial == parallel
+
+
 class TestTraceRun:
     def test_chrome_export(self, capsys, tmp_path):
         out_path = tmp_path / "run.json"

@@ -58,6 +58,35 @@ def test_extending_doc_policy_snippet():
         del POLICIES[SlackPolicy.name]
 
 
+def test_overload_doc_snippet():
+    """The docs/overload.md quickstart works as written."""
+    from repro import (
+        AdaptiveAdmissionPolicy,
+        BreakerPolicy,
+        DegradePolicy,
+        DriftPolicy,
+        OverloadPolicy,
+        simulate,
+    )
+    from repro.experiments.setups import paper_single_class_config
+
+    policy = OverloadPolicy(
+        admission=AdaptiveAdmissionPolicy(target_miss_ratio=0.005,
+                                          window_ms=10.0, max_latch_ms=50.0),
+        degrade=DegradePolicy(min_coverage=0.3, safety=2.0),
+        breakers=BreakerPolicy(miss_threshold=2, open_ms=3.0),
+        drift=DriftPolicy(threshold=0.15, window=500, check_interval=200),
+    )
+    config = paper_single_class_config(
+        "masstree", 1.0, n_queries=2_000,
+    ).at_load(0.9)
+    result = simulate(config.with_overload(policy))
+    assert result.overload is not None
+    assert result.coverage is not None
+    assert 0.0 <= result.coverage_p99() <= 1.0
+    assert result.overload.admit_probability <= 1.0
+
+
 def test_observability_doc_snippet():
     """The docs/observability.md quickstart works as written."""
     from dataclasses import replace

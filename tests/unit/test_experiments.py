@@ -156,7 +156,7 @@ class TestRegistry:
             "fig3", "table2", "fig4", "table3", "fig5", "fig6",
             "fig6_summary", "fig7", "fig9a", "fig9", "fig9_summary",
             "ext_scale", "ext_fault_sweep", "ext_four_classes",
-            "ext_request_decomposition",
+            "ext_overload_sweep", "ext_request_decomposition",
             "ext_arrival_burstiness", "ext_replica_selection",
             "ablation_inaccurate_cdf", "ablation_online_updating",
             "ablation_admission_threshold", "ablation_server_slowdown",

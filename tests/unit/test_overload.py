@@ -1,0 +1,582 @@
+"""Unit tests for the overload-protection subsystem (repro.overload).
+
+Covers the declarative policy validation (misconfiguration raises
+ConfigurationError at construction), the per-server breaker state
+machine, the AIMD admit-probability controller (including the
+max-latch anti-windup regression on the base class), the controller's
+routing pipeline (degradation, breaker re-routing, coverage floor,
+deferred commit), drift re-bootstrap, and the coverage percentile
+accessors on SimulationResult.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.cluster.results import SimulationResult
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.distributions import Deterministic
+from repro.errors import ConfigurationError
+from repro.overload import (
+    AdaptiveAdmission,
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    DriftPolicy,
+    OverloadPolicy,
+)
+from repro.overload.breaker import BreakerBank
+from repro.types import ServiceClass
+
+CLASS = ServiceClass("class-I", slo_ms=5.0, priority=0)
+
+N_SERVERS = 8
+
+
+def make_estimator(online=False):
+    cdfs = {sid: Deterministic(0.5 + 0.1 * sid) for sid in range(N_SERVERS)}
+    return DeadlineEstimator(cdfs, online_window=64 if online else None)
+
+
+def make_controller(policy, online=False):
+    return policy.build(N_SERVERS, make_estimator(online=online))
+
+
+class AlwaysDeny:
+    """Admission stub: force the degrade path deterministically."""
+
+    admit_probability = 0.0
+    probability_trace = [(0.0, 1.0)]
+
+    def admit(self, now=0.0):
+        return False
+
+    def record_task(self, missed, now=0.0):
+        pass
+
+    def miss_ratio(self):
+        return 1.0
+
+
+# ----------------------------------------------------------------------
+# Policy validation (satellite 6: misconfiguration raises)
+# ----------------------------------------------------------------------
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"target_miss_ratio": 0.0},
+        {"target_miss_ratio": 1.0},
+        {"hysteresis": 1.0},
+        {"hysteresis": -0.1},
+        {"max_latch_ms": 0.0},
+        {"window_tasks": 0},
+        {"min_samples": 0},
+        {"decrease": 1.5},
+        {"floor": 0.0},
+        {"ctl_interval_ms": 0.0},
+    ])
+    def test_bad_admission_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveAdmissionPolicy(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"miss_threshold": 0},
+        {"miss_threshold": -3},
+        {"open_ms": 0.0},
+        {"half_open_probes": 0},
+        {"close_successes": 0},
+    ])
+    def test_bad_breaker_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_coverage": 1.5},
+        {"min_coverage": 0.0},
+        {"min_coverage": -0.5},
+        {"pressure_alpha": 0.0},
+        {"pressure_alpha": 1.5},
+        {"safety": -1.0},
+    ])
+    def test_bad_degrade_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DegradePolicy(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0},
+        {"threshold": 1.0},
+        {"window": 4},
+        {"check_interval": 0},
+    ])
+    def test_bad_drift_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DriftPolicy(**kwargs)
+
+    def test_degrade_requires_admission(self):
+        with pytest.raises(ConfigurationError, match="requires"):
+            OverloadPolicy(degrade=DegradePolicy())
+
+    def test_active_flag(self):
+        assert not OverloadPolicy().active
+        assert OverloadPolicy(admission=AdaptiveAdmissionPolicy()).active
+        assert OverloadPolicy(breakers=BreakerPolicy()).active
+        assert OverloadPolicy(drift=DriftPolicy()).active
+
+    def test_build_without_mechanism_raises(self):
+        with pytest.raises(ConfigurationError, match="no mechanism"):
+            make_controller(OverloadPolicy())
+
+    def test_drift_requires_offline_estimator(self):
+        policy = OverloadPolicy(drift=DriftPolicy())
+        with pytest.raises(ConfigurationError, match="offline"):
+            make_controller(policy, online=True)
+
+    def test_config_rejects_admission_plus_overload(self):
+        from repro.types import QuerySpec
+
+        specs = [QuerySpec(0, 0.0, 1, CLASS)]
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            ClusterConfig(
+                n_servers=4,
+                policy="tailguard",
+                specs=specs,
+                server_cdfs={i: Deterministic(1.0) for i in range(4)},
+                admission=DeadlineMissRatioAdmission(threshold=0.02),
+                overload=OverloadPolicy(admission=AdaptiveAdmissionPolicy()),
+            )
+
+    def test_policies_are_frozen(self):
+        policy = DegradePolicy()
+        with pytest.raises(Exception):
+            policy.min_coverage = 0.9
+
+
+# ----------------------------------------------------------------------
+# Breaker state machine
+# ----------------------------------------------------------------------
+class TestBreakerBank:
+    def make(self, **kwargs):
+        defaults = dict(miss_threshold=3, open_ms=10.0,
+                        half_open_probes=2, close_successes=2)
+        defaults.update(kwargs)
+        return BreakerBank(BreakerPolicy(**defaults), n_servers=2)
+
+    def test_consecutive_misses_trip(self):
+        bank = self.make()
+        assert bank.record(0, True, 1.0) is None
+        assert bank.record(0, True, 2.0) is None
+        assert bank.record(0, True, 3.0) == "open"
+        assert bank.state_name(0) == "open"
+        assert bank.trips == 1
+        # The other server is untouched.
+        assert bank.state_name(1) == "closed"
+        assert bank.permits(1, 3.0)
+
+    def test_nonconsecutive_misses_do_not_trip(self):
+        bank = self.make()
+        bank.record(0, True, 1.0)
+        bank.record(0, True, 2.0)
+        bank.record(0, False, 3.0)  # resets the streak
+        bank.record(0, True, 4.0)
+        bank.record(0, True, 5.0)
+        assert bank.state_name(0) == "closed"
+        assert bank.trips == 0
+
+    def test_open_refuses_then_half_opens(self):
+        bank = self.make()
+        for t in (1.0, 2.0, 3.0):
+            bank.record(0, True, t)
+        assert not bank.permits(0, 5.0)
+        # After open_ms the breaker half-opens lazily on the next check.
+        assert bank.permits(0, 13.1)
+        assert bank.state_name(0) == "half-open"
+
+    def test_half_open_probe_budget_charged_by_consume(self):
+        bank = self.make(half_open_probes=2)
+        for t in (1.0, 2.0, 3.0):
+            bank.record(0, True, t)
+        now = 14.0
+        # permits() is pure: repeated checks do not burn probes.
+        assert bank.permits(0, now) and bank.permits(0, now)
+        bank.consume(0, now)
+        assert bank.permits(0, now)
+        bank.consume(0, now)
+        assert not bank.permits(0, now)
+
+    def test_half_open_closes_after_successes(self):
+        bank = self.make(close_successes=2)
+        for t in (1.0, 2.0, 3.0):
+            bank.record(0, True, t)
+        assert bank.record(0, False, 14.0) is None
+        assert bank.record(0, False, 15.0) == "close"
+        assert bank.state_name(0) == "closed"
+
+    def test_half_open_retrips_on_one_miss(self):
+        bank = self.make()
+        for t in (1.0, 2.0, 3.0):
+            bank.record(0, True, t)
+        assert bank.permits(0, 14.0)  # half-open now
+        assert bank.record(0, True, 14.5) == "open"
+        assert bank.trips == 2
+        assert not bank.permits(0, 15.0)
+
+    def test_fail_hook_opens_without_timeout(self):
+        bank = self.make(open_ms=10.0)
+        assert bank.on_server_fail(0, 1.0) == "open"
+        # No timed half-open: the server is known dead.
+        assert not bank.permits(0, 1e9)
+        bank.on_server_recover(0, 2.0)
+        assert bank.state_name(0) == "half-open"
+        assert bank.permits(0, 2.0)
+
+    def test_fail_while_already_open_is_not_a_new_trip(self):
+        bank = self.make()
+        for t in (1.0, 2.0, 3.0):
+            bank.record(0, True, t)
+        assert bank.trips == 1
+        assert bank.on_server_fail(0, 4.0) is None
+        assert bank.trips == 1
+        assert not bank.permits(0, 1e9)
+
+
+# ----------------------------------------------------------------------
+# Adaptive admission (AIMD) + max-latch regression (satellite 1)
+# ----------------------------------------------------------------------
+class TestAdaptiveAdmission:
+    def make(self, **kwargs):
+        defaults = dict(target_miss_ratio=0.1, window_tasks=100,
+                        min_samples=10, decrease=0.5, increase=0.1,
+                        floor=0.05, hysteresis=0.25, ctl_interval_ms=1.0)
+        defaults.update(kwargs)
+        return AdaptiveAdmission(**defaults)
+
+    def feed(self, ctl, n, missed, start, step=0.1):
+        now = start
+        for _ in range(n):
+            ctl.record_task(missed, now)
+            now += step
+        return now
+
+    def test_decrease_under_misses_and_floor(self):
+        ctl = self.make()
+        now = self.feed(ctl, 50, True, 0.0)
+        for _ in range(200):
+            ctl.admit(now)
+            now += 1.5
+        assert ctl.admit_probability == pytest.approx(0.05)
+        # The trace records every adjustment, starting from 1.0.
+        times = [t for t, _ in ctl.probability_trace]
+        probs = [p for _, p in ctl.probability_trace]
+        assert ctl.probability_trace[0] == (0.0, 1.0)
+        assert times == sorted(times)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_recovers_to_one_under_successes(self):
+        ctl = self.make(window_ms=50.0)
+        now = self.feed(ctl, 50, True, 0.0)
+        for _ in range(20):
+            ctl.admit(now)
+            now += 1.5
+        assert ctl.admit_probability < 1.0
+        now = self.feed(ctl, 200, False, now)
+        for _ in range(50):
+            ctl.admit(now)
+            now += 1.5
+        assert ctl.admit_probability == pytest.approx(1.0)
+
+    def test_hysteresis_band_holds(self):
+        ctl = self.make(target_miss_ratio=0.1, hysteresis=0.5)
+        # Miss ratio 0.1 sits inside (0.05, 0.15): no adjustment.
+        now = 0.0
+        for i in range(100):
+            ctl.record_task(i % 10 == 0, now)
+            now += 0.1
+        assert ctl.miss_ratio() == pytest.approx(0.1)
+        for _ in range(50):
+            ctl.admit(now)
+            now += 1.5
+        assert ctl.admit_probability == pytest.approx(1.0)
+        assert len(ctl.probability_trace) == 1
+
+    def test_duty_cycle_thinning_is_deterministic(self):
+        ctl = self.make()
+        now = self.feed(ctl, 50, True, 0.0)
+        decisions = []
+        for _ in range(100):
+            decisions.append(ctl.admit(now))
+            now += 1.5
+        admitted = sum(decisions)
+        # Thinning tracks the probability: strictly partial admission.
+        assert 0 < admitted < 100
+
+    def test_max_latch_regression_base_class(self):
+        """Regression (satellite 1): without max_latch_ms an unbounded
+        window latches an on-off controller shut forever once overload
+        stops feeding outcomes; with it the stale window is flushed."""
+        latched = DeadlineMissRatioAdmission(
+            threshold=0.1, window_tasks=1_000, window_ms=None, min_samples=5,
+        )
+        fixed = DeadlineMissRatioAdmission(
+            threshold=0.1, window_tasks=1_000, window_ms=None, min_samples=5,
+            max_latch_ms=10.0,
+        )
+        for ctl in (latched, fixed):
+            for i in range(20):
+                ctl.record_task(True, now=float(i))
+            assert not ctl.admit(now=19.0)
+        # Long quiet period: no task outcomes arrive at all.
+        assert not latched.admit(now=1e6)   # latched shut forever
+        assert fixed.admit(now=1e6)         # flushed, admission resumes
+        assert fixed.miss_ratio() == 0.0
+
+    def test_max_latch_flushes_adaptive_window(self):
+        ctl = self.make(max_latch_ms=10.0)
+        now = self.feed(ctl, 50, True, 0.0)
+        assert ctl.miss_ratio() == 1.0
+        ctl.admit(now + 100.0)  # > max_latch_ms after the last outcome
+        assert ctl.miss_ratio() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Controller routing pipeline
+# ----------------------------------------------------------------------
+class TestOverloadController:
+    def admission_policy(self):
+        return AdaptiveAdmissionPolicy(target_miss_ratio=0.1,
+                                       window_tasks=100, min_samples=10,
+                                       ctl_interval_ms=1.0)
+
+    def test_reject_without_degrade(self):
+        ctrl = make_controller(OverloadPolicy(admission=self.admission_policy()))
+        ctrl.admission = AlwaysDeny()
+        decision = ctrl.route_query(0.0, 0, CLASS, (0, 1, 2, 3),
+                                    [0] * N_SERVERS)
+        assert decision is None
+        assert ctrl.degraded_queries == 0 and ctrl.shed_tasks == 0
+
+    def test_degrade_reduces_fanout_with_recomputed_budget(self):
+        policy = OverloadPolicy(admission=self.admission_policy(),
+                                degrade=DegradePolicy(min_coverage=0.25))
+        ctrl = make_controller(policy)
+        ctrl.admission = AlwaysDeny()
+        servers = (0, 1, 2, 3)
+        decision = ctrl.route_query(0.0, 7, CLASS, servers, [0] * N_SERVERS)
+        # Deterministic(0.5 + 0.1*sid) CDFs: dropping the slowest server
+        # strictly increases the budget, so k' = kf - 1 qualifies.
+        assert decision is not None and decision.degraded
+        assert decision.servers == (0, 1, 2)
+        assert decision.coverage == pytest.approx(0.75)
+        assert ctrl.degraded_queries == 1
+        assert 7 in ctrl._degraded_ids
+        # Deadline re-stamped from the budget of the servers used: with
+        # 0.7 ms unloaded tail over (0,1,2), budget = 5.0 - 0.7.
+        assert decision.deadline == pytest.approx(0.0 + (5.0 - 0.7))
+
+    def test_degrade_fails_under_pressure(self):
+        policy = OverloadPolicy(admission=self.admission_policy(),
+                                degrade=DegradePolicy(min_coverage=0.25,
+                                                      safety=1.0))
+        ctrl = make_controller(policy)
+        ctrl.admission = AlwaysDeny()
+        # Pressure so large no reduced fanout can buy enough budget.
+        ctrl.pressure = 100.0
+        decision = ctrl.route_query(0.0, 0, CLASS, (0, 1, 2, 3),
+                                    [0] * N_SERVERS)
+        assert decision is None
+        assert ctrl.degraded_queries == 0
+
+    def test_fanout_one_cannot_degrade(self):
+        policy = OverloadPolicy(admission=self.admission_policy(),
+                                degrade=DegradePolicy(min_coverage=0.25))
+        ctrl = make_controller(policy)
+        ctrl.admission = AlwaysDeny()
+        assert ctrl.route_query(0.0, 0, CLASS, (2,), [0] * N_SERVERS) is None
+
+    def test_breaker_reroutes_to_least_loaded_replica(self):
+        policy = OverloadPolicy(breakers=BreakerPolicy(miss_threshold=2,
+                                                       open_ms=50.0))
+        ctrl = make_controller(policy)
+        ctrl.record_task(0, 0, True, -0.1, 1.0)
+        ctrl.record_task(0, 0, True, -0.1, 2.0)
+        assert ctrl.breaker_state(0) == "open"
+        depths = [0, 5, 1, 9, 2, 9, 9, 9]
+        decision = ctrl.route_query(3.0, 1, CLASS, (0, 2), depths)
+        # Server 0's shard re-routes to the least-loaded permitted
+        # server not already serving the query: server 4 (depth 2;
+        # server 2 is already used).
+        assert decision is not None and not decision.degraded
+        assert set(decision.servers) == {4, 2}
+        assert decision.coverage == 1.0
+        assert ctrl.shed_tasks == 0
+
+    def test_coverage_floor_rejects_and_commits_nothing(self):
+        policy = OverloadPolicy(
+            admission=self.admission_policy(),
+            breakers=BreakerPolicy(miss_threshold=1, open_ms=50.0),
+            degrade=DegradePolicy(min_coverage=0.75),
+        )
+        ctrl = make_controller(policy)
+        # Trip every breaker: nothing can be routed anywhere.
+        for sid in range(N_SERVERS):
+            ctrl.record_task(sid, 0, True, -0.1, 1.0)
+        shed_before = ctrl.shed_tasks
+        decision = ctrl.route_query(2.0, 1, CLASS, (0, 1, 2, 3),
+                                    [0] * N_SERVERS)
+        assert decision is None
+        # Deferred commit: the floor rejection counted no sheds.
+        assert ctrl.shed_tasks == shed_before == 0
+        assert ctrl.degraded_queries == 0
+
+    def test_shed_below_full_fanout_is_degraded(self):
+        policy = OverloadPolicy(
+            admission=self.admission_policy(),
+            breakers=BreakerPolicy(miss_threshold=1, open_ms=50.0),
+            degrade=DegradePolicy(min_coverage=0.25),
+        )
+        ctrl = make_controller(policy)
+        # Open all but servers 0 and 1: a fanout-4 query keeps 2 shards.
+        for sid in range(2, N_SERVERS):
+            ctrl.record_task(sid, 0, True, -0.1, 1.0)
+        decision = ctrl.route_query(2.0, 1, CLASS, (0, 1, 2, 3),
+                                    [0] * N_SERVERS)
+        assert decision is not None and decision.degraded
+        assert set(decision.servers) == {0, 1}
+        assert decision.coverage == pytest.approx(0.5)
+        assert ctrl.shed_tasks == 2
+        assert ctrl.degraded_queries == 1
+
+    def test_degraded_tasks_excluded_from_admission_window(self):
+        policy = OverloadPolicy(admission=self.admission_policy(),
+                                degrade=DegradePolicy(min_coverage=0.25))
+        ctrl = make_controller(policy)
+        ctrl._degraded_ids.add(42)
+        for i in range(10):
+            ctrl.record_task(0, 42, True, -0.5, float(i))
+        # Best-effort traffic: misses feed pressure, not admission.
+        assert ctrl.miss_ratio() == 0.0
+        assert ctrl.pressure > 0.0
+        for i in range(10):
+            ctrl.record_task(0, 7, True, -0.5, 10.0 + i)
+        assert ctrl.miss_ratio() == 1.0
+
+    def test_pressure_ewma_tracks_overshoot(self):
+        policy = OverloadPolicy(admission=self.admission_policy(),
+                                degrade=DegradePolicy(min_coverage=0.25,
+                                                      pressure_alpha=0.5))
+        ctrl = make_controller(policy)
+        ctrl.record_task(0, 0, True, -2.0, 1.0)
+        assert ctrl.pressure == pytest.approx(1.0)
+        ctrl.record_task(0, 1, False, 3.0, 2.0)  # on time: overshoot 0
+        assert ctrl.pressure == pytest.approx(0.5)
+
+    def test_drift_rebootstrap_swaps_cdf(self):
+        policy = OverloadPolicy(drift=DriftPolicy(threshold=0.3, window=32,
+                                                  check_interval=8))
+        ctrl = make_controller(policy)
+        old_budget = ctrl.estimator.budget(CLASS, servers=[0])
+        # Server 0's samples drift far from Deterministic(0.5).
+        for i in range(32):
+            ctrl.on_task_complete(0, 2.0 + 0.01 * (i % 4), float(i))
+        assert ctrl.cdf_rebootstraps == 1
+        new_cdf = ctrl.estimator.server_cdf(0)
+        assert not isinstance(new_cdf, Deterministic)
+        # Budgets re-stamp from the drifted (slower) distribution.
+        assert ctrl.estimator.budget(CLASS, servers=[0]) < old_budget
+        # Other servers keep their offline CDFs.
+        assert isinstance(ctrl.estimator.server_cdf(1), Deterministic)
+
+    def test_drift_no_rebootstrap_when_matching(self):
+        from repro.distributions import EmpiricalDistribution
+
+        base = np.linspace(0.4, 0.6, 32)
+        cdfs = {sid: Deterministic(0.5 + 0.1 * sid)
+                for sid in range(N_SERVERS)}
+        cdfs[0] = EmpiricalDistribution(base)
+        estimator = DeadlineEstimator(cdfs)
+        policy = OverloadPolicy(drift=DriftPolicy(threshold=0.3, window=32,
+                                                  check_interval=8))
+        ctrl = policy.build(N_SERVERS, estimator)
+        # Samples replay the reference distribution: KS stays ~1/window.
+        for i in range(64):
+            ctrl.on_task_complete(0, float(base[i % 32]), float(i))
+        assert ctrl.cdf_rebootstraps == 0
+
+    def test_fail_and_recover_drive_breakers(self):
+        policy = OverloadPolicy(breakers=BreakerPolicy())
+        ctrl = make_controller(policy)
+        ctrl.on_server_fail(3, 1.0)
+        assert ctrl.breaker_state(3) == "open"
+        assert ctrl.breaker_trips == 1
+        ctrl.on_server_recover(3, 2.0)
+        assert ctrl.breaker_state(3) == "half-open"
+
+
+# ----------------------------------------------------------------------
+# Coverage percentiles on SimulationResult (satellite 2)
+# ----------------------------------------------------------------------
+def make_result(coverage, rejected=None):
+    n = len(coverage)
+    rejected_arr = (np.zeros(n, dtype=bool) if rejected is None
+                    else np.asarray(rejected, dtype=bool))
+    latency = np.where(rejected_arr, np.nan, 1.0)
+    return SimulationResult(
+        policy_name="tailguard",
+        n_servers=4,
+        seed=0,
+        offered_load=0.5,
+        classes=(CLASS,),
+        class_index=np.zeros(n, dtype=np.int64),
+        fanout=np.full(n, 4, dtype=np.int64),
+        arrival=np.arange(n, dtype=float),
+        latency=latency,
+        rejected=rejected_arr,
+        measured=np.ones(n, dtype=bool),
+        tasks_total=4 * n,
+        tasks_missed_deadline=0,
+        busy_time_total=1.0,
+        duration=float(n),
+        mean_service_ms=0.5,
+        coverage=np.asarray(coverage, dtype=float),
+        degraded=np.asarray(coverage, dtype=float) < 1.0,
+    )
+
+
+class TestCoveragePercentiles:
+    def test_full_coverage_run(self):
+        result = make_result([1.0] * 10)
+        assert result.coverage_p50() == 1.0
+        assert result.coverage_p99() == 1.0
+
+    def test_no_overload_policy_defaults_to_ones(self):
+        result = make_result([1.0] * 10)
+        result.coverage = None
+        assert result.coverage_values().tolist() == [1.0] * 10
+        assert result.coverage_p50() == 1.0
+
+    def test_p99_is_the_low_tail(self):
+        # Two of 100 queries served at half coverage: the p99 coverage
+        # (attained by >= 99% of queries) sits at the degraded level
+        # while the median stays full.
+        coverage = [0.5] * 2 + [1.0] * 98
+        result = make_result(coverage)
+        assert result.coverage_p50() == 1.0
+        assert result.coverage_p99() == pytest.approx(0.5)
+
+    def test_rejected_queries_excluded(self):
+        coverage = [math.nan, 0.5, 1.0, 1.0]
+        rejected = [True, False, False, False]
+        result = make_result(coverage, rejected)
+        values = result.coverage_values()
+        assert values.size == 3
+        assert not np.isnan(values).any()
+
+    def test_summary_includes_overload_block(self):
+        result = make_result([1.0, 0.5])
+        result.degraded_queries = 1
+        result.shed_tasks = 2
+        summary = result.summary()
+        assert summary["degraded_queries"] == 1.0
+        assert summary["shed_tasks"] == 2.0
+        assert "coverage_p50" in summary and "coverage_p99" in summary

@@ -11,21 +11,27 @@ import repro
 #: The frozen public surface, alphabetical (dunders last).  Keep in
 #: sync with docs/api.md.
 EXPECTED = [
+    "AdaptiveAdmission",
+    "AdaptiveAdmissionPolicy",
     "AdmissionController",
     "AdmissionRejected",
+    "BreakerPolicy",
     "ClusterConfig",
     "ConfigurationError",
     "CrashProcess",
     "DeadlineEstimator",
     "DeadlineMissRatioAdmission",
+    "DegradePolicy",
     "DistributionError",
     "Downtime",
+    "DriftPolicy",
     "EXPERIMENTS",
     "ExperimentError",
     "FaultPlan",
     "HedgePolicy",
     "NoAdmission",
     "NullRecorder",
+    "OverloadPolicy",
     "ParetoArrivals",
     "PoissonArrivals",
     "Policy",
@@ -50,6 +56,7 @@ EXPECTED = [
     "get_policy",
     "get_workload",
     "install_faults",
+    "install_overload",
     "inverse_proportional_fanout",
     "load_sweep",
     "run_experiment",
