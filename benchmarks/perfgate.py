@@ -1,0 +1,287 @@
+"""The perf gate: a repeatable simulation-kernel benchmark harness.
+
+Every scenario runs a fully pinned configuration (fixed seed, fixed
+query count, fixed load) through ``repro.cluster.simulation.simulate``
+and reports **events per second** — processed simulation events
+(query arrivals + task service starts + fault-layer events) divided by
+median wall-clock over ``--repeat`` timed runs after ``--warmup``
+untimed ones.  Pinned seeds make the *work* identical run to run, so
+the only noise left is the machine's.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perfgate.py            # full gate
+    PYTHONPATH=src python benchmarks/perfgate.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perfgate.py --rebaseline
+
+The full gate writes ``benchmarks/results/BENCH_perfgate.json``:
+per-scenario current numbers, the stored baseline (captured with
+``--rebaseline`` on the pre-overhaul kernels), and the speedup of
+current over baseline.  ``--quick`` runs shrunken scenarios, checks
+the harness end to end, and touches no files.  See the "perf gate"
+section of ``docs/performance.md`` for how to read the output and
+when a PR may regress it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.config import ClusterConfig  # noqa: E402
+from repro.cluster.simulation import simulate  # noqa: E402
+from repro.experiments.setups import paper_single_class_config  # noqa: E402
+from repro.faults import (  # noqa: E402
+    CrashProcess,
+    FaultPlan,
+    HedgePolicy,
+    RetryPolicy,
+)
+from repro.overload import (  # noqa: E402
+    AdaptiveAdmissionPolicy,
+    DegradePolicy,
+    OverloadPolicy,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_perfgate.json"
+
+#: The headline gate: the ext_scale scenarios must hold this speedup
+#: over the stored baseline (ISSUE 5 acceptance criterion).
+GATE_SCENARIOS = ("ext_scale_n100_tailguard", "ext_scale_n100_fifo")
+GATE_SPEEDUP = 2.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned benchmark configuration."""
+
+    name: str
+    build: Callable[[int], ClusterConfig]  #: n_queries -> config
+    n_queries: int
+    quick_queries: int
+    description: str = ""
+
+    def config(self, quick: bool) -> ClusterConfig:
+        return self.build(self.quick_queries if quick else self.n_queries)
+
+
+def _ext_scale(n_servers: int, policy: str) -> Callable[[int], ClusterConfig]:
+    def build(n_queries: int) -> ClusterConfig:
+        return paper_single_class_config(
+            "masstree", 1.0, policy=policy, n_servers=n_servers,
+            n_queries=n_queries, seed=1,
+        ).at_load(0.7)
+    return build
+
+
+def _faults(n_queries: int) -> ClusterConfig:
+    plan = FaultPlan(
+        crashes=CrashProcess(mtbf_ms=60.0, mttr_ms=4.0, seed=3),
+        retry=RetryPolicy(max_retries=2, backoff_ms=0.531),
+        hedge=HedgePolicy(delay_ms=3.313, max_hedges=1),
+    )
+    return paper_single_class_config(
+        "masstree", 1.0, policy="tailguard", n_servers=100,
+        n_queries=n_queries, seed=1,
+    ).at_load(0.7).with_faults(plan)
+
+
+def _overload(n_queries: int) -> ClusterConfig:
+    policy = OverloadPolicy(
+        admission=AdaptiveAdmissionPolicy(
+            target_miss_ratio=0.1, window_tasks=500, window_ms=50.0,
+            min_samples=100, ctl_interval_ms=2.0,
+        ),
+        degrade=DegradePolicy(min_coverage=0.5),
+    )
+    return paper_single_class_config(
+        "masstree", 1.0, policy="tailguard", n_servers=100,
+        n_queries=n_queries, seed=1,
+    ).at_load(1.2).evolve(overload=policy)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s for s in (
+        Scenario("ext_scale_n100_tailguard", _ext_scale(100, "tailguard"),
+                 n_queries=40_000, quick_queries=4_000,
+                 description="ext_scale setup, N=100, TF-EDFQ, load 0.7"),
+        Scenario("ext_scale_n100_fifo", _ext_scale(100, "fifo"),
+                 n_queries=40_000, quick_queries=4_000,
+                 description="ext_scale setup, N=100, FIFO, load 0.7"),
+        Scenario("ext_scale_n1000_tailguard", _ext_scale(1000, "tailguard"),
+                 n_queries=15_000, quick_queries=2_000,
+                 description="ext_scale setup, N=1000, TF-EDFQ, load 0.7"),
+        Scenario("faults_tailguard", _faults,
+                 n_queries=15_000, quick_queries=2_000,
+                 description="fault-aware calendar: crashes+retry+hedge"),
+        Scenario("overload_tailguard", _overload,
+                 n_queries=15_000, quick_queries=2_000,
+                 description="overload controller at 1.2x load"),
+    )
+}
+
+
+def count_events(result) -> int:
+    """Processed simulation events, derived from kernel-independent
+    result counters so old and new kernels are scored identically."""
+    events = int(result.latency.size)              # query arrivals
+    events += int(result.tasks_total)              # task service starts
+    events += int(result.tasks_retried + result.tasks_hedged
+                  + result.tasks_cancelled + 2 * result.server_failures)
+    return events
+
+
+def measure(scenario: Scenario, quick: bool, warmup: int,
+            repeat: int) -> Dict:
+    config = scenario.config(quick)
+    for _ in range(warmup):
+        simulate(config)
+    walls: List[float] = []
+    result = None
+    # Collector hygiene: a simulation allocates millions of short-lived
+    # tuples, so whether a gen-2 collection lands inside a timed run is
+    # the dominant noise source.  Collect before, and keep automatic
+    # collection off during, each timed run.
+    for _ in range(repeat):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = simulate(config)
+            walls.append(time.perf_counter() - t0)
+        finally:
+            gc.enable()
+    events = count_events(result)
+    wall_median = statistics.median(walls)
+    return {
+        "description": scenario.description,
+        "n_queries": int(result.latency.size),
+        "events": events,
+        "repeat": repeat,
+        "wall_s_median": round(wall_median, 6),
+        "wall_s_all": [round(w, 6) for w in walls],
+        "events_per_sec": round(events / wall_median, 1),
+    }
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parents[1],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def run_gate(quick: bool, warmup: int, repeat: int,
+             rebaseline: bool) -> int:
+    current: Dict[str, Dict] = {}
+    for name, scenario in SCENARIOS.items():
+        current[name] = measure(scenario, quick, warmup, repeat)
+        print(f"{name:32s} {current[name]['events_per_sec']:>12,.0f} ev/s "
+              f"({current[name]['wall_s_median'] * 1e3:8.1f} ms median, "
+              f"{current[name]['events']:,} events)")
+
+    if quick:
+        print("\n--quick: harness smoke only; no files written, "
+              "no speedup gate applied.")
+        return 0
+
+    meta = {
+        "schema": "perfgate/v1",
+        "git": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "warmup": warmup,
+        "repeat": repeat,
+    }
+
+    stored = None
+    if RESULTS_PATH.exists():
+        stored = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+
+    if rebaseline:
+        payload = {
+            **meta,
+            "baseline": {"git": meta["git"], "scenarios": current},
+            "current": {"git": meta["git"], "scenarios": current},
+            "speedup": {name: 1.0 for name in current},
+        }
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n",
+                                encoding="utf-8")
+        print(f"\nbaseline captured at {meta['git']} -> {RESULTS_PATH}")
+        return 0
+
+    if stored is None or "baseline" not in stored:
+        print("\nno stored baseline; run --rebaseline first", file=sys.stderr)
+        return 2
+
+    baseline = stored["baseline"]
+    speedup = {}
+    for name, record in current.items():
+        base = baseline["scenarios"].get(name)
+        if base is None:
+            continue
+        speedup[name] = round(
+            record["events_per_sec"] / base["events_per_sec"], 3)
+    payload = {
+        **meta,
+        "baseline": baseline,
+        "current": {"git": meta["git"], "scenarios": current},
+        "speedup": speedup,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n",
+                            encoding="utf-8")
+
+    print(f"\nspeedup vs baseline ({baseline['git']}):")
+    failed = []
+    for name, value in sorted(speedup.items()):
+        gated = name in GATE_SCENARIOS
+        marker = ""
+        if gated:
+            marker = "  [gate >= %.1fx]" % GATE_SPEEDUP
+            if value < GATE_SPEEDUP:
+                marker += "  FAIL"
+                failed.append(name)
+        print(f"  {name:32s} {value:6.2f}x{marker}")
+    print(f"\nwrote {RESULTS_PATH}")
+    if failed:
+        print(f"perf gate FAILED: {', '.join(failed)} below "
+              f"{GATE_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken scenarios, no file output (CI smoke)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed runs per scenario (default 1)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed runs per scenario; median wins (default 5)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="store the current numbers as the baseline")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.warmup = min(args.warmup, 1)
+        args.repeat = min(args.repeat, 2)
+    return run_gate(args.quick, args.warmup, args.repeat, args.rebaseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

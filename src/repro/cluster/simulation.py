@@ -19,13 +19,15 @@ Model recap (paper Fig. 2):
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.results import SimulationResult, Timeline
 from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import FIFOPolicy, TEDFPolicy, TFEDFPolicy
 from repro.distributions import SampleStream
 from repro.errors import ConfigurationError
 from repro.obs.events import (
@@ -40,7 +42,7 @@ from repro.obs.events import (
     TASK_ENQUEUE,
 )
 from repro.types import ServiceClass
-from repro.workloads.generator import generate_queries
+from repro.workloads.generator import generate_queries, generate_query_arrays
 
 
 def _prepare_specs(config: ClusterConfig, spec_rng: np.random.Generator):
@@ -83,20 +85,58 @@ def _prepare_specs(config: ClusterConfig, spec_rng: np.random.Generator):
     return specs, classes, class_index, fanout, arrival
 
 
-def _budget_array(estimator: DeadlineEstimator, specs, classes,
+def _prepare_query_arrays(config: ClusterConfig,
+                          spec_rng: np.random.Generator):
+    """Array-form twin of :func:`_prepare_specs` for generated workloads.
+
+    Consumes the exact same RNG variates as the spec path (``generate_queries``
+    is itself built on :func:`generate_query_arrays`) but never
+    materializes :class:`~repro.types.QuerySpec` objects — the dominant
+    setup cost of large generated runs.  The class table is deduplicated
+    in first-appearance order, matching the spec loop, so ``class_index``
+    values and the ``classes`` tuple come out bit-identical.
+    """
+    times, fanouts, class_indices = generate_query_arrays(
+        config.workload, config.n_queries, spec_rng)
+    m = times.shape[0]
+    if m == 0:
+        raise ConfigurationError("no queries to simulate")
+    n = config.n_servers
+    if int(fanouts.max()) > n:
+        bad = int(np.argmax(fanouts > n))
+        raise ConfigurationError(
+            f"query {bad}: fanout {int(fanouts[bad])} > {n} servers"
+        )
+    mix_classes = config.workload.class_mix.classes
+    uniq, first_pos, inverse = np.unique(
+        class_indices, return_index=True, return_inverse=True)
+    order = np.argsort(first_pos)
+    remap = np.empty(uniq.shape[0], dtype=np.int32)
+    remap[order] = np.arange(uniq.shape[0], dtype=np.int32)
+    class_index = remap[inverse]
+    classes = [mix_classes[int(uniq[i])] for i in order]
+    return classes, class_index, fanouts.astype(np.int32), times
+
+
+def _budget_array(estimator: DeadlineEstimator, classes,
                   class_index: np.ndarray, fanout: np.ndarray,
-                  n: int) -> List[float]:
+                  n: int, servers_list=None) -> List[float]:
     """Hoisted deadline budgets for the static homogeneous fast path.
 
     Budgets depend only on the (class, fanout) pair, so evaluate the
     whole table once — one ``budget_table()`` call per class over the
     distinct fanouts, gathered into a per-query array.  Stamping ``t_D``
     then costs an indexed add instead of an estimator call per query.
+    ``servers_list`` holds each query's pre-placed servers (or ``None``
+    when the simulator places it); omit it when every query is free.
     Returns ``[]`` when no query is eligible (all pre-placed).
     """
-    m = len(specs)
-    free = np.fromiter((spec.servers is None for spec in specs),
-                       dtype=bool, count=m)
+    m = len(class_index)
+    if servers_list is None:
+        free = np.ones(m, dtype=bool)
+    else:
+        free = np.fromiter((servers is None for servers in servers_list),
+                           dtype=bool, count=m)
     if not free.any():
         return []
     codes = class_index.astype(np.int64) * (np.int64(n) + 1) + fanout
@@ -130,6 +170,445 @@ def _server_streams(config: ClusterConfig, server_cdfs,
     return server_stream
 
 
+def _fast_loop_static(is_fifo: bool, n: int, m: int, arrival_l, fanout_l,
+                      query_budget, stream0, placement_rng):
+    """The innermost specialization of :func:`_fast_loop`.
+
+    Preconditions (checked by the caller): precomputed budget array, no
+    admission control, no pre-placed servers, one shared service-time
+    stream, no perturbations, no timeline sampling, and a FIFO or
+    TF-EDFQ policy.  Those preconditions let every per-event guard
+    disappear, the completion calendar shrink to ``(finish, sid, qidx)``
+    triples, and TF-EDFQ queue entries shrink to
+    ``(deadline, seq, qidx)`` — the queue key *is* the stamped deadline.
+    Event order, RNG consumption, and all arithmetic are exactly the
+    generic loop's.
+    """
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    queues = ([deque() for _ in range(n)] if is_fifo
+              else [[] for _ in range(n)])
+    busy = [False] * n
+    all_servers = tuple(range(n))
+    pr_integers = placement_rng.integers
+    pr_choice = placement_rng.choice
+    drain = stream0.drain_block
+    sbuf: List[float] = []
+    sidx = 0
+    slen = 0
+
+    nan = float("nan")
+    heap: List[Tuple[float, int, int]] = []
+    latency_l = [nan] * m
+    remaining = list(fanout_l)
+    seq = 0
+    qi = 0
+    now = 0.0
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+
+    while qi < m:
+        next_arrival = arrival_l[qi]
+        # Run down every completion at or before the next arrival.
+        while heap:
+            head = heap[0]
+            now = head[0]
+            if now > next_arrival:
+                break
+            heappop(heap)
+            sid = head[1]
+            qidx = head[2]
+            left = remaining[qidx] - 1
+            remaining[qidx] = left
+            if not left:
+                latency_l[qidx] = now - arrival_l[qidx]
+            queue = queues[sid]
+            if queue:
+                if is_fifo:
+                    task_qidx, task_deadline = queue.popleft()
+                else:
+                    entry = heappop(queue)
+                    task_deadline = entry[0]
+                    task_qidx = entry[2]
+                tasks_total += 1
+                if now > task_deadline:
+                    tasks_missed += 1
+                if sidx == slen:
+                    sbuf = drain()
+                    slen = len(sbuf)
+                    sidx = 0
+                duration = sbuf[sidx]
+                sidx += 1
+                busy_total += duration
+                heappush(heap, (now + duration, sid, task_qidx))
+            else:
+                busy[sid] = False
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        k = fanout_l[qidx]
+        deadline = now + query_budget[qidx]
+        if k == 1:
+            sid = int(pr_integers(n))
+            if busy[sid]:
+                if is_fifo:
+                    queues[sid].append((qidx, deadline))
+                else:
+                    heappush(queues[sid], (deadline, seq, qidx))
+                    seq += 1
+            else:
+                busy[sid] = True
+                tasks_total += 1
+                if now > deadline:
+                    tasks_missed += 1
+                if sidx == slen:
+                    sbuf = drain()
+                    slen = len(sbuf)
+                    sidx = 0
+                duration = sbuf[sidx]
+                sidx += 1
+                busy_total += duration
+                heappush(heap, (now + duration, sid, qidx))
+            continue
+        if k == n:
+            servers = all_servers
+        else:
+            servers = pr_choice(n, size=k, replace=False).tolist()
+        for sid in servers:
+            if busy[sid]:
+                if is_fifo:
+                    queues[sid].append((qidx, deadline))
+                else:
+                    heappush(queues[sid], (deadline, seq, qidx))
+                    seq += 1
+            else:
+                busy[sid] = True
+                tasks_total += 1
+                if now > deadline:
+                    tasks_missed += 1
+                if sidx == slen:
+                    sbuf = drain()
+                    slen = len(sbuf)
+                    sidx = 0
+                duration = sbuf[sidx]
+                sidx += 1
+                busy_total += duration
+                heappush(heap, (now + duration, sid, qidx))
+
+    # Arrivals exhausted: drain the calendar.
+    while heap:
+        now, sid, qidx = heappop(heap)
+        left = remaining[qidx] - 1
+        remaining[qidx] = left
+        if not left:
+            latency_l[qidx] = now - arrival_l[qidx]
+        queue = queues[sid]
+        if queue:
+            if is_fifo:
+                task_qidx, task_deadline = queue.popleft()
+            else:
+                entry = heappop(queue)
+                task_deadline = entry[0]
+                task_qidx = entry[2]
+            tasks_total += 1
+            if now > task_deadline:
+                tasks_missed += 1
+            if sidx == slen:
+                sbuf = drain()
+                slen = len(sbuf)
+                sidx = 0
+            duration = sbuf[sidx]
+            sidx += 1
+            busy_total += duration
+            heappush(heap, (now + duration, sid, task_qidx))
+        else:
+            busy[sid] = False
+
+    latency = np.asarray(latency_l, dtype=np.float64)
+    rejected = np.zeros(m, dtype=bool)
+    return (latency, rejected, busy_total, tasks_total, tasks_missed, now,
+            [], [], [])
+
+
+def _fast_loop(policy, n: int, m: int, classes, class_index, fanout, arrival,
+               servers_list, query_budget, estimator, online: bool,
+               admission, server_stream, perturbations, perturbed_servers,
+               placement_rng, sample_interval):
+    """The untraced two-stream merge, specialized for inlined queues.
+
+    Semantically identical to the generic loop in :func:`simulate` (the
+    golden-master corpus pins this bit-for-bit) but with the per-event
+    overhead stripped: plain Python lists instead of numpy scalar
+    indexing, the policy queue inlined as a raw ``deque`` (FIFO) or a
+    raw ``(key, seq, qidx, deadline)`` heap (the EDF family), and the
+    service-time sampler's block buffer indexed directly instead of one
+    ``SampleStream.next()`` call per task.  RNG call order — placement
+    draws interleaved with block refills — is exactly the generic
+    loop's, which is what keeps seeded traces identical.
+    """
+    heappush, heappop = heapq.heappush, heapq.heappop
+    infinity = float("inf")
+    nan = float("nan")
+
+    is_fifo = type(policy) is FIFOPolicy
+    key_is_deadline = type(policy) is TFEDFPolicy
+    arrival_l = arrival.tolist()
+    fanout_l = fanout.tolist()
+    class_index_l = class_index.tolist()
+    slo_by_class = [cls.slo_ms for cls in classes]
+    est_homogeneous = estimator.homogeneous
+    est_deadline = estimator.deadline
+    est_record = estimator.record
+    admit = admission.admit if admission is not None else None
+    record_task = admission.record_task if admission is not None else None
+    use_budget = query_budget is not None
+    has_perturb = bool(perturbed_servers)
+
+    # One block buffer indexed inline when every server shares a stream
+    # (the homogeneous common case); bound ``next`` methods otherwise.
+    single_stream = len({id(stream) for stream in server_stream}) == 1
+    stream0 = server_stream[0]
+    nexts = [stream.next for stream in server_stream]
+    sbuf: List[float] = []
+    sidx = 0
+    slen = 0
+
+    # The hottest shape of all — static homogeneous budgets, no
+    # admission, no sampling, no perturbations, simulator placement —
+    # gets a further-specialized loop with every per-event guard
+    # compiled out.  FIFO and TF-EDFQ only: T-EDFQ's queue key differs
+    # from the stamped deadline, which would widen the queue entries.
+    if (use_budget and admit is None and servers_list is None
+            and single_stream and not has_perturb
+            and sample_interval is None and (is_fifo or key_is_deadline)):
+        return _fast_loop_static(
+            is_fifo, n, m, arrival_l, fanout_l, query_budget, stream0,
+            placement_rng)
+
+    queues = ([deque() for _ in range(n)] if is_fifo
+              else [[] for _ in range(n)])
+    busy = [False] * n
+    all_servers = tuple(range(n))
+    pr_integers = placement_rng.integers
+    pr_choice = placement_rng.choice
+
+    heap: List[Tuple[float, int, int, float]] = []
+    latency_l = [nan] * m
+    remaining = list(fanout_l)
+    rejected_idx: List[int] = []
+    seq = 0
+    qi = 0
+    now = 0.0
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+
+    sampling = sample_interval is not None
+    next_sample = sample_interval if sampling else infinity
+    sample_times: List[float] = []
+    sample_queued: List[int] = []
+    sample_busy: List[int] = []
+    queued_tasks = 0
+    busy_servers = 0
+
+    while qi < m or heap:
+        next_arrival = arrival_l[qi] if qi < m else infinity
+        if sampling:
+            next_event = heap[0][0] if heap else infinity
+            if next_arrival < next_event:
+                next_event = next_arrival
+            while next_sample <= next_event:
+                sample_times.append(next_sample)
+                sample_queued.append(queued_tasks)
+                sample_busy.append(busy_servers)
+                next_sample += sample_interval
+        if heap and heap[0][0] <= next_arrival:
+            # ----- task completion -------------------------------------
+            now, sid, qidx, duration = heappop(heap)
+            if online:
+                est_record(sid, duration)
+            left = remaining[qidx] - 1
+            remaining[qidx] = left
+            if not left:
+                latency_l[qidx] = now - arrival_l[qidx]
+            queue = queues[sid]
+            if queue:
+                if is_fifo:
+                    task_qidx, task_deadline = queue.popleft()
+                else:
+                    entry = heappop(queue)
+                    task_qidx = entry[2]
+                    task_deadline = entry[3]
+                tasks_total += 1
+                if now > task_deadline:
+                    tasks_missed += 1
+                    if record_task is not None:
+                        record_task(True, now)
+                elif record_task is not None:
+                    record_task(False, now)
+                if sampling:
+                    queued_tasks -= 1
+                if single_stream:
+                    if sidx == slen:
+                        sbuf = stream0.drain_block()
+                        slen = len(sbuf)
+                        sidx = 0
+                    next_duration = sbuf[sidx]
+                    sidx += 1
+                else:
+                    next_duration = nexts[sid]()
+                if has_perturb and sid in perturbed_servers:
+                    for perturbation in perturbations:
+                        if perturbation.applies(sid, now):
+                            next_duration *= perturbation.factor
+                busy_total += next_duration
+                heappush(heap, (now + next_duration, sid, task_qidx,
+                                next_duration))
+            else:
+                busy[sid] = False
+                if sampling:
+                    busy_servers -= 1
+            continue
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        if admit is not None and not admit(now):
+            rejected_idx.append(qidx)
+            continue
+
+        k = fanout_l[qidx]
+        pre = servers_list[qidx] if servers_list is not None else None
+        if pre is not None:
+            servers = pre
+        elif k == n:
+            servers = all_servers
+        elif k == 1:
+            servers = (int(pr_integers(n)),)
+        else:
+            # .tolist() yields the same ints as the generic loop's
+            # per-element int() casts, without the genexpr frame.
+            servers = pr_choice(n, size=k, replace=False).tolist()
+
+        if use_budget and pre is None:
+            deadline = now + query_budget[qidx]
+        elif est_homogeneous:
+            deadline = est_deadline(now, classes[class_index_l[qidx]],
+                                    fanout=k)
+        else:
+            deadline = est_deadline(now, classes[class_index_l[qidx]],
+                                    servers=servers)
+        if not is_fifo:
+            keyval = (deadline if key_is_deadline
+                      else now + slo_by_class[class_index_l[qidx]])
+
+        for sid in servers:
+            if busy[sid]:
+                if is_fifo:
+                    queues[sid].append((qidx, deadline))
+                else:
+                    heappush(queues[sid], (keyval, seq, qidx, deadline))
+                    seq += 1
+                if sampling:
+                    queued_tasks += 1
+            else:
+                busy[sid] = True
+                tasks_total += 1
+                if sampling:
+                    busy_servers += 1
+                if now > deadline:
+                    tasks_missed += 1
+                    if record_task is not None:
+                        record_task(True, now)
+                elif record_task is not None:
+                    record_task(False, now)
+                if single_stream:
+                    if sidx == slen:
+                        sbuf = stream0.drain_block()
+                        slen = len(sbuf)
+                        sidx = 0
+                    duration = sbuf[sidx]
+                    sidx += 1
+                else:
+                    duration = nexts[sid]()
+                if has_perturb and sid in perturbed_servers:
+                    for perturbation in perturbations:
+                        if perturbation.applies(sid, now):
+                            duration *= perturbation.factor
+                busy_total += duration
+                heappush(heap, (now + duration, sid, qidx, duration))
+
+    latency = np.asarray(latency_l, dtype=np.float64)
+    rejected = np.zeros(m, dtype=bool)
+    if rejected_idx:
+        rejected[rejected_idx] = True
+    return (latency, rejected, busy_total, tasks_total, tasks_missed, now,
+            sample_times, sample_queued, sample_busy)
+
+
+def _finalize(config: ClusterConfig, policy, n: int, server_cdfs, classes,
+              class_index, fanout, arrival, latency, rejected,
+              busy_total: float, tasks_total: int, tasks_missed: int,
+              now: float, sample_times, sample_queued, sample_busy,
+              rec, tracing: bool) -> SimulationResult:
+    """Shared wrap-up: warmup mask, timeline, load, result assembly."""
+    m = len(class_index)
+    warmup_count = int(m * config.warmup_fraction)
+    measured = np.zeros(m, dtype=bool)
+    measured[warmup_count:] = True
+
+    timeline = None
+    if config.timeline_interval_ms is not None:
+        timeline = Timeline(
+            time=np.asarray(sample_times),
+            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
+            busy_servers=np.asarray(sample_busy, dtype=np.int64),
+        )
+
+    mean_service = float(
+        np.mean([server_cdfs[sid].mean() for sid in range(n)])
+    )
+    if config.workload is not None:
+        offered = config.workload.load(n)
+    else:
+        span = float(arrival.max() - arrival.min())
+        offered = (
+            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
+        )
+
+    if tracing:
+        rec.set_gauge("utilization",
+                      busy_total / (n * now) if now > 0 else 0.0)
+        rec.set_gauge("deadline_miss_ratio",
+                      tasks_missed / tasks_total if tasks_total else 0.0)
+        rec.set_gauge("duration_ms", now)
+
+    return SimulationResult(
+        policy_name=policy.name,
+        n_servers=n,
+        seed=config.seed,
+        offered_load=offered,
+        classes=tuple(classes),
+        class_index=class_index,
+        fanout=fanout,
+        arrival=arrival,
+        latency=latency,
+        rejected=rejected,
+        measured=measured,
+        tasks_total=tasks_total,
+        tasks_missed_deadline=tasks_missed,
+        busy_time_total=busy_total,
+        duration=now,
+        mean_service_ms=mean_service,
+        timeline=timeline,
+        obs=rec if tracing else None,
+    )
+
+
 def simulate(config: ClusterConfig) -> SimulationResult:
     """Run one simulation and collect per-query statistics.
 
@@ -158,9 +637,58 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     if estimator is None:
         estimator = DeadlineEstimator(dict(server_cdfs))
 
-    specs, classes, class_index, fanout, arrival = _prepare_specs(
-        config, spec_rng)
-    m = len(specs)
+    rec = config.recorder
+    tracing = rec is not None and rec.enabled
+    admission = config.admission
+    placement = config.placement
+
+    # The specialized fast loop covers the common benchmarking shape:
+    # untraced, default placement, and a policy whose queue the kernel
+    # can inline (a deque for FIFO, a raw heap for the EDF family).
+    # Everything else — tracing, custom placement, PRIQ/WRR or custom
+    # policies — runs the generic loop below, unchanged.
+    fast = (not tracing and placement is None
+            and type(policy) in (FIFOPolicy, TEDFPolicy, TFEDFPolicy))
+
+    specs = None
+    servers_list: Optional[List] = None
+    if fast and config.specs is None:
+        classes, class_index, fanout, arrival = _prepare_query_arrays(
+            config, spec_rng)
+    else:
+        specs, classes, class_index, fanout, arrival = _prepare_specs(
+            config, spec_rng)
+        servers_list = [spec.servers for spec in specs]
+    m = len(class_index)
+
+    perturbations = tuple(config.perturbations)
+    perturbed_servers = (
+        frozenset().union(*(p.server_ids for p in perturbations))
+        if perturbations else frozenset()
+    )
+
+    online = estimator.online_enabled
+    homogeneous_fast = estimator.homogeneous and not online and placement is None
+
+    query_budget: List[float] = []
+    if homogeneous_fast:
+        query_budget = _budget_array(estimator, classes, class_index,
+                                     fanout, n, servers_list)
+    use_budget_array = bool(query_budget)
+
+    if fast:
+        (latency, rejected, busy_total, tasks_total, tasks_missed, now,
+         sample_times, sample_queued, sample_busy) = _fast_loop(
+            policy, n, m, classes, class_index, fanout, arrival,
+            servers_list, query_budget if use_budget_array else None,
+            estimator, online, admission, server_stream,
+            perturbations, perturbed_servers, placement_rng,
+            config.timeline_interval_ms)
+        return _finalize(config, policy, n, server_cdfs, classes,
+                         class_index, fanout, arrival, latency, rejected,
+                         busy_total, tasks_total, tasks_missed, now,
+                         sample_times, sample_queued, sample_busy,
+                         rec, tracing)
 
     remaining = fanout.astype(np.int64).copy()
     latency = np.full(m, np.nan)
@@ -176,16 +704,9 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     heap: List[Tuple[float, int, int, float]] = []  # (finish, sid, qidx, duration)
     push, pop = heapq.heappush, heapq.heappop
 
-    admission = config.admission
-    placement = config.placement
     placement_wants_depths = bool(
         placement is not None and getattr(placement, "needs_queue_depths",
                                           False)
-    )
-    perturbations = tuple(config.perturbations)
-    perturbed_servers = (
-        frozenset().union(*(p.server_ids for p in perturbations))
-        if perturbations else frozenset()
     )
 
     def perturbed_duration(sid: int, start: float, duration: float) -> float:
@@ -193,15 +714,6 @@ def simulate(config: ClusterConfig) -> SimulationResult:
             if perturbation.applies(sid, start):
                 duration *= perturbation.factor
         return duration
-
-    online = estimator.online_enabled
-    homogeneous_fast = estimator.homogeneous and not online and placement is None
-
-    query_budget: List[float] = []
-    if homogeneous_fast:
-        query_budget = _budget_array(estimator, specs, classes, class_index,
-                                     fanout, n)
-    use_budget_array = bool(query_budget)
 
     busy_total = 0.0
     tasks_total = 0
@@ -225,8 +737,6 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     # recorder pays one boolean check per instrumented site and nothing
     # else — no event objects, no per-server accounting.
     # ------------------------------------------------------------------
-    rec = config.recorder
-    tracing = rec is not None and rec.enabled
     obs_interval = rec.sample_interval_ms if tracing else None
     next_obs = obs_interval if obs_interval is not None else infinity
     if tracing:
@@ -420,56 +930,7 @@ def simulate(config: ClusterConfig) -> SimulationResult:
                 busy_total += duration
                 push(heap, (now + duration, sid, qidx, duration))
 
-    # ------------------------------------------------------------------
-    # Wrap up.
-    # ------------------------------------------------------------------
-    warmup_count = int(m * config.warmup_fraction)
-    measured = np.zeros(m, dtype=bool)
-    measured[warmup_count:] = True
-
-    timeline = None
-    if sample_interval is not None:
-        timeline = Timeline(
-            time=np.asarray(sample_times),
-            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
-            busy_servers=np.asarray(sample_busy, dtype=np.int64),
-        )
-
-    mean_service = float(
-        np.mean([server_cdfs[sid].mean() for sid in range(n)])
-    )
-    if config.workload is not None:
-        offered = config.workload.load(n)
-    else:
-        span = float(arrival.max() - arrival.min())
-        offered = (
-            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
-        )
-
-    if tracing:
-        rec.set_gauge("utilization",
-                      busy_total / (n * now) if now > 0 else 0.0)
-        rec.set_gauge("deadline_miss_ratio",
-                      tasks_missed / tasks_total if tasks_total else 0.0)
-        rec.set_gauge("duration_ms", now)
-
-    return SimulationResult(
-        policy_name=policy.name,
-        n_servers=n,
-        seed=config.seed,
-        offered_load=offered,
-        classes=tuple(classes),
-        class_index=class_index,
-        fanout=fanout,
-        arrival=arrival,
-        latency=latency,
-        rejected=rejected,
-        measured=measured,
-        tasks_total=tasks_total,
-        tasks_missed_deadline=tasks_missed,
-        busy_time_total=busy_total,
-        duration=now,
-        mean_service_ms=mean_service,
-        timeline=timeline,
-        obs=rec if tracing else None,
-    )
+    return _finalize(config, policy, n, server_cdfs, classes, class_index,
+                     fanout, arrival, latency, rejected, busy_total,
+                     tasks_total, tasks_missed, now, sample_times,
+                     sample_queued, sample_busy, rec, tracing)

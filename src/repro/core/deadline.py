@@ -30,6 +30,7 @@ from repro.distributions import (
     MaxOfIID,
     MaxOfIndependent,
     OnlineEmpiricalCDF,
+    QuantileInversionMemo,
     iid_max_quantile,
 )
 from repro.errors import ConfigurationError
@@ -136,7 +137,13 @@ class DeadlineEstimator:
                 f"tail_cache_max must be >= 1, got {tail_cache_max}"
             )
         self._tail_cache_max = int(tail_cache_max)
-        self._tail_cache: Dict[Tuple, float] = {}
+        # Version-stamped memos: ``_tail_cache`` holds x_p^u inversions
+        # (Eq. 2), ``_budget_memo`` the derived per-(class, fanout)
+        # budgets (Eq. 5).  Both versions advance on every
+        # :meth:`invalidate`, so neither can serve a value computed
+        # from superseded CDFs.
+        self._tail_cache = QuantileInversionMemo(self._tail_cache_max)
+        self._budget_memo = QuantileInversionMemo(self._tail_cache_max)
 
     # ------------------------------------------------------------------
     # CDF bookkeeping
@@ -183,7 +190,8 @@ class DeadlineEstimator:
 
     def invalidate(self) -> None:
         """Drop cached tails so the next query re-reads the CDFs."""
-        self._tail_cache.clear()
+        self._tail_cache.invalidate()
+        self._budget_memo.invalidate()
         self._updates_since_refresh = 0
 
     def rebootstrap(self, server_id: int, dist: Distribution) -> None:
@@ -209,12 +217,6 @@ class DeadlineEstimator:
         self._offline[server_id] = dist
         self._rebuild_signature_index()
         self.invalidate()
-
-    def _cache_tail(self, key: Tuple, value: float) -> None:
-        """Insert into the bounded tail cache (full clear on overflow)."""
-        if len(self._tail_cache) >= self._tail_cache_max:
-            self._tail_cache.clear()
-        self._tail_cache[key] = value
 
     # ------------------------------------------------------------------
     # Eq. 1-2: unloaded query tail
@@ -265,7 +267,7 @@ class DeadlineEstimator:
             if cached is None:
                 any_cdf = next(iter(self._current_cdfs().values()))
                 cached = iid_max_quantile(any_cdf, fanout, q)
-                self._cache_tail(cache_key, cached)
+                self._tail_cache.put(cache_key, cached)
             return cached
 
         if fanout is not None and fanout != len(servers):
@@ -279,7 +281,7 @@ class DeadlineEstimator:
         cached = self._tail_cache.get(cache_key)
         if cached is None:
             cached = self._heterogeneous_tail(q, servers)
-            self._cache_tail(cache_key, cached)
+            self._tail_cache.put(cache_key, cached)
         return cached
 
     def _heterogeneous_tail(self, q: float, servers: Sequence[int]) -> float:
@@ -314,6 +316,20 @@ class DeadlineEstimator:
         value is still returned (a negative deadline keeps EDF ordering
         meaningful); callers that must fail fast can check the sign.
         """
+        if servers is None and fanout is not None:
+            # Per-query hot path: memoize the whole budget keyed by
+            # (class, fanout) so a repeat costs one dict probe instead
+            # of re-deriving T_b from the tail cache.  Version-stamped:
+            # an online-CDF refresh or rebootstrap invalidates it.
+            key = (service_class.name, service_class.percentile,
+                   service_class.slo_ms, fanout)
+            cached = self._budget_memo.get(key)
+            if cached is not None:
+                return cached
+            value = (service_class.slo_ms
+                     - self.unloaded_tail(service_class.percentile, fanout))
+            self._budget_memo.put(key, value)
+            return value
         tail = self.unloaded_tail(service_class.percentile, fanout, servers)
         return service_class.slo_ms - tail
 

@@ -99,6 +99,92 @@ class EDFTaskQueue(TaskQueueBase):
         return len(self._heap)
 
 
+class LazyEDFTaskQueue(EDFTaskQueue):
+    """EDF waiting line with O(1) task cancellation (lazy deletion).
+
+    Fault mitigation cancels queued tasks constantly — hedge losers,
+    timed-out copies, crash-killed queues.  Rebuilding a heap per
+    cancellation is O(n); instead each entry is a mutable slot
+    ``[key, seq, task, live]`` reachable through a handle map, and
+    :meth:`cancel` just flips ``live`` — the dead slot stays in the
+    heap until it surfaces.
+
+    Two deliberate semantics, matching the simulators' accounting for
+    phantom (cancelled-in-place) tasks:
+
+    * ``len()`` counts dead slots too.  Queue depths drive retry/hedge
+      server selection, and both simulation paths count phantoms until
+      they are popped; reporting live entries only would diverge them.
+    * :meth:`pop` raises :class:`KeyError`-free ``IndexError`` only
+      when no live entry remains; use :meth:`pop_live` to learn how
+      many slots (dead + the live one) were physically removed.
+    """
+
+    __slots__ = ("_handles",)
+
+    #: Simulators test this to route cancellation through the queue
+    #: instead of an external phantom set.
+    supports_cancel = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Keyed by id(task): tasks need not be hashable, and both
+        # simulators identify a queued copy by object identity anyway.
+        # The heap entry keeps the task strongly referenced, so ids
+        # cannot be recycled while a handle is outstanding.
+        self._handles: Dict[int, List] = {}
+
+    def push(self, task: Any, key: Tuple) -> None:
+        entry = [key, self._seq, task, True]
+        self._handles[id(task)] = entry
+        heapq.heappush(self._heap, entry)
+        self._seq += 1
+
+    def cancel(self, task: Any) -> bool:
+        """Mark a queued task dead.  Returns False if it is not queued
+        live (never pushed, already popped, or already cancelled).
+        Identity-based: pass the same object that was pushed."""
+        entry = self._handles.pop(id(task), None)
+        if entry is None or not entry[3]:
+            return False
+        entry[3] = False
+        return True
+
+    def pop(self) -> Any:
+        task, _ = self.pop_live()
+        if task is None:
+            raise IndexError("pop from empty queue")
+        return task
+
+    def pop_live(self) -> Tuple[Optional[Any], int]:
+        """Pop until a live entry surfaces.
+
+        Returns ``(task, n_popped)`` where ``n_popped`` counts every
+        slot physically removed, dead slots included — callers tracking
+        queued-task totals (which include phantoms) subtract it.  When
+        only dead slots remained, returns ``(None, n_popped)`` with the
+        queue now empty.
+        """
+        heap = self._heap
+        popped = 0
+        while heap:
+            entry = heapq.heappop(heap)
+            popped += 1
+            if entry[3]:
+                task = entry[2]
+                del self._handles[id(task)]
+                return task, popped
+        return None, popped
+
+    def reorder_depth(self, key: Tuple) -> int:
+        """Counts dead slots too — phantoms occupy queue positions
+        until popped, exactly as the simulators account them."""
+        return sum(1 for entry in self._heap if key < entry[0])
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
 class PriorityTaskQueue(TaskQueueBase):
     """Strict priority across classes, FIFO within each class (PRIQ).
 
@@ -252,7 +338,7 @@ class TEDFPolicy(Policy):
         return (arrival_time + service_class.slo_ms,)
 
     def create_queue(self) -> TaskQueueBase:
-        return EDFTaskQueue()
+        return LazyEDFTaskQueue()
 
 
 class TFEDFPolicy(Policy):
@@ -266,7 +352,7 @@ class TFEDFPolicy(Policy):
         return (tf_deadline,)
 
     def create_queue(self) -> TaskQueueBase:
-        return EDFTaskQueue()
+        return LazyEDFTaskQueue()
 
 
 class WRRPolicy(Policy):

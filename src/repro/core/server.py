@@ -88,6 +88,9 @@ class TaskServer:
         self._paused: Optional[Task] = None
         self._cancelled: set = set()   # queued tasks to skip (by identity)
         self._discard: set = set()     # in-service tasks whose result is void
+        # Queues advertising supports_cancel (LazyEDFTaskQueue) take
+        # cancellations directly; others fall back to the phantom set.
+        self._queue_cancels = getattr(self._queue, "supports_cancel", False)
 
     # ------------------------------------------------------------------
     @property
@@ -210,6 +213,12 @@ class TaskServer:
     def _start_next(self) -> bool:
         """Start the next live queued task, skipping lazily cancelled
         (phantom) entries.  Returns whether a task was started."""
+        if self._queue_cancels:
+            task, _ = self._queue.pop_live()
+            if task is None:
+                return False
+            self._start(task)
+            return True
         while len(self._queue) > 0:
             task = self._queue.pop()
             if id(task) in self._cancelled:
@@ -246,12 +255,19 @@ class TaskServer:
             else:
                 self._paused = inflight
         if kill:
-            while len(self._queue) > 0:
-                task = self._queue.pop()
-                if id(task) in self._cancelled:
-                    self._cancelled.discard(id(task))
-                    continue
-                victims.append(task)
+            if self._queue_cancels:
+                while True:
+                    task, _ = self._queue.pop_live()
+                    if task is None:
+                        break
+                    victims.append(task)
+            else:
+                while len(self._queue) > 0:
+                    task = self._queue.pop()
+                    if id(task) in self._cancelled:
+                        self._cancelled.discard(id(task))
+                        continue
+                    victims.append(task)
         return victims
 
     def recover(self) -> None:
@@ -278,5 +294,7 @@ class TaskServer:
             # A paused loser simply evaporates: nothing to restart at
             # recovery.
             self._paused = None
+        elif self._queue_cancels:
+            self._queue.cancel(task)
         else:
             self._cancelled.add(id(task))

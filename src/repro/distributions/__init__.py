@@ -34,6 +34,7 @@ from repro.distributions.piecewise import PiecewiseLinearCDF
 from repro.distributions.order_statistics import (
     MaxOfIID,
     MaxOfIndependent,
+    QuantileInversionMemo,
     iid_max_cdf,
     iid_max_quantile,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "OnlineEmpiricalCDF",
     "Pareto",
     "PiecewiseLinearCDF",
+    "QuantileInversionMemo",
     "SampleStream",
     "Shifted",
     "SumOfIndependent",

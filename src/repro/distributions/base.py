@@ -125,6 +125,22 @@ class SampleStream:
         self._index += 1
         return float(value)
 
+    def drain_block(self) -> list:
+        """Refill and return one full block as a list of Python floats.
+
+        Hot-loop support: the simulation kernel indexes the returned
+        list directly instead of paying a :meth:`next` call per draw.
+        Draw order is identical to ``block`` consecutive :meth:`next`
+        calls, and the stream's own cursor is advanced past the block so
+        the two styles can be mixed without replaying variates.
+        """
+        buffer = np.asarray(
+            self._dist.sample(self._rng, self._block), dtype=float
+        )
+        self._buffer = buffer
+        self._index = len(buffer)
+        return buffer.tolist()
+
     def __iter__(self):
         while True:
             yield self.next()

@@ -122,6 +122,62 @@ class MaxOfIndependent(Distribution):
         return float(result[0]) if size is None else result
 
 
+class QuantileInversionMemo:
+    """Version-stamped bounded memo for quantile-inversion results.
+
+    The deadline estimator evaluates ``x_p^u`` (Eq. 2) and the derived
+    budgets ``T_b`` (Eq. 5) once per distinct key and serves repeats
+    from here.  Every entry is stamped with the memo's version at
+    insertion and :meth:`get` refuses entries from older versions, so a
+    consumer that bumps the version on any estimate change (online-CDF
+    refresh, :meth:`~repro.core.deadline.DeadlineEstimator.rebootstrap`)
+    is structurally unable to serve a stale inversion — even if a clear
+    were forgotten.  :meth:`invalidate` does both: bumps the version and
+    drops the entries.
+
+    The capacity bound works by wholesale clear, not recency tracking:
+    keys recur heavily or not at all (fanouts and class signatures),
+    so an LRU's bookkeeping would cost more than the rare re-inversion.
+    """
+
+    __slots__ = ("_entries", "_max_entries", "_version")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise DistributionError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._entries: dict = {}
+        self._max_entries = int(max_entries)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def invalidate(self) -> None:
+        """Bump the version and drop every entry."""
+        self._version += 1
+        self._entries.clear()
+
+    def get(self, key) -> Optional[float]:
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != self._version:
+            return None
+        return entry[1]
+
+    def put(self, key, value: float) -> None:
+        if len(self._entries) >= self._max_entries:
+            self._entries.clear()
+        self._entries[key] = (self._version, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def unloaded_query_tail(
     server_cdfs: Sequence[Distribution],
     percentile: float,

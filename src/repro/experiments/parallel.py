@@ -110,8 +110,15 @@ def run_simulations(
     if n_workers == 1:
         return tuple(simulate(config) for config in config_list)
 
-    with make_executor(min(n_workers, len(config_list))) as pool:
-        results = list(pool.map(_simulate_task, config_list))
+    # Executor.map defaults to chunksize=1 — one pickle round-trip per
+    # config.  Configs are small but numerous in sweep workloads, so
+    # batch them evenly across workers; order (and thus determinism)
+    # is unaffected.
+    pool_size = min(n_workers, len(config_list))
+    chunksize = max(1, len(config_list) // (pool_size * 4))
+    with make_executor(pool_size) as pool:
+        results = list(pool.map(_simulate_task, config_list,
+                                chunksize=chunksize))
 
     merged: List[SimulationResult] = []
     for config, result in zip(config_list, results):

@@ -363,8 +363,24 @@ class Environment:
           return its value (raising if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            # Run-to-exhaustion is the composable kernel's hot loop;
+            # inline step() with bound locals (one method call per event
+            # is measurable at millions of events).  Semantics are
+            # identical: hook before callbacks, unhandled failures
+            # surface.  ``self._queue`` is never rebound, so binding it
+            # once is safe even as callbacks schedule more events.
+            queue = self._queue
+            pop = heapq.heappop
+            while queue:
+                self._now, _, _, event = pop(queue)
+                hook = self.step_hook
+                if hook is not None:
+                    hook(self._now, event)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             return None
         if isinstance(until, Event):
             stop = until

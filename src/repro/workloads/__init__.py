@@ -32,6 +32,7 @@ from repro.workloads.generator import (
     Workload,
     arrival_rate_for_load,
     generate_queries,
+    generate_query_arrays,
     offered_load,
 )
 from repro.workloads.sharding import ShardMap, ShardedPlacement
@@ -57,6 +58,7 @@ __all__ = [
     "ZipfFanout",
     "arrival_rate_for_load",
     "generate_queries",
+    "generate_query_arrays",
     "get_workload",
     "inverse_proportional_fanout",
     "load_trace",

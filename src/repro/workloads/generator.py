@@ -10,7 +10,7 @@ simulator or for trace recording.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -78,6 +78,36 @@ class Workload:
         return replace(self, arrivals=self.arrivals.with_rate(rate))
 
 
+def generate_query_arrays(
+    workload: Workload,
+    n: int,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The array form of :func:`generate_queries`.
+
+    Returns ``(arrival_times, fanouts, class_indices)`` drawn with the
+    exact same RNG consumption as :func:`generate_queries` (which is
+    implemented on top of this), so consumers that only need columns —
+    notably the simulation kernel's generated-workload fast path — skip
+    materializing ``n`` :class:`~repro.types.QuerySpec` objects without
+    perturbing any seeded trace.  ``class_indices`` index into
+    ``workload.class_mix.classes``.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    arrival_rng, fanout_rng, class_rng = rng.spawn(3)
+    times = np.asarray(
+        workload.arrivals.arrival_times(arrival_rng, n, start),
+        dtype=np.float64,
+    )
+    fanouts = np.asarray(workload.fanout.sample(fanout_rng, n), dtype=np.int64)
+    class_indices = np.asarray(
+        workload.class_mix.sample_indices(class_rng, n), dtype=np.int64
+    )
+    return times, fanouts, class_indices
+
+
 def generate_queries(
     workload: Workload,
     n: int,
@@ -90,12 +120,9 @@ def generate_queries(
     queuing policies paired: re-running with the same seed produces the
     same queries regardless of how the consumer draws service times.
     """
-    if n < 0:
-        raise ConfigurationError(f"n must be >= 0, got {n}")
-    arrival_rng, fanout_rng, class_rng = rng.spawn(3)
-    times = workload.arrivals.arrival_times(arrival_rng, n, start)
-    fanouts = workload.fanout.sample(fanout_rng, n)
-    class_indices = workload.class_mix.sample_indices(class_rng, n)
+    times, fanouts, class_indices = generate_query_arrays(
+        workload, n, rng, start
+    )
     classes = workload.class_mix.classes
     return [
         QuerySpec(

@@ -1,0 +1,418 @@
+"""Golden-master regression corpus for the simulation kernels.
+
+Every scenario below runs a small seeded simulation and reduces its
+per-query outcome arrays to a compact digest — SHA-256 over the
+canonical little-endian bytes of each array, plus every scalar counter
+as an exact hex float.  The digests are checked into
+``tests/golden/`` and the test asserts that the current kernels
+reproduce them **byte for byte**.
+
+The corpus pins both simulation paths:
+
+* the event-calendar path (``repro.cluster.simulation.simulate``,
+  which routes to ``repro.cluster.faultsim`` under faults/overload)
+  across FIFO / PRIQ / T-EDFQ / TF-EDFQ / WRR × {plain, faults,
+  overload} plus heterogeneous-CDF, online-updating, admission,
+  placement, and timeline-sampling variants;
+* the composable DES-kernel path (``QueryHandler`` + ``TaskServer``
+  on ``repro.sim.Environment``) on a fixed pre-placed trace, with and
+  without a fault plan.
+
+Regenerating (only after an *intentional* semantics change — see
+``docs/extending.md``):
+
+    PYTHONPATH=src python tests/integration/test_golden_master.py --regen
+
+The regen escape hatch rewrites every digest under ``tests/golden/``
+from the current kernels; review the diff before committing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core.admission import DeadlineMissRatioAdmission
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic, Exponential
+from repro.faults import (
+    CrashProcess,
+    Downtime,
+    FaultPlan,
+    HedgePolicy,
+    RetryPolicy,
+    StragglerEpisode,
+    fault_horizon,
+    install_faults,
+)
+from repro.overload import (
+    AdaptiveAdmissionPolicy,
+    BreakerPolicy,
+    DegradePolicy,
+    OverloadPolicy,
+)
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+from repro.workloads import (
+    PoissonArrivals,
+    Workload,
+    get_workload,
+    inverse_proportional_fanout,
+    single_class_mix,
+    uniform_class_mix,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+#: Canonical dtypes: every array is normalized before hashing so the
+#: digest does not depend on incidental dtype choices inside a kernel.
+_CANONICAL = {
+    "latency": np.float64,
+    "arrival": np.float64,
+    "coverage": np.float64,
+    "fanout": np.int64,
+    "class_index": np.int64,
+    "rejected": np.uint8,
+    "measured": np.uint8,
+    "failed": np.uint8,
+    "degraded": np.uint8,
+}
+
+
+def _array_sha(name: str, array: Optional[np.ndarray]) -> str:
+    if array is None:
+        return "absent"
+    canonical = np.ascontiguousarray(
+        np.asarray(array).astype(_CANONICAL[name], copy=False)
+    )
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are little
+        canonical = canonical.byteswap()
+    return hashlib.sha256(canonical.tobytes()).hexdigest()
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def digest_result(result) -> Dict:
+    """Compact, exact digest of one ``SimulationResult``."""
+    arrays = {
+        name: _array_sha(name, getattr(result, name))
+        for name in ("latency", "arrival", "fanout", "class_index",
+                     "rejected", "measured", "failed", "coverage",
+                     "degraded")
+    }
+    finite = result.latency[np.isfinite(result.latency)]
+    spot = {
+        "latency_head": [_hex(v) for v in result.latency[:4]],
+        "latency_sum": _hex(float(np.nansum(result.latency))),
+        "completed": int(finite.size),
+    }
+    counters = {
+        "n_queries": int(result.latency.size),
+        "policy": result.policy_name,
+        "n_servers": result.n_servers,
+        "seed": result.seed,
+        "classes": [cls.name for cls in result.classes],
+        "tasks_total": result.tasks_total,
+        "tasks_missed_deadline": result.tasks_missed_deadline,
+        "busy_time_total": _hex(result.busy_time_total),
+        "duration": _hex(result.duration),
+        "tasks_failed": result.tasks_failed,
+        "tasks_retried": result.tasks_retried,
+        "tasks_hedged": result.tasks_hedged,
+        "tasks_cancelled": result.tasks_cancelled,
+        "server_failures": result.server_failures,
+        "degraded_queries": result.degraded_queries,
+        "shed_tasks": result.shed_tasks,
+        "breaker_trips": result.breaker_trips,
+    }
+    if result.timeline is not None:
+        counters["timeline_len"] = len(result.timeline)
+        counters["timeline_queued_sum"] = int(
+            result.timeline.queued_tasks.sum())
+        counters["timeline_busy_sum"] = int(result.timeline.busy_servers.sum())
+    return {"arrays": arrays, "counters": counters, "spot": spot}
+
+
+def digest_kernel_run(latencies: Dict[int, float], failed: set,
+                      n_queries: int) -> Dict:
+    """Digest of one DES-kernel run (latency per query id + failed set)."""
+    latency = np.full(n_queries, np.nan)
+    for qid, value in latencies.items():
+        latency[qid] = value
+    failed_mask = np.zeros(n_queries, dtype=np.uint8)
+    for qid in failed:
+        failed_mask[qid] = 1
+    return {
+        "arrays": {
+            "latency": _array_sha("latency", latency),
+            "failed": _array_sha("failed", failed_mask),
+        },
+        "counters": {
+            "n_queries": n_queries,
+            "completed": len(latencies),
+            "failed": len(failed),
+            "latency_sum": _hex(float(np.nansum(latency))),
+        },
+        "spot": {"latency_head": [_hex(v) for v in latency[:4]]},
+    }
+
+
+# ----------------------------------------------------------------------
+# Event-calendar scenarios
+# ----------------------------------------------------------------------
+_POLICIES = ("fifo", "priq", "t-edf", "tailguard", "wrr")
+
+_FAULT_PLAN = FaultPlan(
+    downtimes=(Downtime(2, 8.113, 13.391), Downtime(5, 22.207, 28.119)),
+    crashes=CrashProcess(mtbf_ms=90.0, mttr_ms=5.0, server_ids=(0, 3),
+                         seed=5),
+    stragglers=(StragglerEpisode((7,), 18.183, 40.621, 2.5),),
+    retry=RetryPolicy(max_retries=2, backoff_ms=0.531, timeout_ms=9.207),
+    hedge=HedgePolicy(delay_ms=3.313, max_hedges=1),
+)
+
+_OVERLOAD = OverloadPolicy(
+    admission=AdaptiveAdmissionPolicy(
+        target_miss_ratio=0.08, window_tasks=400, window_ms=30.0,
+        min_samples=60, decrease=0.6, increase=0.1, floor=0.05,
+        hysteresis=0.2, ctl_interval_ms=1.0, max_latch_ms=50.0,
+    ),
+    degrade=DegradePolicy(min_coverage=0.5, pressure_alpha=0.1, safety=1.0),
+    breakers=BreakerPolicy(miss_threshold=4, open_ms=5.113,
+                           half_open_probes=2, close_successes=3),
+)
+
+
+def _small_workload(n_classes: int = 1,
+                    fanouts: Tuple[int, ...] = (1, 4, 16)) -> Workload:
+    masstree = get_workload("masstree")
+    if n_classes == 1:
+        mix = single_class_mix(ServiceClass("single", slo_ms=1.0))
+    else:
+        mix = uniform_class_mix([
+            ServiceClass("class-I", slo_ms=0.9, priority=0),
+            ServiceClass("class-II", slo_ms=1.4, priority=1),
+        ])
+    return Workload(
+        name="golden",
+        arrivals=PoissonArrivals(1.0),
+        fanout=inverse_proportional_fanout(fanouts),
+        class_mix=mix,
+        service_time=masstree.service_time,
+    )
+
+
+def _base_config(policy: str, n_classes: int = 1, **kwargs) -> ClusterConfig:
+    return ClusterConfig(
+        n_servers=16,
+        policy=policy,
+        workload=_small_workload(n_classes).at_load(0.85, 16),
+        n_queries=1500,
+        seed=42,
+        **kwargs,
+    )
+
+
+def _hetero_config() -> ClusterConfig:
+    cdfs = {sid: Exponential(0.4 + 0.05 * (sid % 4)) for sid in range(8)}
+    return ClusterConfig(
+        n_servers=8,
+        policy="tailguard",
+        workload=_small_workload(fanouts=(1, 4, 8)).at_load(0.8, 8),
+        n_queries=1200,
+        seed=7,
+        server_cdfs=cdfs,
+    )
+
+
+def _online_config() -> ClusterConfig:
+    config = _base_config("tailguard")
+    cdfs = config.resolve_server_cdfs()
+    estimator = DeadlineEstimator(dict(cdfs), online_window=256,
+                                  refresh_interval=200)
+    return config.evolve(estimator=estimator)
+
+
+CALENDAR_SCENARIOS: Dict[str, Callable[[], ClusterConfig]] = {}
+for _policy in _POLICIES:
+    CALENDAR_SCENARIOS[f"plain_{_policy}"] = (
+        lambda p=_policy: _base_config(p, n_classes=2))
+    CALENDAR_SCENARIOS[f"faults_{_policy}"] = (
+        lambda p=_policy: _base_config(p, n_classes=2).with_faults(
+            _FAULT_PLAN))
+CALENDAR_SCENARIOS["overload_tailguard"] = (
+    lambda: _base_config("tailguard").evolve(overload=_OVERLOAD))
+CALENDAR_SCENARIOS["overload_fifo"] = (
+    lambda: _base_config("fifo").evolve(overload=_OVERLOAD))
+CALENDAR_SCENARIOS["overload_faults_tailguard"] = (
+    lambda: _base_config("tailguard").with_faults(_FAULT_PLAN).evolve(
+        overload=_OVERLOAD))
+CALENDAR_SCENARIOS["hetero_tailguard"] = _hetero_config
+CALENDAR_SCENARIOS["online_tailguard"] = _online_config
+CALENDAR_SCENARIOS["admission_tailguard"] = (
+    lambda: _base_config("tailguard").with_admission(
+        DeadlineMissRatioAdmission(threshold=0.2, window_tasks=200,
+                                   min_samples=50)))
+CALENDAR_SCENARIOS["timeline_tailguard"] = (
+    lambda: _base_config("tailguard").evolve(timeline_interval_ms=5.0))
+CALENDAR_SCENARIOS["timeline_faults_fifo"] = (
+    lambda: _base_config("fifo").with_faults(_FAULT_PLAN).evolve(
+        timeline_interval_ms=5.0))
+
+
+# ----------------------------------------------------------------------
+# DES-kernel scenarios (fixed pre-placed trace)
+# ----------------------------------------------------------------------
+_KERNEL_N_SERVERS = 8
+_KERNEL_N_QUERIES = 300
+
+_KERNEL_PLANS: Dict[str, Optional[FaultPlan]] = {
+    "plain": None,
+    "faults": FaultPlan(
+        downtimes=(Downtime(2, 10.113, 17.391),),
+        retry=RetryPolicy(max_retries=2, backoff_ms=0.531),
+        hedge=HedgePolicy(delay_ms=3.313, max_hedges=1),
+    ),
+}
+
+
+def _kernel_trace() -> List[QuerySpec]:
+    rng = np.random.default_rng(9)
+    classes = [
+        ServiceClass("class-I", slo_ms=5.0, priority=0),
+        ServiceClass("class-II", slo_ms=7.5, priority=1),
+    ]
+    specs = []
+    now = 0.0
+    for qid in range(_KERNEL_N_QUERIES):
+        now += float(rng.exponential(0.35))
+        fanout = int(rng.choice([1, 2, 4, 8]))
+        servers = tuple(
+            int(s) for s in rng.choice(_KERNEL_N_SERVERS, size=fanout,
+                                       replace=False)
+        )
+        specs.append(QuerySpec(
+            query_id=qid, arrival_time=now, fanout=fanout,
+            service_class=classes[int(rng.integers(2))], servers=servers,
+        ))
+    return specs
+
+
+def _kernel_cdfs():
+    return {sid: Deterministic(0.5 + 0.1 * sid)
+            for sid in range(_KERNEL_N_SERVERS)}
+
+
+def run_kernel_scenario(policy_name: str,
+                        plan: Optional[FaultPlan]) -> Tuple[Dict, set]:
+    specs = _kernel_trace()
+    env = Environment()
+    policy = get_policy(policy_name)
+    cdfs = _kernel_cdfs()
+    estimator = DeadlineEstimator(dict(cdfs))
+    servers = [
+        TaskServer(env, sid, policy, cdfs[sid], np.random.default_rng(sid))
+        for sid in range(_KERNEL_N_SERVERS)
+    ]
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(123))
+    if plan is not None:
+        install_faults(env, handler, servers, plan,
+                       fault_horizon(specs[-1].arrival_time), cdfs)
+    env.process(handler.drive(specs))
+    env.run()
+    latencies = {
+        record.spec.query_id: record.latency for record in handler.completed
+    }
+    failed = {record.spec.query_id for record in handler.failed}
+    return latencies, failed
+
+
+KERNEL_SCENARIOS: Dict[str, Tuple[str, Optional[FaultPlan]]] = {}
+for _policy in _POLICIES:
+    for _plan_name, _plan in _KERNEL_PLANS.items():
+        KERNEL_SCENARIOS[f"kernel_{_plan_name}_{_policy}"] = (_policy, _plan)
+
+
+# ----------------------------------------------------------------------
+# Digest computation / regeneration
+# ----------------------------------------------------------------------
+def compute_digest(name: str) -> Dict:
+    if name in CALENDAR_SCENARIOS:
+        result = simulate(CALENDAR_SCENARIOS[name]())
+        digest = digest_result(result)
+        digest["path"] = "event-calendar"
+    else:
+        policy, plan = KERNEL_SCENARIOS[name]
+        latencies, failed = run_kernel_scenario(policy, plan)
+        digest = digest_kernel_run(latencies, failed, _KERNEL_N_QUERIES)
+        digest["path"] = "des-kernel"
+    digest["scenario"] = name
+    return digest
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+ALL_SCENARIOS = sorted(CALENDAR_SCENARIOS) + sorted(KERNEL_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_golden_master(name):
+    path = golden_path(name)
+    assert path.exists(), (
+        f"missing golden digest {path}; regenerate with "
+        f"`PYTHONPATH=src python {__file__} --regen`"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    actual = compute_digest(name)
+    assert actual == expected, (
+        f"scenario {name!r} diverged from its golden digest — the kernels "
+        f"no longer reproduce the pinned behavior byte-for-byte.  If the "
+        f"semantics change is intentional, regenerate with "
+        f"`PYTHONPATH=src python {__file__} --regen` and review the diff."
+    )
+
+
+def test_corpus_has_no_orphan_digests():
+    """Every checked-in digest corresponds to a live scenario."""
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(ALL_SCENARIOS)
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in GOLDEN_DIR.glob("*.json"):
+        if stale.stem not in ALL_SCENARIOS:
+            stale.unlink()
+    for name in ALL_SCENARIOS:
+        digest = compute_digest(name)
+        golden_path(name).write_text(
+            json.dumps(digest, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {golden_path(name)}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv[1:]:
+        _regen()
+    else:
+        print(__doc__)
+        raise SystemExit("pass --regen to rewrite the golden corpus")

@@ -125,6 +125,40 @@ class TestSweepDeterminism:
 
 
 class TestRunSimulations:
+    def test_seed_stability_arrays_identical_across_workers(self, fig6_mini):
+        """Same config + seed => the SimulationResult *arrays* are
+        identical bit for bit whether run with 1 worker or 4 — not just
+        the derived statistics.  This pins the fan-out contract at the
+        raw-array level so a kernel change that perturbs, say, float
+        accumulation order in one path cannot hide behind aggregated
+        tails."""
+        import numpy as np
+
+        from repro.faults import CrashProcess, FaultPlan, RetryPolicy
+
+        plan = FaultPlan(crashes=CrashProcess(mtbf_ms=80.0, mttr_ms=5.0,
+                                              seed=11),
+                         retry=RetryPolicy(max_retries=1, backoff_ms=0.7))
+        configs = [
+            fig6_mini.at_load(0.5).with_seed(13),
+            fig6_mini.at_load(0.7).with_seed(13),
+            fig6_mini.at_load(0.5).with_seed(13).with_faults(plan),
+        ]
+        serial = run_simulations(configs, workers=1)
+        parallel = run_simulations(configs, workers=4)
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(p.latency, s.latency)
+            np.testing.assert_array_equal(p.arrival, s.arrival)
+            np.testing.assert_array_equal(p.fanout, s.fanout)
+            np.testing.assert_array_equal(p.class_index, s.class_index)
+            np.testing.assert_array_equal(p.rejected, s.rejected)
+            np.testing.assert_array_equal(p.measured, s.measured)
+            np.testing.assert_array_equal(p.failed, s.failed)
+            assert p.busy_time_total == s.busy_time_total
+            assert p.tasks_total == s.tasks_total
+            assert p.tasks_missed_deadline == s.tasks_missed_deadline
+            assert p.duration == s.duration
+
     def test_preserves_input_order(self, fig6_mini):
         configs = [fig6_mini.at_load(load).with_seed(7)
                    for load in (0.3, 0.45, 0.6)]

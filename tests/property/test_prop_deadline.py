@@ -5,7 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.deadline import DeadlineEstimator
-from repro.distributions import Exponential
+from repro.distributions import (
+    Exponential,
+    QuantileInversionMemo,
+    iid_max_quantile,
+)
 from repro.types import ServiceClass
 from repro.workloads import get_workload
 
@@ -72,3 +76,74 @@ class TestDeadlineProperties:
             99.0, fanout=fanout
         )
         assert first == second == fresh
+
+
+class TestQuantileMemoProperties:
+    """The memoized quantile-inversion layer must be transparent: a
+    memo hit returns exactly what an uncached estimator computes, and
+    no estimate change (online refresh, rebootstrap) can leak a value
+    derived from superseded CDFs."""
+
+    @given(fanouts, slos)
+    @settings(max_examples=100)
+    def test_budget_memo_matches_uncached(self, fanout, slo):
+        shared = Exponential(3.0)
+        estimator = DeadlineEstimator(shared, n_servers=100)
+        cls = ServiceClass("c", slo)
+        warm = estimator.budget(cls, fanout=fanout)   # populates the memo
+        hit = estimator.budget(cls, fanout=fanout)    # served from it
+        fresh = DeadlineEstimator(shared, n_servers=100).budget(
+            cls, fanout=fanout
+        )
+        assert warm == hit == fresh
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.lists(st.floats(min_value=0.1, max_value=20.0),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_online_refresh_never_serves_stale(self, fanout, samples):
+        """Once an online refresh invalidates, budgets come from the
+        updated CDFs — never from the pre-update memo entries."""
+        estimator = DeadlineEstimator(
+            Exponential(3.0), n_servers=4, online_window=64,
+            refresh_interval=len(samples),
+            server_groups={sid: "g" for sid in range(4)},
+        )
+        cls = ServiceClass("c", 50.0, percentile=99.0)
+        estimator.budget(cls, fanout=fanout)  # warm the memo
+        for value in samples:
+            estimator.record(0, value)
+        # len(samples) records == refresh_interval, so the caches were
+        # invalidated; the truth is the current online CDF, uncached.
+        expected = 50.0 - iid_max_quantile(
+            estimator.server_cdf(0), fanout, 0.99
+        )
+        assert estimator.budget(cls, fanout=fanout) == expected
+
+    @given(st.integers(min_value=1, max_value=3),
+           st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=50)
+    def test_rebootstrap_never_serves_stale(self, fanout, rate):
+        estimator = DeadlineEstimator(Exponential(3.0), n_servers=3)
+        cls = ServiceClass("c", 50.0, percentile=99.0)
+        estimator.budget(cls, fanout=fanout)  # warm the memo
+        replacement = Exponential(rate)
+        for sid in range(3):
+            estimator.rebootstrap(sid, replacement)
+        expected = 50.0 - iid_max_quantile(replacement, fanout, 0.99)
+        assert estimator.budget(cls, fanout=fanout) == expected
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=100)
+    def test_memo_version_guard_and_bound(self, max_entries, n_keys):
+        memo = QuantileInversionMemo(max_entries=max_entries)
+        for key in range(n_keys):
+            memo.put(key, float(key))
+            assert memo.get(key) == float(key)
+        assert len(memo) <= max_entries
+        memo.invalidate()
+        # Entries from an older version are unservable, full stop.
+        assert all(memo.get(key) is None for key in range(n_keys))
+        memo.put("fresh", 1.0)
+        assert memo.get("fresh") == 1.0

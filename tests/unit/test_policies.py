@@ -5,6 +5,7 @@ import pytest
 from repro.core.policies import (
     EDFTaskQueue,
     FIFOTaskQueue,
+    LazyEDFTaskQueue,
     POLICIES,
     PriorityTaskQueue,
     get_policy,
@@ -105,6 +106,108 @@ class TestEDFTaskQueue:
         queue.push("c", (2.0,))
         assert queue.pop() == "c"
         assert queue.pop() == "a"
+
+
+class TestLazyEDFTaskQueue:
+    """The slotted/lazy-deletion EDF line: cancelled entries must never
+    surface as live work, while phantom slots keep counting toward
+    depth until physically popped (both simulators' convention)."""
+
+    def test_policies_create_lazy_queues(self):
+        assert isinstance(get_policy("t-edf").create_queue(),
+                          LazyEDFTaskQueue)
+        assert isinstance(get_policy("tailguard").create_queue(),
+                          LazyEDFTaskQueue)
+        assert LazyEDFTaskQueue.supports_cancel is True
+        assert not getattr(EDFTaskQueue(), "supports_cancel", False)
+
+    def test_cancelled_task_never_dequeued_live(self):
+        queue = LazyEDFTaskQueue()
+        winner, loser, straggler = object(), object(), object()
+        queue.push(loser, (1.0,))
+        queue.push(winner, (2.0,))
+        queue.push(straggler, (3.0,))
+        assert queue.cancel(loser) is True
+        assert queue.pop() is winner
+        assert queue.pop() is straggler
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_every_live_entry_cancelled(self):
+        queue = LazyEDFTaskQueue()
+        tasks = [object() for _ in range(5)]
+        for i, task in enumerate(tasks):
+            queue.push(task, (float(i),))
+        for task in tasks:
+            assert queue.cancel(task) is True
+        task, popped = queue.pop_live()
+        assert task is None
+        assert popped == 5
+        assert len(queue) == 0
+
+    def test_cancel_is_by_identity(self):
+        queue = LazyEDFTaskQueue()
+        first, second = [7, 1], [7, 1]  # equal values, distinct objects
+        assert first is not second
+        queue.push(first, (1.0,))
+        queue.push(second, (2.0,))
+        assert queue.cancel(first) is True
+        assert queue.pop() is second
+
+    def test_cancel_misses_return_false(self):
+        queue = LazyEDFTaskQueue()
+        task = object()
+        assert queue.cancel(task) is False          # never pushed
+        queue.push(task, (1.0,))
+        assert queue.cancel(task) is True
+        assert queue.cancel(task) is False          # already cancelled
+        other = object()
+        queue.push(other, (1.0,))
+        assert queue.pop() is other
+        assert queue.cancel(other) is False         # already popped
+
+    def test_pop_live_reports_physical_pops(self):
+        queue = LazyEDFTaskQueue()
+        dead_a, dead_b, live = object(), object(), object()
+        queue.push(dead_a, (1.0,))
+        queue.push(dead_b, (2.0,))
+        queue.push(live, (3.0,))
+        queue.cancel(dead_a)
+        queue.cancel(dead_b)
+        task, popped = queue.pop_live()
+        assert task is live
+        assert popped == 3  # two phantoms + the live entry
+
+    def test_phantoms_count_until_popped(self):
+        queue = LazyEDFTaskQueue()
+        cancelled_task, live = object(), object()
+        queue.push(cancelled_task, (1.0,))
+        queue.push(live, (5.0,))
+        queue.cancel(cancelled_task)
+        # Dead slot still occupies the line for depth accounting.
+        assert len(queue) == 2
+        assert queue.reorder_depth((3.0,)) == 1
+        assert queue.pop() is live
+        assert len(queue) == 0
+
+    def test_pop_order_matches_edf_without_cancels(self):
+        lazy, plain = LazyEDFTaskQueue(), EDFTaskQueue()
+        keys = [(4.0,), (1.0,), (3.0,), (1.0,), (2.0,)]
+        for i, key in enumerate(keys):
+            lazy.push(i, key)
+            plain.push(i, key)
+        assert ([lazy.pop() for _ in keys]
+                == [plain.pop() for _ in keys])
+
+    def test_reuse_after_pop_and_cancel(self):
+        queue = LazyEDFTaskQueue()
+        task = object()
+        queue.push(task, (1.0,))
+        assert queue.pop() is task
+        queue.push(task, (2.0,))        # re-queue the same object
+        assert queue.cancel(task) is True
+        task2, popped = queue.pop_live()
+        assert task2 is None and popped == 1
 
 
 class TestPriorityTaskQueue:
