@@ -78,7 +78,16 @@ from repro.faults import (
     StragglerEpisode,
     install_faults,
 )
-from repro.obs import NullRecorder, TraceRecorder
+from repro.obs import (
+    ClusterAttribution,
+    ErrorBudget,
+    NullRecorder,
+    QueryAttribution,
+    SLOAccountant,
+    TraceRecorder,
+    attribute_queries,
+    tail_forensics_report,
+)
 from repro.overload import (
     AdaptiveAdmission,
     AdaptiveAdmissionPolicy,
@@ -108,6 +117,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionRejected",
     "BreakerPolicy",
+    "ClusterAttribution",
     "ClusterConfig",
     "ConfigurationError",
     "CrashProcess",
@@ -118,6 +128,7 @@ __all__ = [
     "Downtime",
     "DriftPolicy",
     "EXPERIMENTS",
+    "ErrorBudget",
     "ExperimentError",
     "FaultPlan",
     "HedgePolicy",
@@ -127,6 +138,7 @@ __all__ = [
     "ParetoArrivals",
     "PoissonArrivals",
     "Policy",
+    "QueryAttribution",
     "QueryHandler",
     "QueryRecord",
     "QuerySpec",
@@ -134,6 +146,7 @@ __all__ = [
     "RequestPlanner",
     "RequestSpec",
     "RetryPolicy",
+    "SLOAccountant",
     "SaSTestbed",
     "ServiceClass",
     "ServicePerturbation",
@@ -144,6 +157,7 @@ __all__ = [
     "TaskServer",
     "TraceRecorder",
     "Workload",
+    "attribute_queries",
     "find_max_load",
     "get_policy",
     "get_workload",
@@ -155,6 +169,7 @@ __all__ = [
     "run_simulations",
     "simulate",
     "single_class_mix",
+    "tail_forensics_report",
     "uniform_class_mix",
     "__version__",
 ]

@@ -16,7 +16,11 @@ Subcommands:
 * ``trace record / replay`` — query-trace capture and paired replay;
 * ``trace run`` — run a traced simulation and export the task
   lifecycle as Chrome trace-event JSON (``chrome://tracing`` /
-  Perfetto) or JSONL.
+  Perfetto) or JSONL;
+* ``report`` — run a traced simulation (optionally fault-injected)
+  and print the tail-forensics report: per-mechanism latency
+  attribution, per-class SLO error budgets with multi-window burn
+  rates, and the slowest-query waterfalls.
 
 Exit codes: 0 on success, 2 for configuration errors (bad flags or an
 invalid setup), 1 for runtime failures inside a simulation or
@@ -49,6 +53,8 @@ from repro.overload import (
 )
 from repro.obs import (
     TraceRecorder,
+    render_report,
+    tail_forensics_report,
     text_summary,
     write_chrome_trace,
     write_jsonl,
@@ -260,6 +266,47 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run one traced simulation and print its tail-forensics report."""
+    config = paper_single_class_config(
+        args.workload, args.slo_ms, policy=args.policy,
+        n_servers=args.servers, n_queries=args.queries, seed=args.seed,
+    ).at_load(args.load)
+    if args.mtbf_ms is not None:
+        retry = None
+        if args.retries > 0:
+            retry = RetryPolicy(max_retries=args.retries,
+                                backoff_ms=args.backoff_ms)
+        hedge = None
+        if args.hedge:
+            hedge = HedgePolicy(quantile=args.hedge_quantile,
+                                delay_ms=args.hedge_delay_ms,
+                                max_hedges=args.max_hedges)
+        config = config.with_faults(FaultPlan(
+            crashes=CrashProcess(mtbf_ms=args.mtbf_ms, mttr_ms=args.mttr_ms,
+                                 seed=args.seed),
+            retry=retry,
+            hedge=hedge,
+        ))
+    recorder = TraceRecorder()
+    result = run_simulations([config.with_recorder(recorder)],
+                             workers=args.workers)[0]
+    report = tail_forensics_report(result, top_k=args.top,
+                                   percentile=args.percentile)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        # Keep stdout pure JSON so it pipes into jq and friends.
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(render_report(report))
+    if args.out:
+        print(f"wrote forensics JSON to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tailguard",
@@ -387,6 +434,48 @@ def build_parser() -> argparse.ArgumentParser:
     overload_parser.add_argument("--mttr-ms", type=float, default=0.3,
                                  help="repair time for --mtbf-ms crashes")
 
+    report_parser = sub.add_parser(
+        "report", help="tail-forensics report for one traced run")
+    report_parser.add_argument("--json", action="store_true",
+                               help="print the report document as JSON "
+                                    "instead of text")
+    report_parser.add_argument("--out", metavar="PATH",
+                               help="also write the JSON document here")
+    report_parser.add_argument("--top", type=int, default=5, metavar="K",
+                               help="slowest-query waterfalls to include")
+    report_parser.add_argument("--percentile", type=float, default=99.0,
+                               help="tail percentile to attribute")
+    report_parser.add_argument("--workload", default="masstree",
+                               choices=["masstree", "shore", "xapian"])
+    report_parser.add_argument("--policy", default="tailguard")
+    report_parser.add_argument("--slo-ms", type=float, default=1.0)
+    report_parser.add_argument("--load", type=float, default=0.4)
+    report_parser.add_argument("--servers", type=int, default=100)
+    report_parser.add_argument("--queries", type=int, default=20_000)
+    report_parser.add_argument("--seed", type=int, default=1)
+    report_parser.add_argument("--workers", type=int, default=None,
+                               metavar="N", help=workers_help)
+    report_parser.add_argument("--mtbf-ms", type=float, default=None,
+                               help="crash servers at this MTBF so the "
+                                    "report has mitigations to attribute")
+    report_parser.add_argument("--mttr-ms", type=float, default=20.0,
+                               help="repair time for --mtbf-ms crashes")
+    report_parser.add_argument("--retries", type=int, default=0, metavar="N",
+                               help="kill-and-requeue with up to N retries "
+                                    "per task copy (0 = pause mode)")
+    report_parser.add_argument("--backoff-ms", type=float, default=0.1,
+                               help="requeue backoff per attempt")
+    report_parser.add_argument("--hedge", action="store_true",
+                               help="duplicate slow tasks after a delay")
+    report_parser.add_argument("--hedge-quantile", type=float, default=0.95,
+                               help="hedge delay = this quantile of the "
+                                    "primary server's service CDF")
+    report_parser.add_argument("--hedge-delay-ms", type=float, default=None,
+                               help="explicit hedge delay (overrides "
+                                    "--hedge-quantile)")
+    report_parser.add_argument("--max-hedges", type=int, default=1,
+                               help="duplicates per task slot")
+
     trace_parser = sub.add_parser("trace", help="record/replay query traces")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
                                             required=True)
@@ -446,6 +535,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "faults": _cmd_faults,
         "overload": _cmd_overload,
+        "report": _cmd_report,
     }
     try:
         if args.command == "trace":

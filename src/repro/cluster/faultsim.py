@@ -39,7 +39,9 @@ from repro.faults.plan import FAIL, FaultPlan, fault_horizon, pick_server
 from repro.obs.events import (
     DEADLINE_MISS,
     QUERY_ARRIVE,
+    QUERY_COMPLETE,
     QUERY_REJECTED,
+    QUERY_TIMEOUT,
     SERVER_FAIL,
     SERVER_RECOVER,
     TASK_CANCEL,
@@ -272,7 +274,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                          query_id=slot.qidx,
                          class_name=classes[class_index[slot.qidx]].name,
                          fanout=int(fanout[slot.qidx]),
-                         deadline=slot.deadline, slack=slot.deadline - now)
+                         deadline=slot.deadline, slack=slot.deadline - now,
+                         extra={"slot": slot.slot})
                 if missed:
                     rec.inc("deadline_misses")
                     rec.emit(DEADLINE_MISS, now, server_id=sid,
@@ -352,6 +355,12 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
         nonlocal tasks_failed
         slot.failed = True
         tasks_failed += 1
+        if tracing and not failed_q[slot.qidx]:
+            # First slot loss: the query just became permanently failed.
+            rec.inc("queries_timed_out")
+            rec.emit(QUERY_TIMEOUT, now, query_id=slot.qidx,
+                     class_name=classes[class_index[slot.qidx]].name,
+                     fanout=int(fanout[slot.qidx]))
         failed_q[slot.qidx] = True
         remaining[slot.qidx] -= 1
 
@@ -377,7 +386,7 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
             if tracing:
                 rec.emit(TASK_CANCEL, now, server_id=sid,
                          query_id=slot.qidx,
-                         extra={"reason": "server_fail"})
+                         extra={"reason": "server_fail", "slot": slot.slot})
             return
         schedule_requeue(slot, "server_fail")
 
@@ -494,7 +503,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                         rec.emit(TASK_COMPLETE, now, server_id=sid,
                                  query_id=slot.qidx,
                                  class_name=classes[class_index[slot.qidx]].name,
-                                 extra={"duration": duration})
+                                 extra={"duration": duration,
+                                        "slot": slot.slot})
                     for other_cid, other_sid in slot.live.items():
                         if busy[other_sid] == other_cid:
                             discard.add(other_cid)
@@ -510,7 +520,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                         if tracing:
                             rec.emit(TASK_CANCEL, now, server_id=other_sid,
                                      query_id=slot.qidx,
-                                     extra={"reason": "hedge_lost"})
+                                     extra={"reason": "hedge_lost",
+                                            "slot": slot.slot})
                     slot.live.clear()
                     qidx = slot.qidx
                     remaining[qidx] -= 1
@@ -519,6 +530,10 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                             latency[qidx] = now - arrival_l[qidx]
                             rec.observe_latency(latency[qidx])
                             rec.inc("queries_completed")
+                            rec.emit(QUERY_COMPLETE, now, query_id=qidx,
+                                     class_name=classes[class_index[qidx]].name,
+                                     fanout=int(fanout[qidx]),
+                                     extra={"latency": latency[qidx]})
                         else:
                             comp_idx.append(qidx)
                             comp_time.append(now)
@@ -540,7 +555,7 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                     rec.emit(TASK_RETRY, now, server_id=target,
                              query_id=slot.qidx, deadline=slot.deadline,
                              extra={"attempt": slot.attempts,
-                                    "reason": reason})
+                                    "reason": reason, "slot": slot.slot})
                 cid = new_copy(slot, target)
                 enqueue_copy(target, cid)
                 arm_timeout(cid)
@@ -563,7 +578,7 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 if tracing:
                     rec.emit(TASK_CANCEL, now, server_id=sid,
                              query_id=slot.qidx,
-                             extra={"reason": "timeout"})
+                             extra={"reason": "timeout", "slot": slot.slot})
                 schedule_requeue(slot, "timeout")
 
             else:                                # ----- hedge timer ("H")
@@ -578,7 +593,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                     if tracing:
                         rec.emit(TASK_HEDGE, now, server_id=target,
                                  query_id=slot.qidx, deadline=slot.deadline,
-                                 extra={"hedge": slot.hedges})
+                                 extra={"hedge": slot.hedges,
+                                        "slot": slot.slot})
                     cid = new_copy(slot, target)
                     enqueue_copy(target, cid)
                     arm_timeout(cid)
@@ -675,7 +691,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 if tracing:
                     rec.emit(TASK_RETRY, now, server_id=target,
                              query_id=qidx, deadline=deadline,
-                             extra={"attempt": 0, "reason": "redirect"})
+                             extra={"attempt": 0, "reason": "redirect",
+                                    "slot": j})
                 sid = target
             cid = new_copy(slot, sid)
             enqueue_copy(sid, cid)

@@ -345,6 +345,37 @@ class SimulationResult:
             return 0.0
         return float((self.failed & self.measured).sum()) / total
 
+    def attribution(self):
+        """Cluster-level latency attribution from the run's trace.
+
+        Requires the run to have been traced (``obs`` set); returns a
+        :class:`repro.obs.attribution.ClusterAttribution` over every
+        completed query in the event stream.
+        """
+        if self.obs is None:
+            raise ConfigurationError(
+                "result has no trace recorder; run with a TraceRecorder "
+                "to enable latency attribution"
+            )
+        from repro.obs.attribution import ClusterAttribution
+        return ClusterAttribution.from_recorder(self.obs)
+
+    def attribution_summary(self) -> Dict[str, float]:
+        """Flat attribution numbers for tabular output (CSV/JSON rows).
+
+        Per-component p99 plus each component's share of total latency,
+        derived from :meth:`attribution`.  Empty dict when the run was
+        untraced (so callers can merge it unconditionally).
+        """
+        if self.obs is None:
+            return {}
+        table = self.attribution().mechanism_table()
+        out: Dict[str, float] = {}
+        for component, row in table.items():
+            out[f"attr_{component}_p99"] = row["p99"]
+            out[f"attr_{component}_share"] = row["share"]
+        return out
+
     def summary(self) -> Dict[str, float]:
         """Headline numbers for logging/CLI output."""
         out = {

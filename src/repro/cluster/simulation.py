@@ -34,6 +34,7 @@ from repro.obs.events import (
     CDF_UPDATE,
     DEADLINE_MISS,
     QUERY_ARRIVE,
+    QUERY_COMPLETE,
     QUERY_REJECTED,
     SERVER_BUSY,
     SERVER_IDLE,
@@ -790,6 +791,10 @@ def simulate(config: ClusterConfig) -> SimulationResult:
                 if tracing:
                     rec.observe_latency(latency[qidx])
                     rec.inc("queries_completed")
+                    rec.emit(QUERY_COMPLETE, now, query_id=qidx,
+                             class_name=classes[class_index[qidx]].name,
+                             fanout=int(fanout[qidx]),
+                             extra={"latency": latency[qidx]})
             queue = queues[sid]
             if len(queue) > 0:
                 task_qidx, task_deadline = queue.pop()

@@ -20,7 +20,12 @@ from repro.core.deadline import DeadlineEstimator
 from repro.core.policies import Policy
 from repro.core.server import TaskServer
 from repro.errors import ConfigurationError
-from repro.obs.events import QUERY_ARRIVE, QUERY_REJECTED
+from repro.obs.events import (
+    QUERY_ARRIVE,
+    QUERY_COMPLETE,
+    QUERY_REJECTED,
+    QUERY_TIMEOUT,
+)
 from repro.sim.engine import Environment, Event
 from repro.types import QueryRecord, QuerySpec, Task
 
@@ -239,6 +244,16 @@ class QueryHandler:
             else:
                 record.finish_time = self.env.now
                 self.completed.append(record)
+                rec = self._recorder
+                if rec is not None:
+                    latency = self.env.now - record.spec.arrival_time
+                    rec.observe_latency(latency)
+                    rec.inc("queries_completed")
+                    rec.emit(QUERY_COMPLETE, self.env.now,
+                             query_id=task.query_id,
+                             class_name=record.spec.service_class.name,
+                             fanout=record.spec.fanout,
+                             extra={"latency": latency})
             del self._inflight[task.query_id]
             del self._remaining[task.query_id]
             done.succeed(record)
@@ -248,6 +263,13 @@ class QueryHandler:
         complete.  Its record keeps ``finish_time`` unset (latency is
         undefined) and lands on :attr:`failed` once all slots resolve."""
         record, done, _ = self._inflight[query_id]
+        rec = self._recorder
+        if rec is not None and not record.failed:
+            # First slot loss: the query just became permanently failed.
+            rec.inc("queries_timed_out")
+            rec.emit(QUERY_TIMEOUT, self.env.now, query_id=query_id,
+                     class_name=record.spec.service_class.name,
+                     fanout=record.spec.fanout)
         record.failed = True
         self._remaining[query_id] -= 1
         if self._remaining[query_id] == 0:

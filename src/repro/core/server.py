@@ -170,7 +170,8 @@ class TaskServer:
                 slack = task.deadline - self.env.now
                 rec.emit(TASK_DEQUEUE, self.env.now,
                          server_id=self.server_id, query_id=task.query_id,
-                         deadline=task.deadline, slack=slack)
+                         deadline=task.deadline, slack=slack,
+                         extra={"slot": task.slot})
                 if slack < 0:
                     rec.emit(DEADLINE_MISS, self.env.now,
                              server_id=self.server_id, query_id=task.query_id,
@@ -201,7 +202,8 @@ class TaskServer:
             if rec is not None:
                 rec.emit(TASK_COMPLETE, self.env.now,
                          server_id=self.server_id, query_id=task.query_id,
-                         deadline=task.deadline, extra={"duration": duration})
+                         deadline=task.deadline,
+                         extra={"duration": duration, "slot": task.slot})
             if self.on_complete is not None:
                 self.on_complete(task, self)
         # The callback may have enqueued more work; only pull from the

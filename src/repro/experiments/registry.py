@@ -208,6 +208,16 @@ def _ext_request_decomposition(quick: bool,
     return extensions.ext_request_decomposition()
 
 
+def _ext_tail_attribution(quick: bool,
+                          workers: Optional[int] = None
+                          ) -> ExperimentReport:
+    if quick:
+        return extensions.ext_tail_attribution(
+            n_queries=2_000, workers=workers,
+        )
+    return extensions.ext_tail_attribution(workers=workers)
+
+
 #: Registry of all experiments, keyed by the paper artifact they
 #: reproduce (see DESIGN.md's per-experiment index).
 EXPERIMENTS: Dict[str, ExperimentFn] = {
@@ -229,6 +239,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "ext_four_classes": _ext_four_classes,
     "ext_overload_sweep": _ext_overload_sweep,
     "ext_request_decomposition": _ext_request_decomposition,
+    "ext_tail_attribution": _ext_tail_attribution,
     "ablation_inaccurate_cdf": _ablation_inaccurate_cdf,
     "ablation_online_updating": _ablation_online_updating,
     "ablation_admission_threshold": _ablation_admission_threshold,

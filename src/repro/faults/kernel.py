@@ -159,7 +159,8 @@ class FaultManager:
                 self._recorder.emit(TASK_CANCEL, self.env.now,
                                     server_id=task.server_id,
                                     query_id=task.query_id,
-                                    extra={"reason": "server_fail"})
+                                    extra={"reason": "server_fail",
+                                           "slot": task.slot})
             return
         self._schedule_requeue(slot, "server_fail")
 
@@ -194,7 +195,8 @@ class FaultManager:
                                 query_id=slot.query_id,
                                 deadline=slot.deadline,
                                 extra={"attempt": slot.attempts,
-                                       "reason": reason})
+                                       "reason": reason,
+                                       "slot": slot.slot})
         self._launch_copy(slot, target)
 
     def _launch_copy(self, slot: _Slot, sid: int) -> None:
@@ -231,7 +233,8 @@ class FaultManager:
         if self._recorder is not None:
             self._recorder.emit(TASK_CANCEL, self.env.now, server_id=sid,
                                 query_id=slot.query_id,
-                                extra={"reason": "timeout"})
+                                extra={"reason": "timeout",
+                                       "slot": slot.slot})
         self._schedule_requeue(slot, "timeout")
 
     # ------------------------------------------------------------------
@@ -257,7 +260,8 @@ class FaultManager:
                                         server_id=target,
                                         query_id=slot.query_id,
                                         deadline=slot.deadline,
-                                        extra={"hedge": slot.hedges})
+                                        extra={"hedge": slot.hedges,
+                                               "slot": slot.slot})
                 self._launch_copy(slot, target)
                 if slot.hedges >= hedge.max_hedges:
                     return
@@ -287,7 +291,8 @@ class FaultManager:
                                         query_id=spec.query_id,
                                         deadline=deadline,
                                         extra={"attempt": 0,
-                                               "reason": "redirect"})
+                                               "reason": "redirect",
+                                               "slot": task.slot})
             slot.live[id(task)] = (task, sid)
             self.servers[sid].enqueue(task, key)
             self._arm_timeout(slot, task)
@@ -307,7 +312,8 @@ class FaultManager:
             if self._recorder is not None:
                 self._recorder.emit(TASK_CANCEL, self.env.now, server_id=sid,
                                     query_id=task.query_id,
-                                    extra={"reason": "hedge_lost"})
+                                    extra={"reason": "hedge_lost",
+                                           "slot": task.slot})
         slot.live.clear()
         return True
 

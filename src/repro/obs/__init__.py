@@ -18,7 +18,15 @@ Three pieces:
   per-server time series) and the zero-overhead
   :class:`~repro.obs.recorder.NullRecorder`;
 * :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` /
-  Perfetto trace-event exporters plus a human-readable text summary.
+  Perfetto trace-event exporters plus a human-readable text summary;
+* :mod:`repro.obs.attribution` — critical-path latency attribution:
+  the exact per-query additive breakdown of end-to-end latency into
+  queueing / service / retry / hedge components, and the cluster-level
+  tail attribution built on it;
+* :mod:`repro.obs.slo` — per-class SLO error budgets with multi-window
+  burn-rate accounting, fed from the same terminal events;
+* :mod:`repro.obs.forensics` — the ``tailguard report`` document
+  builder, text renderer, and a dependency-free JSON-schema checker.
 
 The hot paths (:mod:`repro.cluster.simulation`,
 :mod:`repro.core.server`) only ever pay a single ``is not None`` /
@@ -30,7 +38,9 @@ from repro.obs.events import (
     DEADLINE_MISS,
     EVENT_TYPES,
     QUERY_ARRIVE,
+    QUERY_COMPLETE,
     QUERY_REJECTED,
+    QUERY_TIMEOUT,
     SERVER_BUSY,
     SERVER_IDLE,
     TASK_COMPLETE,
@@ -42,9 +52,23 @@ from repro.obs.metrics import LogHistogram, ServerSeries
 from repro.obs.recorder import NullRecorder, TraceRecorder
 from repro.obs.export import (
     chrome_trace_events,
+    read_jsonl,
+    recorder_from_jsonl,
     text_summary,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.attribution import (
+    COMPONENTS,
+    ClusterAttribution,
+    QueryAttribution,
+    attribute_queries,
+)
+from repro.obs.slo import ErrorBudget, SLOAccountant
+from repro.obs.forensics import (
+    render_report,
+    tail_forensics_report,
+    validate_report,
 )
 
 __all__ = [
@@ -52,7 +76,9 @@ __all__ = [
     "DEADLINE_MISS",
     "EVENT_TYPES",
     "QUERY_ARRIVE",
+    "QUERY_COMPLETE",
     "QUERY_REJECTED",
+    "QUERY_TIMEOUT",
     "SERVER_BUSY",
     "SERVER_IDLE",
     "TASK_COMPLETE",
@@ -64,7 +90,18 @@ __all__ = [
     "NullRecorder",
     "TraceRecorder",
     "chrome_trace_events",
+    "read_jsonl",
+    "recorder_from_jsonl",
     "text_summary",
     "write_chrome_trace",
     "write_jsonl",
+    "COMPONENTS",
+    "ClusterAttribution",
+    "QueryAttribution",
+    "attribute_queries",
+    "ErrorBudget",
+    "SLOAccountant",
+    "render_report",
+    "tail_forensics_report",
+    "validate_report",
 ]

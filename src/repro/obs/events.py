@@ -72,6 +72,13 @@ BREAKER_CLOSE = "BREAKER_CLOSE"
 #: The drift monitor replaced a server's unloaded CDF estimate;
 #: ``extra["ks_distance"]`` is the divergence that triggered it.
 CDF_REBOOTSTRAP = "CDF_REBOOTSTRAP"
+#: Terminal event: the query's last winning task finished, so the query
+#: completed; ``extra["latency"]`` is its end-to-end response time.
+QUERY_COMPLETE = "QUERY_COMPLETE"
+#: Terminal event: the query permanently failed — a task slot exhausted
+#: its retry budget or no surviving server could take it.  Emitted once,
+#: at the first slot loss; the query's latency stays undefined.
+QUERY_TIMEOUT = "QUERY_TIMEOUT"
 
 #: Every recognised lifecycle event type.
 EVENT_TYPES = frozenset({
@@ -94,6 +101,8 @@ EVENT_TYPES = frozenset({
     BREAKER_OPEN,
     BREAKER_CLOSE,
     CDF_REBOOTSTRAP,
+    QUERY_COMPLETE,
+    QUERY_TIMEOUT,
 })
 
 _NAN = float("nan")

@@ -27,7 +27,9 @@ from typing import IO, Any, Dict, List, Union
 from repro.obs.events import (
     DEADLINE_MISS,
     QUERY_ARRIVE,
+    QUERY_COMPLETE,
     QUERY_REJECTED,
+    QUERY_TIMEOUT,
     TASK_COMPLETE,
     TASK_DEQUEUE,
     TASK_ENQUEUE,
@@ -82,6 +84,42 @@ def read_jsonl(path_or_file: PathOrFile) -> List[Dict[str, Any]]:
     return [json.loads(line) for line in lines if line.strip()]
 
 
+#: ``TraceEvent`` fields :meth:`~repro.obs.events.TraceEvent.to_dict`
+#: writes at the top level; everything else round-trips through
+#: ``extra``.
+_EVENT_FIELDS = frozenset({"seq", "type", "time", "server_id", "query_id",
+                           "class_name", "fanout", "deadline", "slack"})
+
+
+def recorder_from_jsonl(path_or_file: PathOrFile):
+    """Rebuild a recorder from a JSONL trace written by
+    :func:`write_jsonl`.
+
+    The loader is lenient (``strict=False``): unknown event types pass
+    through unchanged, and any non-standard keys land back in each
+    event's ``extra`` dict.  Sequence numbers are reassigned in file
+    order, which is emission order for an unedited trace.  Only the
+    event stream survives the round-trip — counters, gauges, the
+    latency histogram, and sampled series are not serialized to JSONL.
+    """
+    from repro.obs.recorder import TraceRecorder
+
+    recorder = TraceRecorder(strict=False)
+    for entry in read_jsonl(path_or_file):
+        extra = {k: v for k, v in entry.items() if k not in _EVENT_FIELDS}
+        recorder.emit(
+            entry["type"], entry["time"],
+            server_id=int(entry.get("server_id", -1)),
+            query_id=int(entry.get("query_id", -1)),
+            class_name=entry.get("class_name", ""),
+            fanout=int(entry.get("fanout", 0)),
+            deadline=float(entry.get("deadline", float("nan"))),
+            slack=float(entry.get("slack", float("nan"))),
+            extra=extra or None,
+        )
+    return recorder
+
+
 # ----------------------------------------------------------------------
 # Chrome trace-event format
 # ----------------------------------------------------------------------
@@ -125,13 +163,13 @@ def chrome_trace_events(recorder) -> List[Dict[str, Any]]:
                          "class": event.class_name,
                          "fanout": event.fanout},
             })
-        elif event.type == QUERY_REJECTED:
+        elif event.type in (QUERY_REJECTED, QUERY_COMPLETE, QUERY_TIMEOUT):
             args: Dict[str, Any] = {"query_id": event.query_id}
             if event.extra:
                 args.update(event.extra)
             trace.append({
                 "ph": "i", "s": "p", "pid": TRACE_PID, "tid": HANDLER_TID,
-                "ts": ts, "name": "QUERY_REJECTED", "args": args,
+                "ts": ts, "name": event.type, "args": args,
             })
         elif event.type == TASK_DEQUEUE:
             ensure_server(event.server_id)

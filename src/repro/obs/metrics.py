@@ -135,7 +135,14 @@ class LogHistogram:
                 and self.buckets_per_decade == other.buckets_per_decade)
 
     def merge(self, other: "LogHistogram") -> "LogHistogram":
-        """Absorb ``other`` (same bucket layout) into this histogram."""
+        """Absorb ``other`` (same bucket layout) into this histogram.
+
+        Merging an *empty* histogram is a no-op regardless of layout:
+        there is nothing to fold in, so nothing — not even the layout —
+        gets checked or touched.
+        """
+        if other.total_count() == 0:
+            return self
         if not self._same_layout(other):
             raise ConfigurationError(
                 "cannot merge histograms with different bucket layouts"
@@ -170,8 +177,11 @@ class LogHistogram:
 
         The cross-process aggregation path: workers ship JSON-ready
         snapshots home and the parent folds them in.  Layout must
-        match, exactly as for :meth:`merge`.
+        match, exactly as for :meth:`merge` — and exactly as there, an
+        empty snapshot merges as a no-op without a layout check.
         """
+        if int(snap.get("count", 0)) == 0:
+            return self
         if (self.min_value != snap["min_value"]
                 or self.max_value != snap["max_value"]
                 or self.buckets_per_decade != snap["buckets_per_decade"]):

@@ -144,6 +144,10 @@ class TraceRecorder:
         merges bucket-wise, and sampled server series concatenate in
         merge order.  Used by the parallel experiment runner to fold a
         worker-side recorder into the parent-side one.
+
+        Merging an empty recorder is a no-op: nothing is appended and
+        the histogram layout is not checked (an empty histogram has
+        nothing to say about bucket edges).
         """
         for event in other.events:
             self.events.append(dataclasses.replace(event,

@@ -1,0 +1,273 @@
+"""Latency attribution is exact, additive, and path-independent.
+
+The forensics layer's core claim: feeding either simulator's event
+stream to :func:`repro.obs.attribution.attribute_queries` yields a
+per-query decomposition that (a) satisfies the additivity invariant
+bit-exactly, (b) reproduces the simulator's own recorded latency, and
+(c) is identical — component by component, critical copy by critical
+copy — between the composable DES-kernel path and the fault-aware
+event calendar.  Same discipline as test_faults_equivalence.py: one
+shared trace, pre-assigned servers, deterministic per-server service
+times, fault times on odd decimals so no fault event ties a completion.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, simulate
+from repro.core.deadline import DeadlineEstimator
+from repro.core.handler import QueryHandler
+from repro.core.policies import get_policy
+from repro.core.server import TaskServer
+from repro.distributions import Deterministic
+from repro.faults import (
+    CrashProcess,
+    Downtime,
+    FaultPlan,
+    HedgePolicy,
+    RetryPolicy,
+    StragglerEpisode,
+    fault_horizon,
+    install_faults,
+)
+from repro.obs import TraceRecorder
+from repro.obs.attribution import (
+    COMPONENTS,
+    ClusterAttribution,
+    attribute_queries,
+)
+from repro.obs.slo import SLOAccountant
+from repro.overload import (
+    AdaptiveAdmissionPolicy,
+    DegradePolicy,
+    OverloadPolicy,
+    install_overload,
+)
+from repro.sim import Environment
+from repro.types import QuerySpec, ServiceClass
+
+N_SERVERS = 8
+
+CLASSES = [
+    ServiceClass("class-I", slo_ms=5.0, priority=0),
+    ServiceClass("class-II", slo_ms=7.5, priority=1),
+]
+
+
+def build_trace(n_queries=300, seed=9, mean_gap=0.35):
+    rng = np.random.default_rng(seed)
+    specs = []
+    now = 0.0
+    for qid in range(n_queries):
+        now += float(rng.exponential(mean_gap))
+        fanout = int(rng.choice([1, 2, 4, 8]))
+        servers = tuple(
+            int(s) for s in rng.choice(N_SERVERS, size=fanout, replace=False)
+        )
+        specs.append(
+            QuerySpec(
+                query_id=qid,
+                arrival_time=now,
+                fanout=fanout,
+                service_class=CLASSES[int(rng.integers(2))],
+                servers=servers,
+            )
+        )
+    return specs
+
+
+def server_cdfs():
+    return {
+        sid: Deterministic(0.5 + 0.1 * sid) for sid in range(N_SERVERS)
+    }
+
+
+PLANS = {
+    "pause": FaultPlan(
+        downtimes=(
+            Downtime(2, 10.113, 17.391),
+            Downtime(5, 30.207, 38.119),
+        ),
+    ),
+    "kill-retry": FaultPlan(
+        downtimes=(
+            Downtime(2, 10.113, 17.391),
+            Downtime(5, 30.207, 38.119),
+        ),
+        retry=RetryPolicy(max_retries=3, backoff_ms=0.377),
+    ),
+    "hedge-straggler": FaultPlan(
+        downtimes=(Downtime(1, 20.117, 26.393),),
+        stragglers=(StragglerEpisode((3, 4), 40.109, 70.457, 3.0),),
+        hedge=HedgePolicy(delay_ms=2.131, max_hedges=1),
+    ),
+    "everything": FaultPlan(
+        downtimes=(Downtime(6, 15.359, 22.901),),
+        crashes=CrashProcess(mtbf_ms=80.0, mttr_ms=6.0,
+                             server_ids=(0, 3), seed=5),
+        stragglers=(StragglerEpisode((7,), 35.183, 55.621, 2.5),),
+        retry=RetryPolicy(max_retries=2, backoff_ms=0.531,
+                          timeout_ms=9.207),
+        hedge=HedgePolicy(delay_ms=3.313, max_hedges=1),
+    ),
+}
+
+
+def run_kernel_path(specs, policy_name, plan, overload=None):
+    rec = TraceRecorder()
+    env = Environment()
+    policy = get_policy(policy_name)
+    cdfs = server_cdfs()
+    estimator = DeadlineEstimator(dict(cdfs))
+    servers = [
+        TaskServer(env, sid, policy, cdfs[sid], np.random.default_rng(sid),
+                   recorder=rec)
+        for sid in range(N_SERVERS)
+    ]
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(123), recorder=rec)
+    if plan is not None:
+        install_faults(env, handler, servers, plan,
+                       fault_horizon(specs[-1].arrival_time), cdfs,
+                       recorder=rec)
+    if overload is not None:
+        install_overload(env, handler, servers, overload, recorder=rec)
+    env.process(handler.drive(specs))
+    env.run()
+    latencies = {
+        record.spec.query_id: record.latency for record in handler.completed
+    }
+    return rec, latencies
+
+
+def run_fast_path(specs, policy_name, plan, overload=None):
+    rec = TraceRecorder()
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        policy=policy_name,
+        specs=specs,
+        server_cdfs=server_cdfs(),
+        warmup_fraction=0.0,
+    ).with_recorder(rec)
+    if plan is not None:
+        config = config.with_faults(plan)
+    if overload is not None:
+        config = config.with_overload(overload)
+    result = simulate(config)
+    latencies = {
+        spec.query_id: result.latency[i]
+        for i, spec in enumerate(specs)
+        if not math.isnan(result.latency[i])
+    }
+    return rec, latencies, result
+
+
+def assert_additive(attributions, context):
+    for q in attributions:
+        assert q.check_additivity(), (
+            f"additivity broken for query {q.query_id} under {context}"
+        )
+        assert q.queueing_ms >= 0.0, (
+            f"negative queueing for query {q.query_id} under {context}"
+        )
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("policy_name", ["fifo", "tailguard"])
+def test_attribution_agrees_across_paths(policy_name, plan_name):
+    specs = build_trace()
+    plan = PLANS[plan_name]
+    context = f"{policy_name}/{plan_name}"
+
+    kernel_rec, kernel_lat = run_kernel_path(specs, policy_name, plan)
+    fast_rec, fast_lat, result = run_fast_path(specs, policy_name, plan)
+
+    kernel_attr = {q.query_id: q for q in attribute_queries(kernel_rec)}
+    fast_attr = {q.query_id: q for q in attribute_queries(fast_rec)}
+
+    # Every completed query gets attributed, on both paths.
+    assert set(kernel_attr) == set(kernel_lat)
+    assert set(fast_attr) == set(fast_lat)
+    assert set(kernel_attr) == set(fast_attr), context
+
+    assert_additive(kernel_attr.values(), f"kernel/{context}")
+    assert_additive(fast_attr.values(), f"fast/{context}")
+
+    for qid, fq in fast_attr.items():
+        kq = kernel_attr[qid]
+        # The attributed latency IS the simulator's recorded latency.
+        assert fq.latency_ms == fast_lat[qid]
+        assert kq.latency_ms == kernel_lat[qid]
+        # Cross-path: same critical copy, same decomposition.
+        assert kq.critical_server == fq.critical_server, (
+            f"query {qid} critical server diverged under {context}"
+        )
+        assert kq.critical_kind == fq.critical_kind, (
+            f"query {qid} critical kind diverged under {context}"
+        )
+        for component in COMPONENTS:
+            field = f"{component}_ms"
+            assert getattr(kq, field) == pytest.approx(
+                getattr(fq, field), abs=1e-9
+            ), f"query {qid} {component} diverged under {context}"
+
+    # Per-class SLO accounting sees identical good/bad streams.
+    kernel_slo = SLOAccountant(CLASSES)
+    kernel_slo.ingest(kernel_rec)
+    fast_slo = SLOAccountant(CLASSES)
+    fast_slo.ingest(fast_rec)
+    for name in kernel_slo.budgets:
+        assert kernel_slo.budgets[name].total == fast_slo.budgets[name].total
+        assert kernel_slo.budgets[name].bad == fast_slo.budgets[name].bad
+
+
+def test_mitigated_plans_attribute_mitigation_time():
+    """Non-vacuity: under the everything plan some queries' critical
+    copies are retries or hedges, and those components carry real time."""
+    specs = build_trace()
+    rec, _, _ = run_fast_path(specs, "tailguard", PLANS["everything"])
+    attr = ClusterAttribution.from_recorder(rec)
+    kinds = {q.critical_kind for q in attr.queries}
+    assert "retry" in kinds or "hedge" in kinds
+    mitigation_time = (sum(q.retry_delay_ms for q in attr.queries)
+                      + sum(q.hedge_wait_ms for q in attr.queries))
+    assert mitigation_time > 0.0
+    table = attr.mechanism_table()
+    assert sum(row["share"] for row in table.values()) == pytest.approx(1.0)
+
+
+def test_degraded_queries_attributed_identically():
+    """Overload degradation: both paths annotate the same queries as
+    degraded with the same coverage, and additivity still holds."""
+    specs = build_trace()  # overloaded enough for the controller to engage
+    overload = OverloadPolicy(
+        admission=AdaptiveAdmissionPolicy(
+            target_miss_ratio=0.08, window_tasks=400, window_ms=30.0,
+            min_samples=60, decrease=0.6, increase=0.1, floor=0.05,
+            hysteresis=0.2, ctl_interval_ms=1.0, max_latch_ms=50.0,
+        ),
+        degrade=DegradePolicy(min_coverage=0.5, pressure_alpha=0.1,
+                              safety=1.0),
+    )
+    kernel_rec, _ = run_kernel_path(specs, "tailguard", None, overload)
+    fast_rec, _, result = run_fast_path(specs, "tailguard", None, overload)
+
+    kernel_attr = {q.query_id: q for q in attribute_queries(kernel_rec)}
+    fast_attr = {q.query_id: q for q in attribute_queries(fast_rec)}
+    assert set(kernel_attr) == set(fast_attr)
+    assert_additive(kernel_attr.values(), "kernel/degrade")
+    assert_additive(fast_attr.values(), "fast/degrade")
+
+    degraded = 0
+    for qid, fq in fast_attr.items():
+        kq = kernel_attr[qid]
+        assert kq.degraded == fq.degraded
+        assert kq.coverage == pytest.approx(fq.coverage, abs=1e-12)
+        assert kq.latency_ms == pytest.approx(fq.latency_ms, abs=1e-9)
+        degraded += fq.degraded
+    # The scenario actually degrades traffic, and the count matches the
+    # overload controller's own books.
+    assert degraded > 0
+    assert degraded == result.overload.degraded_queries

@@ -265,6 +265,138 @@ class TestOverloadRoundTrip:
         assert serial == parallel
 
 
+class TestReportCommand:
+    ARGS = ["report", "--queries", "1500", "--load", "0.4",
+            "--servers", "100", "--seed", "3"]
+
+    def test_report_text(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "=== tail forensics ===" in out
+        assert "latency attribution" in out
+        assert "SLO budgets" in out
+        assert "slowest queries" in out
+        assert "queueing" in out and "service" in out
+
+    def test_report_json_validates_against_schema(self, capsys):
+        import pathlib
+
+        from repro.obs.forensics import validate_report
+
+        assert main(self.ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"version", "run", "attribution", "slo",
+                               "slowest_queries"}
+        assert report["version"] == 1
+        assert report["run"]["queries_measured"] > 0
+        assert report["attribution"]["queries_attributed"] > 0
+        schema_path = (pathlib.Path(__file__).resolve().parents[1]
+                       / "data" / "report_schema.json")
+        schema = json.loads(schema_path.read_text())
+        assert validate_report(report, schema) == []
+
+    def test_report_out_file(self, capsys, tmp_path):
+        path = tmp_path / "forensics.json"
+        assert main(self.ARGS + ["--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote forensics JSON to {path}" in out
+        document = json.loads(path.read_text())
+        assert document["version"] == 1
+
+    def test_report_with_mitigations_attributes_them(self, capsys):
+        assert main(self.ARGS + [
+            "--json", "--mtbf-ms", "200", "--mttr-ms", "5",
+            "--retries", "2", "--hedge",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        hedges = report["attribution"]["hedges"]
+        assert hedges["hedges_launched"] > 0
+        components = report["attribution"]["components"]
+        mitigation_share = (components["retry_delay"]["share"]
+                            + components["hedge_wait"]["share"])
+        assert mitigation_share > 0.0
+
+    def test_report_top_k_limits_waterfalls(self, capsys):
+        assert main(self.ARGS + ["--json", "--top", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["slowest_queries"]) == 2
+        latencies = [q["latency_ms"] for q in report["slowest_queries"]]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_report_bad_slo_exits_2(self, capsys):
+        assert main(["report", "--queries", "100", "--slo-ms", "-1"]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+
+def _tiny_attribution(quick, workers=None):
+    """A registry-shaped shrink of ext_tail_attribution for round-trips."""
+    from repro.experiments import extensions
+
+    return extensions.ext_tail_attribution(n_queries=1_500, workers=workers)
+
+
+class TestAttributionRoundTrip:
+    """The attribution summary columns survive every serialization hop —
+    report rows -> ``run --json`` stdout, ``--csv`` files, and the
+    parallel runner's worker -> parent recorder merge."""
+
+    COLUMNS = ("attr_queueing_share", "attr_service_share",
+               "attr_retry_delay_p99", "attr_hedge_wait_p99",
+               "burn_rate_fast", "burn_rate_slow")
+
+    def register(self, monkeypatch):
+        from repro.experiments.registry import EXPERIMENTS
+
+        monkeypatch.setitem(EXPERIMENTS, "tiny_attribution",
+                            _tiny_attribution)
+
+    def test_json_round_trip(self, capsys, monkeypatch):
+        self.register(monkeypatch)
+        assert main(["run", "tiny_attribution", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "ext_tail_attribution"
+        assert len(data["rows"]) == 3
+        for row in data["rows"]:
+            for column in self.COLUMNS:
+                assert column in row, f"{column} lost in JSON round-trip"
+        by_mode = {row["mode"]: row for row in data["rows"]}
+        # Non-vacuity: mitigations only show up in the faulted mode.
+        assert by_mode["retry+hedge"]["attr_hedge_wait_p99"] >= 0.0
+        assert by_mode["clean"]["attr_retry_delay_p99"] == 0.0
+        assert by_mode["clean"]["attr_hedge_wait_p99"] == 0.0
+        for row in data["rows"]:
+            assert 0.0 < row["attr_service_share"] <= 1.0
+
+    def test_csv_matches_json(self, capsys, tmp_path, monkeypatch):
+        import csv
+
+        self.register(monkeypatch)
+        path = tmp_path / "rows.csv"
+        assert main(["run", "tiny_attribution", "--json",
+                     "--csv", str(path)]) == 0
+        _, rest = capsys.readouterr().out.split("\n", 1)
+        json_rows = json.loads(rest)["rows"]
+        with open(path, newline="") as fh:
+            csv_rows = list(csv.DictReader(fh))
+        assert len(csv_rows) == len(json_rows)
+        for json_row, csv_row in zip(json_rows, csv_rows):
+            assert set(csv_row) == set(json_row)
+            for column, value in json_row.items():
+                if isinstance(value, (int, float)):
+                    assert float(csv_row[column]) == value, column
+                else:
+                    assert csv_row[column] == value
+
+    def test_parallel_merge_matches_serial(self, capsys, monkeypatch):
+        self.register(monkeypatch)
+        assert main(["run", "tiny_attribution", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)["rows"]
+        assert main(["run", "tiny_attribution", "--json",
+                     "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)["rows"]
+        assert serial == parallel
+
+
 class TestTraceRun:
     def test_chrome_export(self, capsys, tmp_path):
         out_path = tmp_path / "run.json"

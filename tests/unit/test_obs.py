@@ -12,6 +12,8 @@ from repro.errors import ConfigurationError
 from repro.obs import (
     DEADLINE_MISS,
     QUERY_ARRIVE,
+    QUERY_COMPLETE,
+    QUERY_TIMEOUT,
     SERVER_IDLE,
     TASK_COMPLETE,
     TASK_DEQUEUE,
@@ -20,11 +22,12 @@ from repro.obs import (
     NullRecorder,
     TraceRecorder,
     chrome_trace_events,
+    recorder_from_jsonl,
     text_summary,
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.export import read_jsonl
+from repro.obs.export import HANDLER_TID, TRACE_PID, read_jsonl
 from repro.sim.engine import Environment
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "data",
@@ -47,8 +50,11 @@ def golden_recorder() -> TraceRecorder:
              fanout=2, deadline=0.9, slack=-0.1, extra={"queue_len": 0})
     rec.emit(DEADLINE_MISS, 1.0, server_id=1, query_id=0, deadline=0.9,
              slack=-0.1)
+    rec.emit(QUERY_TIMEOUT, 1.2, query_id=1, class_name="gold", fanout=1)
     rec.emit(TASK_COMPLETE, 1.5, server_id=1, query_id=0,
              extra={"duration": 0.5})
+    rec.emit(QUERY_COMPLETE, 1.5, query_id=0, class_name="gold", fanout=2,
+             extra={"latency": 1.5})
     rec.sample_servers(1.0, [0, 0], [0, 1], [0.5, 1.0], [0.0, 1.0])
     return rec
 
@@ -106,6 +112,7 @@ class TestLogHistogram:
     def test_merge_rejects_different_layouts(self):
         a = LogHistogram(1.0, 1000.0, buckets_per_decade=2)
         b = LogHistogram(1.0, 1000.0, buckets_per_decade=4)
+        b.record(3.0)  # empty sources merge as no-ops; non-empty must raise
         with pytest.raises(ConfigurationError):
             a.merge(b)
 
@@ -272,6 +279,19 @@ class TestExporters:
             golden = stream.read()
         assert buffer.getvalue() == golden
 
+    def test_chrome_terminal_instants(self):
+        """QUERY_COMPLETE / QUERY_TIMEOUT become handler-thread instant
+        events carrying their extras (latency for completions)."""
+        events = chrome_trace_events(golden_recorder())
+        instants = {e["name"]: e for e in events if e["ph"] == "i"}
+        complete = instants[QUERY_COMPLETE]
+        assert complete["tid"] == HANDLER_TID
+        assert complete["ts"] == pytest.approx(1500.0)
+        assert complete["args"]["latency"] == pytest.approx(1.5)
+        timeout = instants[QUERY_TIMEOUT]
+        assert timeout["tid"] == HANDLER_TID
+        assert timeout["args"]["query_id"] == 1
+
     def test_text_summary_mentions_each_event_type(self):
         rec = golden_recorder()
         text = text_summary(rec)
@@ -316,3 +336,112 @@ class TestQueueReorderDepth:
         assert queue.reorder_depth((1, 0.0)) == 2
         assert queue.reorder_depth((0, 9.0)) == 2
         assert queue.reorder_depth((2, 0.0)) == 0
+
+
+class TestEmptyMerge:
+    """Merging *empty* sources is a no-op — even across layouts.
+
+    Regression: an empty worker histogram (different bucket layout, or
+    just never recorded into) used to fail the layout check and reset
+    nothing gracefully; now empty sources fold in as no-ops.
+    """
+
+    def test_merge_empty_histogram_any_layout(self):
+        a = LogHistogram(1.0, 1000.0, buckets_per_decade=2)
+        a.record(5.0)
+        before = a.snapshot()
+        a.merge(LogHistogram(0.5, 77.0, buckets_per_decade=9))
+        assert a.snapshot() == before
+
+    def test_merge_snapshot_empty_any_layout(self):
+        a = LogHistogram(1.0, 1000.0, buckets_per_decade=2)
+        a.record(5.0)
+        before = a.snapshot()
+        empty = LogHistogram(0.5, 77.0, buckets_per_decade=9).snapshot()
+        a.merge_snapshot(empty)
+        assert a.snapshot() == before
+
+    def test_nonempty_layout_mismatch_still_raises(self):
+        a = LogHistogram(1.0, 1000.0, buckets_per_decade=2)
+        b = LogHistogram(1.0, 1000.0, buckets_per_decade=4)
+        b.record(3.0)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+        with pytest.raises(ConfigurationError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_recorder_merge_from_empty_is_noop(self):
+        rec = golden_recorder()
+        rec.observe_latency(1.5)
+        n_events = len(rec.events)
+        counters = dict(rec.counters)
+        hist_before = rec.latency_hist.snapshot()
+        series_before = len(rec.server_series())
+        rec.merge_from(TraceRecorder(histogram=LogHistogram(0.5, 9.0)))
+        assert len(rec.events) == n_events
+        assert rec.counters == counters
+        assert rec.latency_hist.snapshot() == hist_before
+        assert len(rec.server_series()) == series_before
+
+
+class TestExportEdgeCases:
+    def test_zero_event_trace(self):
+        rec = TraceRecorder()
+        buffer = io.StringIO()
+        assert write_jsonl(rec, buffer) == 0
+        assert buffer.getvalue() == ""
+        events = chrome_trace_events(rec)
+        # Metadata only: process name + handler thread name.
+        assert [e["ph"] for e in events] == ["M", "M"]
+        text = text_summary(rec)
+        assert "trace summary" in text
+
+    def test_unknown_types_pass_through_jsonl(self):
+        rec = TraceRecorder(strict=False)
+        rec.emit("CUSTOM_PROBE", 0.25, server_id=3,
+                 extra={"payload": "x", "n": 7})
+        rec.emit(QUERY_ARRIVE, 0.5, query_id=0, class_name="gold")
+        buffer = io.StringIO()
+        write_jsonl(rec, buffer)
+        back = recorder_from_jsonl(io.StringIO(buffer.getvalue()))
+        assert [e.type for e in back.events] == ["CUSTOM_PROBE",
+                                                 QUERY_ARRIVE]
+        probe = back.events[0]
+        assert probe.server_id == 3
+        assert probe.extra == {"payload": "x", "n": 7}
+        assert back.events[1].class_name == "gold"
+        assert [e.seq for e in back.events] == [0, 1]
+
+    def test_recorder_from_jsonl_roundtrips_golden(self):
+        rec = golden_recorder()
+        buffer = io.StringIO()
+        write_jsonl(rec, buffer)
+        back = recorder_from_jsonl(io.StringIO(buffer.getvalue()))
+        assert [e.to_dict() for e in back.events] == \
+            [e.to_dict() for e in rec.events]
+
+    def test_chrome_pid_tid_stable_across_merge(self):
+        """A merged recorder exports the same pid/tid mapping as its
+        sources: everything in pid 0, server sid on tid sid + 1, one
+        thread_name metadata record per server."""
+        a = TraceRecorder()
+        a.emit(TASK_DEQUEUE, 0.0, server_id=0, query_id=0)
+        a.emit(TASK_COMPLETE, 0.5, server_id=0, query_id=0,
+               extra={"duration": 0.5})
+        b = TraceRecorder()
+        b.emit(TASK_DEQUEUE, 0.2, server_id=4, query_id=1)
+        b.emit(TASK_COMPLETE, 0.9, server_id=4, query_id=1,
+               extra={"duration": 0.7})
+        b.emit(TASK_DEQUEUE, 1.0, server_id=0, query_id=2)
+        b.emit(TASK_COMPLETE, 1.4, server_id=0, query_id=2,
+               extra={"duration": 0.4})
+        a.merge_from(b)
+        events = chrome_trace_events(a)
+        assert {e["pid"] for e in events} == {TRACE_PID}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert sorted(e["tid"] for e in slices) == [1, 1, 5]
+        names = [e for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        # handler + exactly one per distinct server, despite server 0
+        # appearing in both source recorders.
+        assert len(names) == 3

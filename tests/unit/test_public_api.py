@@ -16,6 +16,7 @@ EXPECTED = [
     "AdmissionController",
     "AdmissionRejected",
     "BreakerPolicy",
+    "ClusterAttribution",
     "ClusterConfig",
     "ConfigurationError",
     "CrashProcess",
@@ -26,6 +27,7 @@ EXPECTED = [
     "Downtime",
     "DriftPolicy",
     "EXPERIMENTS",
+    "ErrorBudget",
     "ExperimentError",
     "FaultPlan",
     "HedgePolicy",
@@ -35,6 +37,7 @@ EXPECTED = [
     "ParetoArrivals",
     "PoissonArrivals",
     "Policy",
+    "QueryAttribution",
     "QueryHandler",
     "QueryRecord",
     "QuerySpec",
@@ -42,6 +45,7 @@ EXPECTED = [
     "RequestPlanner",
     "RequestSpec",
     "RetryPolicy",
+    "SLOAccountant",
     "SaSTestbed",
     "ServiceClass",
     "ServicePerturbation",
@@ -52,6 +56,7 @@ EXPECTED = [
     "TaskServer",
     "TraceRecorder",
     "Workload",
+    "attribute_queries",
     "find_max_load",
     "get_policy",
     "get_workload",
@@ -63,6 +68,7 @@ EXPECTED = [
     "run_simulations",
     "simulate",
     "single_class_mix",
+    "tail_forensics_report",
     "uniform_class_mix",
     "__version__",
 ]
