@@ -8,16 +8,20 @@ replaced.  Everything is written to
 ``benchmarks/results/BENCH_parallel_runner.json``.
 
 Honesty note: the speedup columns are only meaningful relative to
-``cpu_count`` (recorded in the JSON).  On a single-CPU box the worker
-processes time-slice one core and the parallel runs cannot beat
-serial; the numbers are still recorded so the determinism claim and
-pool overhead stay measured.
+``cpu_count`` (recorded in the JSON).  On a box with fewer cores than
+the widest worker setting the processes time-slice and the parallel
+runs cannot beat serial — the payload then carries
+``"parallel_valid": false`` and *no* ``speedup_vs_serial`` headline at
+all, so a dashboard can never quote a time-sliced "speedup".  Wall
+clocks are still recorded so the determinism claim and pool overhead
+stay measured.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 
@@ -106,9 +110,16 @@ def test_parallel_runner_wall_clock(record_report):
         timings[label], outcomes[label] = _run_grid(workers)
 
     identical = all(out == outcomes["serial"] for out in outcomes.values())
+    cpu_count = os.cpu_count() or 1
+    max_workers = max(w for w in _WORKER_SETTINGS if w is not None)
+    # A speedup headline measured with more workers than cores is a
+    # time-slicing artifact, not a speedup: refuse to emit one.
+    parallel_valid = cpu_count >= max_workers
     payload = {
         "benchmark": "parallel_runner",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "platform": platform.platform(),
+        "parallel_valid": parallel_valid,
         "grid": {
             "workloads": ["masstree"],
             "policies": list(_POLICIES),
@@ -118,14 +129,19 @@ def test_parallel_runner_wall_clock(record_report):
                for k, v in _GRID.items()},
         },
         "wall_clock_s": {k: round(v, 3) for k, v in timings.items()},
-        "speedup_vs_serial": {
-            k: round(timings["serial"] / v, 3)
-            for k, v in timings.items() if k != "serial"
-        },
         "max_loads": outcomes["serial"],
         "identical_results": identical,
         "deadline_stamping_microbench": _deadline_stamping_microbench(),
     }
+    if parallel_valid:
+        payload["speedup_vs_serial"] = {
+            k: round(timings["serial"] / v, 3)
+            for k, v in timings.items() if k != "serial"
+        }
+    else:
+        payload["speedup_vs_serial_refused"] = (
+            f"cpu_count={cpu_count} < workers={max_workers}: parallel "
+            "runs time-slice; wall clocks recorded, headline withheld")
     _RESULTS_PATH.parent.mkdir(exist_ok=True)
     _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                              encoding="utf-8")

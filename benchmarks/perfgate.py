@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -56,9 +57,12 @@ from repro.overload import (  # noqa: E402
 
 RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_perfgate.json"
 
-#: The headline gate: the ext_scale scenarios must hold this speedup
-#: over the stored baseline (ISSUE 5 acceptance criterion).
-GATE_SCENARIOS = ("ext_scale_n100_tailguard", "ext_scale_n100_fifo")
+#: The headline gate: these scenarios must hold this speedup over the
+#: stored baseline.  The ext_scale pair is the ISSUE 5 acceptance
+#: criterion; faults_tailguard joined the gate when the columnar fault
+#: calendar landed (ISSUE 7).
+GATE_SCENARIOS = ("ext_scale_n100_tailguard", "ext_scale_n100_fifo",
+                  "faults_tailguard")
 GATE_SPEEDUP = 2.0
 
 
@@ -175,6 +179,22 @@ def measure(scenario: Scenario, quick: bool, warmup: int,
     }
 
 
+def _meta(warmup: int, repeat: int) -> Dict:
+    """Run metadata, including machine provenance: a speedup headline
+    is only interpretable together with the cpu_count/platform it was
+    measured on (ISSUE 7 satellite: benchmark honesty)."""
+    return {
+        "schema": "perfgate/v1",
+        "git": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "warmup": warmup,
+        "repeat": repeat,
+    }
+
+
 def _git_rev() -> str:
     try:
         return subprocess.run(
@@ -186,28 +206,43 @@ def _git_rev() -> str:
         return "unknown"
 
 
-def run_gate(quick: bool, warmup: int, repeat: int,
-             rebaseline: bool) -> int:
+def _measure_all(quick: bool, warmup: int, repeat: int) -> Dict[str, Dict]:
     current: Dict[str, Dict] = {}
     for name, scenario in SCENARIOS.items():
         current[name] = measure(scenario, quick, warmup, repeat)
         print(f"{name:32s} {current[name]['events_per_sec']:>12,.0f} ev/s "
               f"({current[name]['wall_s_median'] * 1e3:8.1f} ms median, "
               f"{current[name]['events']:,} events)")
+    return current
+
+
+def run_measure_json(path: Path, quick: bool, warmup: int,
+                     repeat: int) -> int:
+    """Measure every scenario and dump the raw numbers to ``path``.
+
+    No gate is applied and ``RESULTS_PATH`` is untouched.  This mode
+    exists for A/B protocols (e.g. the alternating-pairs rebaseline in
+    docs/performance.md) where an old checkout and the current one are
+    measured back to back and compared offline.
+    """
+    payload = {**_meta(warmup, repeat), "scenarios":
+               _measure_all(quick, warmup, repeat)}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}")
+    return 0
+
+
+def run_gate(quick: bool, warmup: int, repeat: int,
+             rebaseline: bool) -> int:
+    current = _measure_all(quick, warmup, repeat)
 
     if quick:
         print("\n--quick: harness smoke only; no files written, "
               "no speedup gate applied.")
         return 0
 
-    meta = {
-        "schema": "perfgate/v1",
-        "git": _git_rev(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "warmup": warmup,
-        "repeat": repeat,
-    }
+    meta = _meta(warmup, repeat)
 
     stored = None
     if RESULTS_PATH.exists():
@@ -276,10 +311,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="timed runs per scenario; median wins (default 5)")
     parser.add_argument("--rebaseline", action="store_true",
                         help="store the current numbers as the baseline")
+    parser.add_argument("--measure-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="measure all scenarios and dump raw numbers "
+                             "to PATH; no gate, BENCH file untouched")
     args = parser.parse_args(argv)
     if args.quick:
         args.warmup = min(args.warmup, 1)
         args.repeat = min(args.repeat, 2)
+    if args.measure_json is not None:
+        return run_measure_json(args.measure_json, args.quick,
+                                args.warmup, args.repeat)
     return run_gate(args.quick, args.warmup, args.repeat, args.rebaseline)
 
 

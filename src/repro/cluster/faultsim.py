@@ -11,6 +11,22 @@ partial-fanout degradation, CDF drift re-bootstrap) on top of the same
 model, sharing the spec/budget preparation helpers so the underlying
 trace is byte-identical.
 
+Like the no-fault kernel, the common benchmarking shape — untraced,
+homogeneous, offline estimator, default placement, FIFO/T-EDFQ/TF-EDFQ
+— runs one of two specialized flat loops instead of the generic one:
+
+* :func:`_fault_loop_pause` for plans with no mitigations (crashes
+  pause servers; no copies, timers, or cancellations exist), the fault
+  twin of ``_fast_loop_static``;
+* :func:`_fault_loop_mitigated` for retry/hedge plans, with the policy
+  queues, slot records, and mitigation timers inlined as plain lists.
+
+Both are pinned bit-identical to the generic loop by the golden-master
+corpus: event order, RNG consumption, and float accumulation order are
+exactly the generic loop's — only the bookkeeping around them is
+specialized (block-drained service samples, int event codes, hoisted
+hedge delays, vectorized deadline/key precomputation).
+
 Event ordering at equal timestamps (the contract the DES-kernel fault
 path mirrors; see ``docs/faults.md``):
 
@@ -27,6 +43,7 @@ number), matching the kernel's (time, priority, insertion-order) rule.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -34,6 +51,7 @@ import numpy as np
 from repro.cluster.config import ClusterConfig
 from repro.cluster.results import SimulationResult, Timeline
 from repro.core.deadline import DeadlineEstimator
+from repro.core.policies import FIFOPolicy, TEDFPolicy, TFEDFPolicy
 from repro.errors import ConfigurationError
 from repro.faults.plan import FAIL, FaultPlan, fault_horizon, pick_server
 from repro.obs.events import (
@@ -52,11 +70,22 @@ from repro.obs.events import (
     TASK_RETRY,
 )
 
-#: Heap ranks (orderd processing at equal times).
+#: Heap ranks (ordered processing at equal times).
 _R_TRANSITION = 0
 _R_COMPLETE = 1
 _R_RETRY = 2
 _R_HEDGE = 3
+
+#: Integer event codes used by the specialized loops (the generic loop
+#: keeps its one-character strings).  FAIL/RECOVER share rank 0 — the
+#: unique sequence number breaks their ties, so codes are never
+#: compared by the heap.
+_E_FAIL = 0
+_E_RECOVER = 1
+_E_COMPLETE = 2
+_E_REQUEUE = 3
+_E_TIMEOUT = 4
+_E_HEDGE = 5
 
 
 class _Slot:
@@ -85,6 +114,817 @@ class _Slot:
         return not self.done and not self.failed
 
 
+def _finalize_faults(config: ClusterConfig, policy, n: int, server_cdfs,
+                     classes, class_index, fanout, arrival, latency,
+                     rejected, failed_q, busy_total: float,
+                     tasks_total: int, tasks_missed: int, now: float,
+                     tasks_failed: int, tasks_retried: int,
+                     tasks_hedged: int, tasks_cancelled: int,
+                     server_failures: int, sample_times, sample_queued,
+                     sample_busy, coverage_q, degraded_q, ctrl, rec,
+                     tracing: bool) -> SimulationResult:
+    """Shared wrap-up for the generic and specialized fault loops."""
+    m = len(class_index)
+    warmup_count = int(m * config.warmup_fraction)
+    measured = np.zeros(m, dtype=bool)
+    measured[warmup_count:] = True
+
+    timeline = None
+    if config.timeline_interval_ms is not None:
+        timeline = Timeline(
+            time=np.asarray(sample_times),
+            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
+            busy_servers=np.asarray(sample_busy, dtype=np.int64),
+        )
+
+    mean_service = float(
+        np.mean([server_cdfs[sid].mean() for sid in range(n)])
+    )
+    if config.workload is not None:
+        offered = config.workload.load(n)
+    else:
+        span = float(arrival.max() - arrival.min())
+        offered = (
+            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
+        )
+
+    if tracing:
+        rec.set_gauge("utilization",
+                      busy_total / (n * now) if now > 0 else 0.0)
+        rec.set_gauge("deadline_miss_ratio",
+                      tasks_missed / tasks_total if tasks_total else 0.0)
+        rec.set_gauge("duration_ms", now)
+
+    return SimulationResult(
+        policy_name=policy.name,
+        n_servers=n,
+        seed=config.seed,
+        offered_load=offered,
+        classes=tuple(classes),
+        class_index=class_index,
+        fanout=fanout,
+        arrival=arrival,
+        latency=latency,
+        rejected=rejected,
+        measured=measured,
+        tasks_total=tasks_total,
+        tasks_missed_deadline=tasks_missed,
+        busy_time_total=busy_total,
+        duration=now,
+        mean_service_ms=mean_service,
+        timeline=timeline,
+        obs=rec if tracing else None,
+        failed=failed_q,
+        tasks_failed=tasks_failed,
+        tasks_retried=tasks_retried,
+        tasks_hedged=tasks_hedged,
+        tasks_cancelled=tasks_cancelled,
+        server_failures=server_failures,
+        coverage=coverage_q,
+        degraded=degraded_q,
+        degraded_queries=ctrl.degraded_queries if ctrl is not None else 0,
+        shed_tasks=ctrl.shed_tasks if ctrl is not None else 0,
+        breaker_trips=ctrl.breaker_trips if ctrl is not None else 0,
+        cdf_rebootstraps=ctrl.cdf_rebootstraps if ctrl is not None else 0,
+        overload=ctrl,
+    )
+
+
+def _fault_loop_pause(is_fifo: bool, n: int, m: int, arrival, arrival_l,
+                      fanout_l, deadline_l, key_l, transitions, stream0,
+                      placement_rng, strag_eps, straggling: bool):
+    """Specialized loop for mitigation-free plans (crashes *pause*).
+
+    No retry and no hedge means copies, cancellations, timers, and the
+    slot records all vanish: a task is just its ``(qidx, deadline)``
+    pair, ``busy[sid]``/``paused[sid]`` hold the query index directly,
+    and the queues inline to a deque (FIFO) or a raw
+    ``(key, seq, qidx, deadline)`` heap (EDF family).  Event order,
+    RNG consumption, and float accumulation exactly mirror the generic
+    loop (the golden corpus pins this bit-for-bit).
+    """
+    heappush, heappop = heapq.heappush, heapq.heappop
+    infinity = float("inf")
+
+    queues = ([deque() for _ in range(n)] if is_fifo
+              else [[] for _ in range(n)])
+    qseq = [0] * n
+    busy = [-1] * n
+    paused = [-1] * n
+    down = [False] * n
+    epoch = [0] * n
+    service_start = [0.0] * n
+    all_servers = tuple(range(n))
+    pr_integers = placement_rng.integers
+    pr_choice = placement_rng.choice
+    drain = stream0.drain_block
+    sbuf: List[float] = []
+    sidx = 0
+    slen = 0
+
+    remaining = list(fanout_l)
+    comp_idx: List[int] = []
+    comp_time: List[float] = []
+
+    heap: List[Tuple] = []
+    seq = 0
+    for t, sid, kind in transitions:
+        # transitions() is pre-sorted and seq is monotone, so appends
+        # build an already-valid min-heap.
+        heap.append((t, _R_TRANSITION, seq,
+                     _E_FAIL if kind == FAIL else _E_RECOVER, sid))
+        seq += 1
+
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+    server_failures = 0
+    now = 0.0
+    qi = 0
+
+    def start_service(sid: int, qidx: int, deadline: float,
+                      restart: bool) -> None:
+        nonlocal seq, tasks_total, tasks_missed, sbuf, sidx, slen
+        busy[sid] = qidx
+        service_start[sid] = now
+        if sidx == slen:
+            sbuf = drain()
+            slen = len(sbuf)
+            sidx = 0
+        duration = sbuf[sidx]
+        sidx += 1
+        if straggling:
+            eps = strag_eps[sid]
+            if eps:
+                factor = 1.0
+                for start_ms, end_ms, fac in eps:
+                    if start_ms <= now < end_ms:
+                        factor *= fac
+                duration *= factor
+        if not restart:
+            tasks_total += 1
+            if now > deadline:
+                tasks_missed += 1
+        heappush(heap, (now + duration, _R_COMPLETE, seq, _E_COMPLETE,
+                        sid, qidx, duration, epoch[sid]))
+        seq += 1
+
+    def start_next(sid: int) -> None:
+        queue = queues[sid]
+        if queue:
+            if is_fifo:
+                qidx, deadline = queue.popleft()
+            else:
+                entry = heappop(queue)
+                qidx = entry[2]
+                deadline = entry[3]
+            start_service(sid, qidx, deadline, False)
+
+    while qi < m or heap:
+        next_arrival = arrival_l[qi] if qi < m else infinity
+
+        while heap:
+            head = heap[0]
+            now = head[0]
+            if now > next_arrival:
+                break
+            heappop(heap)
+            code = head[3]
+
+            if code == _E_COMPLETE:
+                sid = head[4]
+                if head[7] != epoch[sid]:
+                    continue  # stale: the server crashed mid-service
+                busy_total += head[6]
+                busy[sid] = -1
+                qidx = head[5]
+                left = remaining[qidx] - 1
+                remaining[qidx] = left
+                if not left:
+                    comp_idx.append(qidx)
+                    comp_time.append(now)
+                if not down[sid]:
+                    start_next(sid)
+
+            elif code == _E_FAIL:
+                sid = head[4]
+                server_failures += 1
+                down[sid] = True
+                epoch[sid] += 1
+                qidx = busy[sid]
+                if qidx >= 0:
+                    busy_total += now - service_start[sid]
+                    busy[sid] = -1
+                    paused[sid] = qidx
+
+            else:                                # ----- _E_RECOVER
+                sid = head[4]
+                down[sid] = False
+                qidx = paused[sid]
+                if qidx >= 0:
+                    paused[sid] = -1
+                    start_service(sid, qidx, 0.0, True)
+                else:
+                    start_next(sid)
+
+        if qi >= m:
+            break  # heap fully drained, no arrivals left
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        k = fanout_l[qidx]
+        deadline = deadline_l[qidx]
+        if k == n:
+            servers = all_servers
+        elif k == 1:
+            servers = (int(pr_integers(n)),)
+        else:
+            servers = pr_choice(n, size=k, replace=False).tolist()
+        if is_fifo:
+            for sid in servers:
+                if busy[sid] >= 0 or down[sid]:
+                    queues[sid].append((qidx, deadline))
+                else:
+                    start_service(sid, qidx, deadline, False)
+        else:
+            keyval = key_l[qidx]
+            for sid in servers:
+                if busy[sid] >= 0 or down[sid]:
+                    heappush(queues[sid],
+                             (keyval, qseq[sid], qidx, deadline))
+                    qseq[sid] += 1
+                else:
+                    start_service(sid, qidx, deadline, False)
+
+    latency = np.full(m, np.nan)
+    if comp_idx:
+        idx = np.asarray(comp_idx, dtype=np.intp)
+        latency[idx] = np.asarray(comp_time) - arrival[idx]
+    failed_q = np.zeros(m, dtype=bool)
+    return (latency, failed_q, busy_total, tasks_total, tasks_missed,
+            0, 0, 0, 0, server_failures, now)
+
+
+def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
+                          fanout_l, deadline_l, key_l, transitions, stream0,
+                          placement_rng, strag_eps, straggling: bool,
+                          kill_mode: bool, retry, hedge, hedge_delay: float):
+    """Specialized loop for retry/hedge plans.
+
+    The generic loop's ``_Slot`` objects become plain lists
+    (``[qidx, deadline, key, done, failed, attempts, hedges, pending,
+    live]``), the policy queues inline to a deque + phantom set (FIFO)
+    or a lazy-deletion heap of ``[key, seq, cid, slot, live]`` entries
+    (EDF family, mirroring ``LazyEDFTaskQueue`` including its per-queue
+    sequence counters), completions carry their slot in the heap
+    payload (no copy-id indirection dict), and the hedge delay —
+    constant under the homogeneous single-stream precondition — is
+    hoisted out of the timer path.  Every heap push happens at the same
+    call site in the same order as the generic loop, so event order and
+    RNG consumption are bit-identical.
+    """
+    heappush, heappop = heapq.heappush, heapq.heappop
+    infinity = float("inf")
+
+    has_retry = retry is not None
+    max_retries = retry.max_retries if has_retry else 0
+    backoff_ms = retry.backoff_ms if has_retry else 0.0
+    has_timeout = has_retry and retry.timeout_ms is not None
+    timeout_ms = retry.timeout_ms if has_timeout else 0.0
+    has_hedge = hedge is not None
+    max_hedges = hedge.max_hedges if has_hedge else 0
+
+    queues = ([deque() for _ in range(n)] if is_fifo
+              else [[] for _ in range(n)])
+    qseq = [0] * n
+    qentry: Dict[int, List] = {}       # queued copy id -> its heap entry
+    cancelled: set = set()             # FIFO phantoms (lazy removal)
+    discard: set = set()               # in-service losers (result void)
+
+    # Timer calendars.  Both mitigation delays are constants and event
+    # time is globally non-decreasing, so due times arrive pre-sorted —
+    # plain deques replace ~2 heap operations per armed timer.  Entries
+    # share the main heap's (time, rank, seq, code, ...) shape and the
+    # global seq counter, so the three-way merge below reproduces the
+    # single-heap processing order exactly.
+    tq: deque = deque()                # queued-copy timeout timers
+    hq: deque = deque()                # hedge timers
+
+    busy = [-1] * n
+    busy_slot: List[Optional[list]] = [None] * n
+    paused_cid = [-1] * n
+    paused_slot: List[Optional[list]] = [None] * n
+    down = [False] * n
+    up_l = [True] * n
+    epoch = [0] * n
+    depth = [0] * n
+    service_start = [0.0] * n
+    all_servers = tuple(range(n))
+    pr_integers = placement_rng.integers
+    pr_choice = placement_rng.choice
+    drain = stream0.drain_block
+    sbuf: List[float] = []
+    sidx = 0
+    slen = 0
+
+    remaining = list(fanout_l)
+    failed_l = [False] * m
+    comp_idx: List[int] = []
+    comp_time: List[float] = []
+
+    heap: List[Tuple] = []
+    seq = 0
+    for t, sid, kind in transitions:
+        heap.append((t, _R_TRANSITION, seq,
+                     _E_FAIL if kind == FAIL else _E_RECOVER, sid))
+        seq += 1
+
+    busy_total = 0.0
+    tasks_total = 0
+    tasks_missed = 0
+    tasks_failed = 0
+    tasks_retried = 0
+    tasks_hedged = 0
+    tasks_cancelled = 0
+    server_failures = 0
+    next_cid = 0
+    now = 0.0
+    qi = 0
+
+    def start_next(sid: int) -> None:
+        nonlocal seq, tasks_total, tasks_missed, sbuf, sidx, slen
+        queue = queues[sid]
+        if is_fifo:
+            while True:
+                if not queue:
+                    return
+                cid, slot = queue.popleft()
+                depth[sid] -= 1
+                if cid not in cancelled:
+                    break
+                cancelled.discard(cid)
+        else:
+            popped = 0
+            entry = None
+            while queue:
+                entry = heappop(queue)
+                popped += 1
+                if entry[4]:
+                    break
+                entry = None
+            depth[sid] -= popped
+            if entry is None:
+                return
+            cid = entry[2]
+            slot = entry[3]
+            del qentry[cid]
+        # ----- service start (dequeue path, inlined) ------------------
+        busy[sid] = cid
+        busy_slot[sid] = slot
+        depth[sid] += 1
+        service_start[sid] = now
+        if sidx == slen:
+            sbuf = drain()
+            slen = len(sbuf)
+            sidx = 0
+        duration = sbuf[sidx]
+        sidx += 1
+        if straggling:
+            eps = strag_eps[sid]
+            if eps:
+                factor = 1.0
+                for start_ms, end_ms, fac in eps:
+                    if start_ms <= now < end_ms:
+                        factor *= fac
+                duration *= factor
+        tasks_total += 1
+        if now > slot[1]:
+            tasks_missed += 1
+        heappush(heap, (now + duration, _R_COMPLETE, seq, _E_COMPLETE,
+                        sid, cid, duration, epoch[sid], slot))
+        seq += 1
+
+    def enqueue_copy(sid: int, cid: int, slot: list) -> bool:
+        """Queue or start a fresh copy.  Returns True when it queued —
+        a copy that enters service immediately can never time out, so
+        callers skip arming its (provably no-op) timeout timer."""
+        nonlocal seq, tasks_total, tasks_missed, sbuf, sidx, slen
+        if busy[sid] >= 0 or down[sid]:
+            if is_fifo:
+                queues[sid].append((cid, slot))
+            else:
+                entry = [slot[2], qseq[sid], cid, slot, True]
+                qseq[sid] += 1
+                qentry[cid] = entry
+                heappush(queues[sid], entry)
+            depth[sid] += 1
+            return True
+        # ----- immediate service start (inlined) ----------------------
+        busy[sid] = cid
+        busy_slot[sid] = slot
+        depth[sid] += 1
+        service_start[sid] = now
+        if sidx == slen:
+            sbuf = drain()
+            slen = len(sbuf)
+            sidx = 0
+        duration = sbuf[sidx]
+        sidx += 1
+        if straggling:
+            eps = strag_eps[sid]
+            if eps:
+                factor = 1.0
+                for start_ms, end_ms, fac in eps:
+                    if start_ms <= now < end_ms:
+                        factor *= fac
+                duration *= factor
+        tasks_total += 1
+        if now > slot[1]:
+            tasks_missed += 1
+        heappush(heap, (now + duration, _R_COMPLETE, seq, _E_COMPLETE,
+                        sid, cid, duration, epoch[sid], slot))
+        seq += 1
+        return False
+
+    def pick(exclude) -> int:
+        # pick_server inlined: least-loaded up server, ties -> lowest id.
+        best = -1
+        best_depth = -1
+        if exclude:
+            for sid in all_servers:
+                if not up_l[sid] or sid in exclude:
+                    continue
+                if best < 0 or depth[sid] < best_depth:
+                    best = sid
+                    best_depth = depth[sid]
+        else:
+            for sid in all_servers:
+                if up_l[sid] and (best < 0 or depth[sid] < best_depth):
+                    best = sid
+                    best_depth = depth[sid]
+        return best
+
+    def slot_fail(slot: list) -> None:
+        nonlocal tasks_failed
+        slot[4] = True
+        tasks_failed += 1
+        qidx = slot[0]
+        failed_l[qidx] = True
+        remaining[qidx] -= 1
+
+    def schedule_requeue(slot: list) -> None:
+        nonlocal seq
+        if not has_retry or slot[5] >= max_retries:
+            slot_fail(slot)
+            return
+        slot[5] += 1
+        slot[7] += 1
+        heappush(heap, (now + backoff_ms * slot[5], _R_RETRY, seq,
+                        _E_REQUEUE, slot))
+        seq += 1
+
+    while qi < m or heap or tq or hq:
+        next_arrival = arrival_l[qi] if qi < m else infinity
+
+        # Three-way merge: main heap + the two timer deques.  Entries
+        # share one (time, rank, seq, ...) ordering, so picking the
+        # smallest head replays the single-heap order exactly.
+        while True:
+            # Purge dead timer heads before the merge: deadness is
+            # monotone (done/failed stick, hedge counts only grow), so a
+            # timer that would no-op at dispatch no-ops forever and can
+            # be dropped without paying the full dispatch ceremony.
+            while hq:
+                entry = hq[0]
+                slot = entry[4]
+                if slot[3] or slot[4] or slot[6] >= max_hedges:
+                    hq.popleft()
+                else:
+                    break
+            while tq:
+                entry = tq[0]
+                slot = entry[5]
+                if slot[3] or slot[4]:
+                    tq.popleft()
+                else:
+                    break
+            if heap:
+                head = heap[0]
+                src = 0
+            else:
+                head = None
+                src = -1
+            if tq:
+                entry = tq[0]
+                if head is None or entry < head:
+                    head = entry
+                    src = 1
+            if hq:
+                entry = hq[0]
+                if head is None or entry < head:
+                    head = entry
+                    src = 2
+            if head is None:
+                break
+            now = head[0]
+            if now > next_arrival:
+                break
+            if src == 0:
+                heappop(heap)
+            elif src == 1:
+                tq.popleft()
+            else:
+                hq.popleft()
+            code = head[3]
+
+            if code == _E_COMPLETE:
+                sid = head[4]
+                if head[7] != epoch[sid]:
+                    continue  # stale: the server crashed mid-service
+                cid = head[5]
+                busy_total += head[6]
+                busy[sid] = -1
+                depth[sid] -= 1
+                if cid in discard:
+                    discard.discard(cid)
+                else:
+                    slot = head[8]
+                    slot[3] = True
+                    live = slot[8]
+                    live.pop(cid, None)
+                    if live:
+                        for other_cid, other_sid in live.items():
+                            if busy[other_sid] == other_cid:
+                                discard.add(other_cid)
+                            elif paused_cid[other_sid] == other_cid:
+                                # A paused loser evaporates: nothing to
+                                # restart at its server's recovery.
+                                paused_cid[other_sid] = -1
+                                paused_slot[other_sid] = None
+                            elif is_fifo:
+                                cancelled.add(other_cid)
+                            else:
+                                entry = qentry.pop(other_cid)
+                                entry[4] = False
+                            tasks_cancelled += 1
+                        live.clear()
+                    qidx = slot[0]
+                    left = remaining[qidx] - 1
+                    remaining[qidx] = left
+                    if not left and not failed_l[qidx]:
+                        comp_idx.append(qidx)
+                        comp_time.append(now)
+                if down[sid]:
+                    continue
+                # ----- start_next inlined (hot path) -------------------
+                queue = queues[sid]
+                if is_fifo:
+                    cid = -1
+                    while queue:
+                        cid, slot = queue.popleft()
+                        depth[sid] -= 1
+                        if cid not in cancelled:
+                            break
+                        cancelled.discard(cid)
+                        cid = -1
+                    if cid < 0:
+                        continue
+                else:
+                    popped = 0
+                    qitem = None
+                    while queue:
+                        qitem = heappop(queue)
+                        popped += 1
+                        if qitem[4]:
+                            break
+                        qitem = None
+                    depth[sid] -= popped
+                    if qitem is None:
+                        continue
+                    cid = qitem[2]
+                    slot = qitem[3]
+                    del qentry[cid]
+                busy[sid] = cid
+                busy_slot[sid] = slot
+                depth[sid] += 1
+                service_start[sid] = now
+                if sidx == slen:
+                    sbuf = drain()
+                    slen = len(sbuf)
+                    sidx = 0
+                duration = sbuf[sidx]
+                sidx += 1
+                if straggling:
+                    eps = strag_eps[sid]
+                    if eps:
+                        factor = 1.0
+                        for start_ms, end_ms, fac in eps:
+                            if start_ms <= now < end_ms:
+                                factor *= fac
+                        duration *= factor
+                tasks_total += 1
+                if now > slot[1]:
+                    tasks_missed += 1
+                heappush(heap, (now + duration, _R_COMPLETE, seq,
+                                _E_COMPLETE, sid, cid, duration,
+                                epoch[sid], slot))
+                seq += 1
+
+            elif code == _E_HEDGE:
+                slot = head[4]
+                if slot[3] or slot[4] or slot[6] >= max_hedges:
+                    continue
+                live = slot[8]
+                target = pick(live.values())
+                if target >= 0:
+                    slot[6] += 1
+                    tasks_hedged += 1
+                    cid = next_cid
+                    next_cid += 1
+                    live[cid] = target
+                    if enqueue_copy(target, cid, slot) and has_timeout:
+                        tq.append((now + timeout_ms, _R_RETRY, seq,
+                                   _E_TIMEOUT, cid, slot))
+                        seq += 1
+                    if slot[6] >= max_hedges:
+                        continue
+                hq.append((now + hedge_delay, _R_HEDGE, seq,
+                           _E_HEDGE, slot))
+                seq += 1
+
+            elif code == _E_REQUEUE:
+                slot = head[4]
+                slot[7] -= 1
+                if slot[3] or slot[4]:
+                    continue
+                live = slot[8]
+                target = pick(live.values())
+                if target < 0:
+                    slot_fail(slot)
+                    continue
+                tasks_retried += 1
+                cid = next_cid
+                next_cid += 1
+                live[cid] = target
+                if enqueue_copy(target, cid, slot) and has_timeout:
+                    tq.append((now + timeout_ms, _R_RETRY, seq,
+                               _E_TIMEOUT, cid, slot))
+                    seq += 1
+
+            elif code == _E_TIMEOUT:
+                cid = head[4]
+                slot = head[5]
+                if slot[3] or slot[4]:
+                    continue
+                live = slot[8]
+                sid = live.get(cid, -1)
+                if sid < 0 or busy[sid] == cid:
+                    continue  # no longer queued / in (or past) service
+                if slot[5] >= max_retries:
+                    continue  # budget exhausted: leave it queued
+                del live[cid]
+                if is_fifo:
+                    cancelled.add(cid)
+                else:
+                    entry = qentry.pop(cid)
+                    entry[4] = False
+                tasks_cancelled += 1
+                schedule_requeue(slot)
+
+            elif code == _E_FAIL:
+                sid = head[4]
+                server_failures += 1
+                down[sid] = True
+                up_l[sid] = False
+                epoch[sid] += 1
+                victims: List[Tuple[int, list]] = []
+                cid = busy[sid]
+                if cid >= 0:
+                    busy_total += now - service_start[sid]
+                    busy[sid] = -1
+                    depth[sid] -= 1
+                    if cid in discard:
+                        discard.discard(cid)
+                    elif kill_mode:
+                        victims.append((cid, busy_slot[sid]))
+                    else:
+                        paused_cid[sid] = cid
+                        paused_slot[sid] = busy_slot[sid]
+                if kill_mode:
+                    queue = queues[sid]
+                    if is_fifo:
+                        while queue:
+                            vcid, vslot = queue.popleft()
+                            depth[sid] -= 1
+                            if vcid in cancelled:
+                                cancelled.discard(vcid)
+                                continue
+                            victims.append((vcid, vslot))
+                    else:
+                        popped = 0
+                        while queue:
+                            entry = heappop(queue)
+                            popped += 1
+                            if entry[4]:
+                                del qentry[entry[2]]
+                                victims.append((entry[2], entry[3]))
+                        depth[sid] -= popped
+                    for vcid, vslot in victims:
+                        if vslot[3] or vslot[4]:
+                            continue
+                        vlive = vslot[8]
+                        vlive.pop(vcid, None)
+                        if vlive or vslot[7]:
+                            tasks_cancelled += 1
+                            continue
+                        schedule_requeue(vslot)
+
+            else:                                # ----- _E_RECOVER
+                sid = head[4]
+                down[sid] = False
+                up_l[sid] = True
+                cid = paused_cid[sid]
+                if cid >= 0:
+                    paused_cid[sid] = -1
+                    slot = paused_slot[sid]
+                    paused_slot[sid] = None
+                    # ----- restart paused task (inlined, no recount) ---
+                    busy[sid] = cid
+                    busy_slot[sid] = slot
+                    depth[sid] += 1
+                    service_start[sid] = now
+                    if sidx == slen:
+                        sbuf = drain()
+                        slen = len(sbuf)
+                        sidx = 0
+                    duration = sbuf[sidx]
+                    sidx += 1
+                    if straggling:
+                        eps = strag_eps[sid]
+                        if eps:
+                            factor = 1.0
+                            for start_ms, end_ms, fac in eps:
+                                if start_ms <= now < end_ms:
+                                    factor *= fac
+                            duration *= factor
+                    heappush(heap, (now + duration, _R_COMPLETE, seq,
+                                    _E_COMPLETE, sid, cid, duration,
+                                    epoch[sid], slot))
+                    seq += 1
+                else:
+                    start_next(sid)
+
+        if qi >= m:
+            break  # heap fully drained, no arrivals left
+
+        # ----- query arrival -------------------------------------------
+        now = next_arrival
+        qidx = qi
+        qi += 1
+        k = fanout_l[qidx]
+        deadline = deadline_l[qidx]
+        keyval = key_l[qidx]
+        if k == n:
+            servers = all_servers
+        elif k == 1:
+            servers = (int(pr_integers(n)),)
+        else:
+            servers = pr_choice(n, size=k, replace=False).tolist()
+        for sid in servers:
+            slot = [qidx, deadline, keyval, False, False, 0, 0, 0, {}]
+            if kill_mode and down[sid]:
+                # Dispatch-time redirect away from a down server (free:
+                # no retry budget consumed).
+                target = pick(())
+                if target < 0:
+                    slot_fail(slot)
+                    continue
+                tasks_retried += 1
+                sid = target
+            cid = next_cid
+            next_cid += 1
+            slot[8][cid] = sid
+            if enqueue_copy(sid, cid, slot) and has_timeout:
+                tq.append((now + timeout_ms, _R_RETRY, seq,
+                           _E_TIMEOUT, cid, slot))
+                seq += 1
+            if has_hedge:
+                hq.append((now + hedge_delay, _R_HEDGE, seq,
+                           _E_HEDGE, slot))
+                seq += 1
+
+    latency = np.full(m, np.nan)
+    if comp_idx:
+        idx = np.asarray(comp_idx, dtype=np.intp)
+        latency[idx] = np.asarray(comp_time) - arrival[idx]
+    failed_q = np.asarray(failed_l, dtype=bool)
+    return (latency, failed_q, busy_total, tasks_total, tasks_missed,
+            tasks_failed, tasks_retried, tasks_hedged, tasks_cancelled,
+            server_failures, now)
+
+
 def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     """Run one fault-injected simulation.
 
@@ -94,6 +934,7 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     """
     from repro.cluster.simulation import (
         _budget_array,
+        _prepare_query_arrays,
         _prepare_specs,
         _server_streams,
     )
@@ -118,9 +959,108 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     if estimator is None:
         estimator = DeadlineEstimator(dict(server_cdfs))
 
-    specs, classes, class_index, fanout, arrival = _prepare_specs(
-        config, spec_rng)
-    m = len(specs)
+    rec = config.recorder
+    tracing = rec is not None and rec.enabled
+    admission = config.admission
+    placement = config.placement
+
+    # Array-form spec preparation whenever no caller-supplied spec list
+    # or placement hook needs the QuerySpec objects themselves — the
+    # same RNG variates, none of the per-query object churn.
+    specs = None
+    servers_list: Optional[List] = None
+    if config.specs is None and placement is None:
+        classes, class_index, fanout, arrival = _prepare_query_arrays(
+            config, spec_rng)
+    else:
+        specs, classes, class_index, fanout, arrival = _prepare_specs(
+            config, spec_rng)
+        servers_list = [spec.servers for spec in specs]
+    m = len(class_index)
+
+    # ------------------------------------------------------------------
+    # Fault machinery.
+    # ------------------------------------------------------------------
+    materialized = plan.materialize(n, fault_horizon(float(arrival[-1])))
+    kill_mode = plan.kill_mode
+    retry = plan.retry
+    hedge = plan.hedge
+    straggling = bool(plan.stragglers)
+    straggler_factor = materialized.straggler_factor
+
+    ctrl = None
+    if overload_active:
+        ctrl = overload_policy.build(n, estimator, config.recorder)
+    perturbations = tuple(config.perturbations)
+
+    online = estimator.online_enabled
+    # A drift re-bootstrap can swap CDFs mid-run, and an overload
+    # controller stamps its own deadlines anyway — skip the
+    # precomputed-budget fast path whenever one is active.
+    homogeneous_fast = (estimator.homogeneous and not online
+                        and placement is None and ctrl is None)
+    query_budget: List[float] = []
+    if homogeneous_fast:
+        query_budget = _budget_array(
+            estimator, classes, class_index, fanout, n, servers_list)
+    use_budget_array = bool(query_budget)
+
+    sample_interval = config.timeline_interval_ms
+    single_stream = len({id(stream) for stream in server_stream}) == 1
+
+    # The specialized loops cover the common benchmarking shape —
+    # untraced, no overload controller, no admission, default placement,
+    # hoisted budgets, one shared service stream, no sampling, no
+    # perturbations, and a policy whose queue inlines.  Everything else
+    # runs the generic loop below, unchanged.
+    fast = (not tracing and ctrl is None and admission is None
+            and placement is None and config.specs is None
+            and use_budget_array and single_stream
+            and sample_interval is None and not perturbations
+            and type(policy) in (FIFOPolicy, TEDFPolicy, TFEDFPolicy))
+
+    if fast:
+        is_fifo = type(policy) is FIFOPolicy
+        arrival_l = arrival.tolist()
+        fanout_l = fanout.tolist()
+        # Vectorized deadline/key precomputation: elementwise float64
+        # adds, bit-identical to the scalar ``now + budget`` stamps.
+        deadline_l = (arrival + np.asarray(query_budget)).tolist()
+        if type(policy) is TEDFPolicy:
+            slo_arr = np.asarray([cls.slo_ms for cls in classes])
+            key_l = (arrival + slo_arr[class_index]).tolist()
+        else:
+            # TF-EDFQ orders by the stamped deadline; FIFO ignores keys.
+            key_l = deadline_l
+        transitions = materialized.transitions()
+        strag_eps = [materialized.straggler_episodes(sid)
+                     for sid in range(n)]
+        stream0 = server_stream[0]
+        if retry is None and hedge is None:
+            (latency, failed_q, busy_total, tasks_total, tasks_missed,
+             tasks_failed, tasks_retried, tasks_hedged, tasks_cancelled,
+             server_failures, now) = _fault_loop_pause(
+                is_fifo, n, m, arrival, arrival_l, fanout_l, deadline_l,
+                key_l, transitions, stream0, placement_rng, strag_eps,
+                straggling)
+        else:
+            # Homogeneous single stream => every server shares one CDF
+            # object, so the per-slot hedge delay is one constant.
+            hedge_delay = (hedge.delay_for(server_cdfs[0])
+                           if hedge is not None else 0.0)
+            (latency, failed_q, busy_total, tasks_total, tasks_missed,
+             tasks_failed, tasks_retried, tasks_hedged, tasks_cancelled,
+             server_failures, now) = _fault_loop_mitigated(
+                is_fifo, n, m, arrival, arrival_l, fanout_l, deadline_l,
+                key_l, transitions, stream0, placement_rng, strag_eps,
+                straggling, kill_mode, retry, hedge, hedge_delay)
+        rejected = np.zeros(m, dtype=bool)
+        return _finalize_faults(
+            config, policy, n, server_cdfs, classes, class_index, fanout,
+            arrival, latency, rejected, failed_q, busy_total, tasks_total,
+            tasks_missed, now, tasks_failed, tasks_retried, tasks_hedged,
+            tasks_cancelled, server_failures, [], [], [], None, None,
+            None, rec, tracing)
 
     # Hot-loop mirrors: plain Python lists for the per-event scalar
     # reads/writes (list indexing beats numpy scalar indexing by ~5x);
@@ -137,16 +1077,6 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     if overload_active:
         coverage_q = np.full(m, np.nan)
         degraded_q = np.zeros(m, dtype=bool)
-
-    # ------------------------------------------------------------------
-    # Fault machinery.
-    # ------------------------------------------------------------------
-    materialized = plan.materialize(n, fault_horizon(float(arrival[-1])))
-    kill_mode = plan.kill_mode
-    retry = plan.retry
-    hedge = plan.hedge
-    straggling = bool(plan.stragglers)
-    straggler_factor = materialized.straggler_factor
 
     # ------------------------------------------------------------------
     # Server state.  ``busy[sid]`` holds the in-service copy id or -1;
@@ -193,29 +1123,10 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                     "F" if kind == FAIL else "R", sid))
         seq += 1
 
-    admission = config.admission
-    ctrl = None
-    if overload_active:
-        ctrl = overload_policy.build(n, estimator, config.recorder)
-    placement = config.placement
     placement_wants_depths = bool(
         placement is not None and getattr(placement, "needs_queue_depths",
                                           False)
     )
-    perturbations = tuple(config.perturbations)
-
-    online = estimator.online_enabled
-    # A drift re-bootstrap can swap CDFs mid-run, and an overload
-    # controller stamps its own deadlines anyway — skip the
-    # precomputed-budget fast path whenever one is active.
-    homogeneous_fast = (estimator.homogeneous and not online
-                        and placement is None and ctrl is None)
-    query_budget: List[float] = []
-    if homogeneous_fast:
-        query_budget = _budget_array(
-            estimator, classes, class_index, fanout, n,
-            [spec.servers for spec in specs])
-    use_budget_array = bool(query_budget)
 
     busy_total = 0.0
     tasks_total = 0
@@ -229,16 +1140,12 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     qi = 0
     infinity = float("inf")
 
-    sample_interval = config.timeline_interval_ms
     next_sample = sample_interval if sample_interval is not None else infinity
     sample_times: List[float] = []
     sample_queued: List[int] = []
     sample_busy: List[int] = []
     queued_tasks = 0
     busy_servers = 0
-
-    rec = config.recorder
-    tracing = rec is not None and rec.enabled
 
     # ------------------------------------------------------------------
     # Helpers (closures over the state above).
@@ -631,13 +1538,14 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                          extra={"miss_ratio": admission.miss_ratio()})
             continue
 
-        spec = specs[qidx]
         k = fanout_l[qidx]
         cls = classes[class_index_l[qidx]]
+        pre = servers_list[qidx] if servers_list is not None else None
 
-        if spec.servers is not None:
-            servers = spec.servers
+        if pre is not None:
+            servers = pre
         elif placement is not None:
+            spec = specs[qidx]
             if placement_wants_depths:
                 servers = placement(spec, placement_rng, tuple(depth))
             else:
@@ -670,7 +1578,7 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
             coverage_q[qidx] = decision.coverage
             degraded_q[qidx] = decision.degraded
             remaining[qidx] = len(servers)
-        elif use_budget_array and spec.servers is None:
+        elif use_budget_array and pre is None:
             deadline = now + query_budget[qidx]
         elif estimator.homogeneous:
             deadline = estimator.deadline(now, cls, fanout=k)
@@ -709,66 +1617,9 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
         idx = np.asarray(comp_idx, dtype=np.intp)
         latency[idx] = np.asarray(comp_time) - arrival[idx]
 
-    warmup_count = int(m * config.warmup_fraction)
-    measured = np.zeros(m, dtype=bool)
-    measured[warmup_count:] = True
-
-    timeline = None
-    if sample_interval is not None:
-        timeline = Timeline(
-            time=np.asarray(sample_times),
-            queued_tasks=np.asarray(sample_queued, dtype=np.int64),
-            busy_servers=np.asarray(sample_busy, dtype=np.int64),
-        )
-
-    mean_service = float(
-        np.mean([server_cdfs[sid].mean() for sid in range(n)])
-    )
-    if config.workload is not None:
-        offered = config.workload.load(n)
-    else:
-        span = float(arrival.max() - arrival.min())
-        offered = (
-            float(fanout.sum()) * mean_service / (n * span) if span > 0 else 0.0
-        )
-
-    if tracing:
-        rec.set_gauge("utilization",
-                      busy_total / (n * now) if now > 0 else 0.0)
-        rec.set_gauge("deadline_miss_ratio",
-                      tasks_missed / tasks_total if tasks_total else 0.0)
-        rec.set_gauge("duration_ms", now)
-
-    return SimulationResult(
-        policy_name=policy.name,
-        n_servers=n,
-        seed=config.seed,
-        offered_load=offered,
-        classes=tuple(classes),
-        class_index=class_index,
-        fanout=fanout,
-        arrival=arrival,
-        latency=latency,
-        rejected=rejected,
-        measured=measured,
-        tasks_total=tasks_total,
-        tasks_missed_deadline=tasks_missed,
-        busy_time_total=busy_total,
-        duration=now,
-        mean_service_ms=mean_service,
-        timeline=timeline,
-        obs=rec if tracing else None,
-        failed=failed_q,
-        tasks_failed=tasks_failed,
-        tasks_retried=tasks_retried,
-        tasks_hedged=tasks_hedged,
-        tasks_cancelled=tasks_cancelled,
-        server_failures=server_failures,
-        coverage=coverage_q,
-        degraded=degraded_q,
-        degraded_queries=ctrl.degraded_queries if ctrl is not None else 0,
-        shed_tasks=ctrl.shed_tasks if ctrl is not None else 0,
-        breaker_trips=ctrl.breaker_trips if ctrl is not None else 0,
-        cdf_rebootstraps=ctrl.cdf_rebootstraps if ctrl is not None else 0,
-        overload=ctrl,
-    )
+    return _finalize_faults(
+        config, policy, n, server_cdfs, classes, class_index, fanout,
+        arrival, latency, rejected, failed_q, busy_total, tasks_total,
+        tasks_missed, now, tasks_failed, tasks_retried, tasks_hedged,
+        tasks_cancelled, server_failures, sample_times, sample_queued,
+        sample_busy, coverage_q, degraded_q, ctrl, rec, tracing)

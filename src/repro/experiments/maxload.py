@@ -33,7 +33,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import simulate
 from repro.errors import ExperimentError
 from repro.experiments.parallel import (
-    make_executor,
+    get_pool,
     probe_feasible,
     probe_many_feasible,
     resolve_workers,
@@ -102,59 +102,59 @@ def find_max_load(
     history: List[Tuple[float, bool]] = []
 
     n_workers = resolve_workers(workers)
-    pool = make_executor(n_workers) if n_workers > 1 else None
-    try:
-        def probe(load: float) -> bool:
-            if pool is None:
-                ok = _feasible(config, load, seeds, min_samples,
-                               fanout_buckets)
-            else:
-                ok = probe_feasible(pool, config, load, seeds, min_samples,
-                                    fanout_buckets)
-            history.append((load, ok))
-            return ok
+    # The persistent pool (shut down atexit) keeps workers — and their
+    # pre-warmed estimator caches — alive across probe rounds and
+    # across repeated searches, instead of paying pool spin-up per call.
+    pool = get_pool(n_workers) if n_workers > 1 else None
 
-        def probe_round(loads: Sequence[float]) -> List[bool]:
-            if pool is None:
-                return [probe(load) for load in loads]
-            outcomes = probe_many_feasible(pool, config, loads, seeds,
-                                           min_samples, fanout_buckets)
-            history.extend(zip(loads, outcomes))
-            return outcomes
-
-        if not probe(lo):
-            return MaxLoadResult(policy_name, 0.0, tuple(history))
-        if probe(hi):
-            return MaxLoadResult(policy_name, hi, tuple(history))
-
-        if speculative == 1:
-            while hi - lo > tol:
-                mid = 0.5 * (lo + hi)
-                if probe(mid):
-                    lo = mid
-                else:
-                    hi = mid
+    def probe(load: float) -> bool:
+        if pool is None:
+            ok = _feasible(config, load, seeds, min_samples,
+                           fanout_buckets)
         else:
-            while hi - lo > tol:
-                step = (hi - lo) / (speculative + 1)
-                mids = [lo + step * i for i in range(1, speculative + 1)]
-                outcomes = probe_round(mids)
-                # Monotone narrowing: the bracket closes on the first
-                # feasible-to-infeasible transition.  Seed noise can
-                # make outcomes non-monotone across midpoints; taking
-                # the first transition matches what plain bisection
-                # would have converged onto.
-                first_bad = next(
-                    (mid for mid, ok in zip(mids, outcomes) if not ok), None)
-                if first_bad is None:
-                    lo = mids[-1]
-                else:
-                    hi = first_bad
-                    good = [mid for mid, ok in zip(mids, outcomes)
-                            if ok and mid < first_bad]
-                    if good:
-                        lo = max(good)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            ok = probe_feasible(pool, config, load, seeds, min_samples,
+                                fanout_buckets)
+        history.append((load, ok))
+        return ok
+
+    def probe_round(loads: Sequence[float]) -> List[bool]:
+        if pool is None:
+            return [probe(load) for load in loads]
+        outcomes = probe_many_feasible(pool, config, loads, seeds,
+                                       min_samples, fanout_buckets)
+        history.extend(zip(loads, outcomes))
+        return outcomes
+
+    if not probe(lo):
+        return MaxLoadResult(policy_name, 0.0, tuple(history))
+    if probe(hi):
+        return MaxLoadResult(policy_name, hi, tuple(history))
+
+    if speculative == 1:
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if probe(mid):
+                lo = mid
+            else:
+                hi = mid
+    else:
+        while hi - lo > tol:
+            step = (hi - lo) / (speculative + 1)
+            mids = [lo + step * i for i in range(1, speculative + 1)]
+            outcomes = probe_round(mids)
+            # Monotone narrowing: the bracket closes on the first
+            # feasible-to-infeasible transition.  Seed noise can
+            # make outcomes non-monotone across midpoints; taking
+            # the first transition matches what plain bisection
+            # would have converged onto.
+            first_bad = next(
+                (mid for mid, ok in zip(mids, outcomes) if not ok), None)
+            if first_bad is None:
+                lo = mids[-1]
+            else:
+                hi = first_bad
+                good = [mid for mid, ok in zip(mids, outcomes)
+                        if ok and mid < first_bad]
+                if good:
+                    lo = max(good)
     return MaxLoadResult(policy_name, lo, tuple(history))

@@ -10,7 +10,7 @@ from repro.core.admission import AdmissionController
 from repro.cluster.results import SimulationResult
 from repro.cluster.simulation import simulate
 from repro.errors import ExperimentError
-from repro.experiments.parallel import make_executor, resolve_workers
+from repro.experiments.parallel import _prewarm, get_pool, resolve_workers
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,7 @@ def _sweep_point_task(args) -> SweepPoint:
     config, load, admission_factory = args
     if admission_factory is not None:
         config = config.with_admission(admission_factory())
-    return _point(simulate(config), load)
+    return _point(simulate(_prewarm(config)), load)
 
 
 def load_sweep(
@@ -112,7 +112,6 @@ def load_sweep(
             "recorders; use repro.experiments.parallel.run_simulations "
             "to fan out traced runs with obs merging"
         )
-    points: List[SweepPoint]
-    with make_executor(min(n_workers, len(tasks))) as pool:
-        points = list(pool.map(_sweep_point_task, tasks))
+    pool = get_pool(n_workers)
+    points: List[SweepPoint] = list(pool.map(_sweep_point_task, tasks))
     return tuple(points)

@@ -109,7 +109,11 @@ class FaultManager:
         if self.plan.stragglers:
             factor = self.materialized.straggler_factor
             for server in self.servers:
-                server.service_scale = factor
+                # Only servers with applicable episodes pay the scale
+                # hook; elsewhere the factor is identically 1.0 and
+                # skipping the multiply is bit-exact.
+                if self.materialized.straggler_episodes(server.server_id):
+                    server.service_scale = factor
         transitions = self.materialized.transitions()
         if transitions:
             self.env.process(self._transition_proc(transitions))

@@ -325,6 +325,19 @@ class MaterializedFaults:
         self._starts: Dict[int, List[float]] = {
             sid: [w.start_ms for w in ws] for sid, ws in self.windows.items()
         }
+        # Per-server straggler episodes, precomputed once in plan order
+        # so the hot straggler_factor lookup scans only the episodes
+        # that can ever apply to the server (usually zero or one)
+        # instead of testing membership against every episode per
+        # service start.  Plan order is preserved per server, so the
+        # float product is bit-identical to the full scan.
+        self._episodes: Dict[int, Tuple[Tuple[float, float, float], ...]] = {}
+        for episode in plan.stragglers:
+            for sid in episode.server_ids:
+                self._episodes.setdefault(sid, []).append(
+                    (episode.start_ms, episode.end_ms, episode.factor))
+        self._episodes = {sid: tuple(eps)
+                          for sid, eps in self._episodes.items()}
 
     def __bool__(self) -> bool:
         return bool(self.windows) or self.plan.active
@@ -358,11 +371,23 @@ class MaterializedFaults:
 
     def straggler_factor(self, server_id: int, now: float) -> float:
         """Combined slowdown factor of all open straggler episodes."""
+        episodes = self._episodes.get(server_id)
+        if not episodes:
+            return 1.0
         factor = 1.0
-        for episode in self.plan.stragglers:
-            if episode.applies(server_id, now):
-                factor *= episode.factor
+        for start_ms, end_ms, episode_factor in episodes:
+            if start_ms <= now < end_ms:
+                factor *= episode_factor
         return factor
+
+    def straggler_episodes(self, server_id: int
+                           ) -> Tuple[Tuple[float, float, float], ...]:
+        """This server's ``(start_ms, end_ms, factor)`` episodes.
+
+        Plan-order, precomputed — the hook surface both kernels use to
+        avoid per-decision scans over the full episode list.
+        """
+        return self._episodes.get(server_id, ())
 
 
 def pick_server(depths: Sequence[int], up: Sequence[bool],

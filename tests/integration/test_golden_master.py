@@ -274,6 +274,40 @@ CALENDAR_SCENARIOS["timeline_faults_fifo"] = (
     lambda: _base_config("fifo").with_faults(_FAULT_PLAN).evolve(
         timeline_interval_ms=5.0))
 
+# Fault-heavy at rack scale: a 100-server cluster with a cluster-wide
+# crash process, a straggler episode, retries, and hedging all active at
+# once — the shape the perf-gate fault scenario measures, pinned here
+# bit-exactly so the columnar fault calendar cannot drift.
+_FAULT_HEAVY_PLAN = FaultPlan(
+    crashes=CrashProcess(mtbf_ms=60.0, mttr_ms=4.0, seed=19),
+    stragglers=(StragglerEpisode((3, 11, 47), 5.113, 35.407, 3.0),),
+    retry=RetryPolicy(max_retries=2, backoff_ms=0.531, timeout_ms=9.207),
+    hedge=HedgePolicy(delay_ms=3.313, max_hedges=1),
+)
+
+CALENDAR_SCENARIOS["fault_heavy_tailguard"] = lambda: ClusterConfig(
+    n_servers=100,
+    policy="tailguard",
+    workload=_small_workload(n_classes=2, fanouts=(1, 8, 32)).at_load(
+        0.7, 100),
+    n_queries=2000,
+    seed=23,
+).with_faults(_FAULT_HEAVY_PLAN)
+
+# Pause-mode plans (no retry, no hedge): crashes pause servers instead
+# of killing work, so the calendar runs without slots/timers at all —
+# the specialized no-mitigation fast loop is pinned by these.
+_PAUSE_PLAN = FaultPlan(
+    downtimes=(Downtime(2, 8.113, 13.391),),
+    crashes=CrashProcess(mtbf_ms=90.0, mttr_ms=5.0, server_ids=(0, 3),
+                         seed=5),
+    stragglers=(StragglerEpisode((7,), 18.183, 40.621, 2.5),),
+)
+CALENDAR_SCENARIOS["faults_pause_tailguard"] = (
+    lambda: _base_config("tailguard", n_classes=2).with_faults(_PAUSE_PLAN))
+CALENDAR_SCENARIOS["faults_pause_fifo"] = (
+    lambda: _base_config("fifo", n_classes=2).with_faults(_PAUSE_PLAN))
+
 
 # ----------------------------------------------------------------------
 # DES-kernel scenarios (fixed pre-placed trace)

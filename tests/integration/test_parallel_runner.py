@@ -200,3 +200,56 @@ class TestRunSimulations:
                          recorder=recorder)
         result = run_simulations([config], workers=2)[0]
         assert result.obs is recorder
+
+    def test_overload_and_attribution_survive_pool(self, fig6_mini):
+        """coverage/degraded arrays and the attr_* columns must cross
+        the shared-memory result path unchanged: an overloaded, traced,
+        degrading run fanned out with workers=2 reproduces the serial
+        arrays and attribution bit for bit."""
+        import numpy as np
+
+        from repro.overload import (
+            AdaptiveAdmissionPolicy,
+            DegradePolicy,
+            OverloadPolicy,
+        )
+
+        policy = OverloadPolicy(
+            admission=AdaptiveAdmissionPolicy(
+                target_miss_ratio=0.05, window_tasks=300, window_ms=40.0,
+                min_samples=50, ctl_interval_ms=2.0),
+            degrade=DegradePolicy(min_coverage=0.5, pressure_alpha=0.1,
+                                  safety=1.0),
+        )
+
+        def run(workers):
+            recorder = TraceRecorder()
+            overloaded = fig6_mini.at_load(1.4).with_seed(7).evolve(
+                recorder=recorder, overload=policy)
+            plain = fig6_mini.at_load(0.4).with_seed(7)
+            return run_simulations([overloaded, plain], workers=workers)
+
+        serial = run(None)
+        parallel = run(2)
+        hot_s, hot_p = serial[0], parallel[0]
+        np.testing.assert_array_equal(hot_p.latency, hot_s.latency)
+        np.testing.assert_array_equal(hot_p.rejected, hot_s.rejected)
+        np.testing.assert_array_equal(hot_p.coverage, hot_s.coverage)
+        np.testing.assert_array_equal(hot_p.degraded, hot_s.degraded)
+        assert hot_p.degraded_queries == hot_s.degraded_queries
+        assert hot_p.shed_tasks == hot_s.shed_tasks
+        assert hot_p.attribution_summary() == hot_s.attribution_summary()
+
+    def test_repeat_calls_reuse_pool_and_stay_identical(self, fig6_mini):
+        """The persistent pool (and its warmed estimator caches) must
+        not leak state between calls: back-to-back fan-outs of the same
+        grid agree bit for bit."""
+        import numpy as np
+
+        configs = [fig6_mini.at_load(load).with_seed(3)
+                   for load in (0.3, 0.5, 0.7)]
+        first = run_simulations(configs, workers=2)
+        second = run_simulations(configs, workers=2)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.latency, b.latency)
+            assert a.busy_time_total == b.busy_time_total
