@@ -69,6 +69,12 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.experiments.parallel import run_simulations
+from repro.federation import (
+    FederationConfig,
+    FederationResult,
+    SpillPolicy,
+    simulate_federation,
+)
 from repro.faults import (
     CrashProcess,
     Downtime,
@@ -131,6 +137,8 @@ __all__ = [
     "ErrorBudget",
     "ExperimentError",
     "FaultPlan",
+    "FederationConfig",
+    "FederationResult",
     "HedgePolicy",
     "NoAdmission",
     "NullRecorder",
@@ -152,6 +160,7 @@ __all__ = [
     "ServicePerturbation",
     "SimulationError",
     "SimulationResult",
+    "SpillPolicy",
     "StragglerEpisode",
     "Task",
     "TaskServer",
@@ -168,6 +177,7 @@ __all__ = [
     "run_experiment",
     "run_simulations",
     "simulate",
+    "simulate_federation",
     "single_class_mix",
     "tail_forensics_report",
     "uniform_class_mix",

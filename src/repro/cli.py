@@ -20,7 +20,10 @@ Subcommands:
 * ``report`` — run a traced simulation (optionally fault-injected)
   and print the tail-forensics report: per-mechanism latency
   attribution, per-class SLO error budgets with multi-window burn
-  rates, and the slowest-query waterfalls.
+  rates, and the slowest-query waterfalls;
+* ``federation`` — run a one-off two-level shard federation (front
+  tier routing over per-shard TF-EDFQ clusters) and print the
+  federation-scope summary plus a per-shard table.
 
 Exit codes: 0 on success, 2 for configuration errors (bad flags or an
 invalid setup), 1 for runtime failures inside a simulation or
@@ -43,6 +46,12 @@ from repro.experiments.parallel import run_simulations
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.setups import paper_single_class_config
 from repro.faults import CrashProcess, FaultPlan, HedgePolicy, RetryPolicy
+from repro.federation import (
+    ROUTERS,
+    FederationConfig,
+    SpillPolicy,
+    simulate_federation,
+)
 from repro.metrics import LatencyCollector
 from repro.overload import (
     AdaptiveAdmissionPolicy,
@@ -266,6 +275,55 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    """One-off two-level federation run with routing/spill knobs."""
+    shard = paper_single_class_config(
+        args.workload, args.slo_ms, policy=args.policy,
+        n_servers=args.servers_per_shard, seed=args.seed,
+    )
+    fed = FederationConfig(
+        tuple(shard.with_seed(args.seed + 1 + s)
+              for s in range(args.shards)),
+        workload=shard.workload,
+        n_queries=args.queries,
+        seed=args.seed,
+        router=args.router,
+        n_tenants=args.tenants,
+        tenant_alpha=args.tenant_alpha,
+        spill=SpillPolicy(margin_ms=args.spill_margin_ms) if args.spill
+        else None,
+    ).at_load(args.load)
+    result = simulate_federation(fed, workers=args.workers)
+    if args.json:
+        document = {
+            "n_shards": fed.n_shards,
+            "total_servers": fed.total_servers,
+            "router": fed.router,
+            "summary": result.summary(),
+            "shards": result.shard_rows(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"federation: {fed.n_shards} shards x "
+          f"{args.servers_per_shard} servers "
+          f"({fed.total_servers} total) router={fed.router} "
+          f"load={args.load:.2f}")
+    print(f"p99={result.tail(99.0):.3f} ms "
+          f"utilization={result.utilization():.3f} "
+          f"miss_ratio={result.deadline_miss_ratio():.4f} "
+          f"imbalance={result.shard_imbalance():.3f} "
+          f"spilled={result.spill_count()}")
+    for row in result.shard_rows():
+        line = (f"  shard {int(row['shard']):<3d} "
+                f"queries={int(row['queries']):<8d} "
+                f"spilled_in={int(row['spilled_in']):<6d}")
+        if "p99" in row:
+            line += (f"util={row['utilization']:.3f} "
+                     f"p99={row['p99']:.3f} ms")
+        print(line)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Run one traced simulation and print its tail-forensics report."""
     config = paper_single_class_config(
@@ -476,6 +534,40 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--max-hedges", type=int, default=1,
                                help="duplicates per task slot")
 
+    federation_parser = sub.add_parser(
+        "federation", help="one-off two-level shard federation run")
+    federation_parser.add_argument("--shards", type=int, default=4,
+                                   help="number of shard clusters")
+    federation_parser.add_argument("--servers-per-shard", type=int,
+                                   default=120,
+                                   help="servers in each shard (must fit "
+                                        "the workload's largest fanout)")
+    federation_parser.add_argument("--router", default="jsq",
+                                   choices=list(ROUTERS),
+                                   help="inter-shard routing policy")
+    federation_parser.add_argument("--spill", action="store_true",
+                                   help="re-route queries whose primary "
+                                        "shard cannot meet their budget")
+    federation_parser.add_argument("--spill-margin-ms", type=float,
+                                   default=0.0,
+                                   help="tolerated budget overshoot before "
+                                        "spilling")
+    federation_parser.add_argument("--tenants", type=int, default=64,
+                                   help="tenant population (tenant router)")
+    federation_parser.add_argument("--tenant-alpha", type=float, default=1.1,
+                                   help="Zipf exponent of tenant popularity")
+    federation_parser.add_argument("--workload", default="masstree",
+                                   choices=["masstree", "shore", "xapian"])
+    federation_parser.add_argument("--policy", default="tailguard")
+    federation_parser.add_argument("--slo-ms", type=float, default=20.0)
+    federation_parser.add_argument("--load", type=float, default=0.6)
+    federation_parser.add_argument("--queries", type=int, default=20_000)
+    federation_parser.add_argument("--seed", type=int, default=1)
+    federation_parser.add_argument("--json", action="store_true",
+                                   help="emit machine-readable JSON")
+    federation_parser.add_argument("--workers", type=int, default=None,
+                                   metavar="N", help=workers_help)
+
     trace_parser = sub.add_parser("trace", help="record/replay query traces")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
                                             required=True)
@@ -536,6 +628,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "overload": _cmd_overload,
         "report": _cmd_report,
+        "federation": _cmd_federation,
     }
     try:
         if args.command == "trace":

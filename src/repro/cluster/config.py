@@ -22,6 +22,27 @@ from repro.workloads.generator import Workload
 PlacementFn = Callable[[QuerySpec, np.random.Generator], Tuple[int, ...]]
 
 
+def evolve_config(config, **changes):
+    """Validated ``dataclasses.replace`` for frozen config dataclasses.
+
+    The single implementation behind the builder convention shared by
+    :class:`ClusterConfig` and
+    :class:`repro.federation.FederationConfig` (see docs/api.md,
+    "Config builders"): every ``with_*`` helper is a thin wrapper over
+    ``evolve``, and ``evolve`` is this function — unknown field names
+    raise :class:`ConfigurationError` instead of ``TypeError``, and the
+    dataclass's ``__post_init__`` re-validates the copy as usual.
+    """
+    known = {f.name for f in fields(config) if f.name != "_"}
+    unknown = set(changes) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config field(s): {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    return replace(config, **changes)
+
+
 @dataclass(frozen=True)
 class ServicePerturbation:
     """A time-windowed service slowdown/speedup (failure injection).
@@ -162,6 +183,12 @@ class ClusterConfig:
             raise ConfigurationError("at_load requires a workload")
         return replace(self, workload=self.workload.at_load(load, self.n_servers))
 
+    # ------------------------------------------------------------------
+    # Builder convention (docs/api.md, "Config builders"): ``evolve``
+    # owns validation — unknown-field rejection plus the usual
+    # ``__post_init__`` re-check — and every ``with_*`` helper is a
+    # thin, readable wrapper over it.
+    # ------------------------------------------------------------------
     def with_seed(self, seed: int) -> "ClusterConfig":
         """A copy with a different root seed.
 
@@ -171,41 +198,34 @@ class ClusterConfig:
         executed — ``simulate`` derives all randomness from
         ``np.random.default_rng(seed).spawn(...)`` on this field.
         """
-        return replace(self, seed=seed)
+        return self.evolve(seed=seed)
 
     def with_recorder(self, recorder: Optional[TraceRecorder]
                       ) -> "ClusterConfig":
         """A copy instrumented with the given trace recorder."""
-        return replace(self, recorder=recorder)
+        return self.evolve(recorder=recorder)
 
     def with_faults(self, faults: Optional[FaultPlan]) -> "ClusterConfig":
         """A copy running under the given fault plan (None removes it)."""
-        return replace(self, faults=faults)
+        return self.evolve(faults=faults)
 
     def with_admission(self, admission: Optional[AdmissionController]
                        ) -> "ClusterConfig":
         """A copy with the given admission controller installed."""
-        return replace(self, admission=admission)
+        return self.evolve(admission=admission)
 
     def with_overload(self, overload: Optional[OverloadPolicy]
                       ) -> "ClusterConfig":
         """A copy running under the given overload policy (None removes
         it)."""
-        return replace(self, overload=overload)
+        return self.evolve(overload=overload)
 
     def evolve(self, **changes) -> "ClusterConfig":
         """A validated copy with arbitrary fields replaced.
 
-        The supported spelling of ``dataclasses.replace`` for configs:
-        unknown field names raise :class:`ConfigurationError` instead
-        of ``TypeError``, and ``__post_init__`` re-validates the result
-        as usual.
+        The supported spelling of ``dataclasses.replace`` for configs
+        (see :func:`evolve_config`): unknown field names raise
+        :class:`ConfigurationError` instead of ``TypeError``, and
+        ``__post_init__`` re-validates the result as usual.
         """
-        known = {f.name for f in fields(self) if f.name != "_"}
-        unknown = set(changes) - known
-        if unknown:
-            raise ConfigurationError(
-                f"unknown config field(s): {sorted(unknown)}; "
-                f"known: {sorted(known)}"
-            )
-        return replace(self, **changes)
+        return evolve_config(self, **changes)

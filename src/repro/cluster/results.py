@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -14,6 +14,34 @@ from repro.types import ServiceClass
 
 #: A query *type* is a (service class name, fanout) pair (§IV.B).
 TypeKey = Tuple[str, int]
+
+#: Sentinel for :meth:`SimulationResult.merge`'s ``obs`` parameter:
+#: "build a merged recorder from the constituents' recorders".
+_AUTO_OBS = object()
+
+
+def merge_obs_home(parent: Optional[TraceRecorder],
+                   result: "SimulationResult") -> "SimulationResult":
+    """Fold a result's recorder into ``parent`` and re-bind the result.
+
+    The observability round-trip used by the parallel experiment
+    runner: a worker-side :class:`~repro.obs.recorder.TraceRecorder`
+    travels home inside its :class:`SimulationResult`, is merged into
+    the parent-side recorder object (event re-sequencing, counter
+    addition, bucket-wise histogram merge — see
+    :meth:`TraceRecorder.merge_from`), and the result is re-bound to
+    the parent so callers holding the shared recorder see
+    serial-equivalent aggregates.  Public so hierarchical composers
+    (:mod:`repro.federation`) reuse the same semantics.
+
+    No-op when ``parent`` is ``None``/disabled, the result is untraced,
+    or the result already points at ``parent``.
+    """
+    if (parent is None or not getattr(parent, "enabled", False)
+            or result.obs is None or result.obs is parent):
+        return result
+    parent.merge_from(result.obs)
+    return result.with_obs(parent)
 
 
 @dataclass
@@ -107,6 +135,197 @@ class SimulationResult:
         aggregates.
         """
         return replace(self, obs=recorder)
+
+    @classmethod
+    def merge(cls, results: Iterable["SimulationResult"], *,
+              order: Optional[Sequence[int]] = None,
+              obs: object = _AUTO_OBS) -> "SimulationResult":
+        """Compose many results into one, as disjoint sub-clusters.
+
+        The hierarchical-composition path promoted from the parallel
+        runner's private merge machinery: per-query arrays concatenate
+        (class tables are deduplicated by name and ``class_index``
+        remapped), counters add, ``n_servers`` and ``busy_time_total``
+        sum, ``duration`` is the max, and ``offered_load`` /
+        ``mean_service_ms`` are server-weighted means — i.e. the inputs
+        are treated as disjoint server pools observed over one shared
+        clock (exactly a federation of shards; see
+        :mod:`repro.federation`).
+
+        ``order``, when given, holds each concatenated row's *global*
+        position (a permutation of ``0..total-1``): shard results whose
+        rows are subsets of one interleaved arrival stream merge back
+        into global arrival order.
+
+        Observability: by default each constituent's enabled recorder is
+        folded into a fresh :class:`~repro.obs.recorder.TraceRecorder`
+        with its server ids offset into the merged flat index and its
+        query ids mapped to global positions
+        (:meth:`TraceRecorder.merge_from`), so attribution and SLO
+        accounting work on the merged result unchanged.  Pass
+        ``obs=recorder`` (or ``obs=None``) to bind a pre-merged
+        recorder instead and skip the automatic fold.
+
+        Not merged: ``timeline`` (per-cluster transient state — read it
+        on the constituents) and ``overload`` (live controller state).
+        Merging is associative over this representation, which the test
+        suite pins.
+        """
+        result_list = list(results)
+        if not result_list:
+            raise ConfigurationError("need at least one result to merge")
+
+        sizes = [int(r.latency.size) for r in result_list]
+        total = int(sum(sizes))
+        order_arr: Optional[np.ndarray] = None
+        if order is not None:
+            order_arr = np.asarray(order, dtype=np.int64)
+            if order_arr.size != total:
+                raise ConfigurationError(
+                    f"order has {order_arr.size} positions for "
+                    f"{total} queries"
+                )
+            if not np.array_equal(np.sort(order_arr), np.arange(total)):
+                raise ConfigurationError(
+                    "order must be a permutation of 0..total-1"
+                )
+
+        # Deduplicated class table, first-appearance order.
+        classes: List[ServiceClass] = []
+        class_of: Dict[str, int] = {}
+        remaps: List[np.ndarray] = []
+        for r in result_list:
+            remap = np.empty(len(r.classes), dtype=np.int32)
+            for i, sc in enumerate(r.classes):
+                idx = class_of.get(sc.name)
+                if idx is None:
+                    idx = len(classes)
+                    class_of[sc.name] = idx
+                    classes.append(sc)
+                elif classes[idx] != sc:
+                    raise ConfigurationError(
+                        f"two different classes named {sc.name!r}"
+                    )
+                remap[i] = idx
+            remaps.append(remap)
+
+        def gather(parts: List[np.ndarray]) -> np.ndarray:
+            concat = np.concatenate(parts)
+            if order_arr is None:
+                return concat
+            out = np.empty_like(concat)
+            out[order_arr] = concat
+            return out
+
+        def gather_optional(name: str, default):
+            if all(getattr(r, name) is None for r in result_list):
+                return None
+            return gather([
+                np.asarray(getattr(r, name)) if getattr(r, name) is not None
+                else default(r)
+                for r in result_list
+            ])
+
+        class_index = gather([
+            remap[np.asarray(r.class_index, dtype=np.int64)]
+            for remap, r in zip(remaps, result_list)
+        ])
+        fanout = gather([np.asarray(r.fanout) for r in result_list])
+        arrival = gather([np.asarray(r.arrival) for r in result_list])
+        latency = gather([np.asarray(r.latency) for r in result_list])
+        rejected = gather([np.asarray(r.rejected) for r in result_list])
+        measured = gather([np.asarray(r.measured) for r in result_list])
+        failed = gather_optional(
+            "failed", lambda r: np.zeros(int(r.latency.size), dtype=bool))
+        coverage = gather_optional(
+            "coverage", lambda r: np.where(np.isnan(r.latency), np.nan, 1.0))
+        degraded = gather_optional(
+            "degraded", lambda r: np.zeros(int(r.latency.size), dtype=bool))
+
+        n_servers = int(sum(r.n_servers for r in result_list))
+        policy_names: List[str] = []
+        for r in result_list:
+            if r.policy_name not in policy_names:
+                policy_names.append(r.policy_name)
+        policy_name = (policy_names[0] if len(policy_names) == 1
+                       else "mixed(" + "+".join(policy_names) + ")")
+
+        merged_obs = obs
+        if obs is _AUTO_OBS:
+            merged_obs = cls._merge_recorders(result_list, sizes, order_arr)
+
+        return cls(
+            policy_name=policy_name,
+            n_servers=n_servers,
+            seed=result_list[0].seed,
+            offered_load=sum(r.offered_load * r.n_servers
+                             for r in result_list) / n_servers,
+            classes=tuple(classes),
+            class_index=class_index,
+            fanout=fanout,
+            arrival=arrival,
+            latency=latency,
+            rejected=rejected,
+            measured=measured,
+            tasks_total=sum(r.tasks_total for r in result_list),
+            tasks_missed_deadline=sum(r.tasks_missed_deadline
+                                      for r in result_list),
+            busy_time_total=sum(r.busy_time_total for r in result_list),
+            duration=max(r.duration for r in result_list),
+            mean_service_ms=sum(r.mean_service_ms * r.n_servers
+                                for r in result_list) / n_servers,
+            timeline=None,
+            obs=merged_obs,
+            failed=failed,
+            tasks_failed=sum(r.tasks_failed for r in result_list),
+            tasks_retried=sum(r.tasks_retried for r in result_list),
+            tasks_hedged=sum(r.tasks_hedged for r in result_list),
+            tasks_cancelled=sum(r.tasks_cancelled for r in result_list),
+            server_failures=sum(r.server_failures for r in result_list),
+            coverage=coverage,
+            degraded=degraded,
+            degraded_queries=sum(r.degraded_queries for r in result_list),
+            shed_tasks=sum(r.shed_tasks for r in result_list),
+            breaker_trips=sum(r.breaker_trips for r in result_list),
+            cdf_rebootstraps=sum(r.cdf_rebootstraps for r in result_list),
+            overload=None,
+        )
+
+    @staticmethod
+    def _merge_recorders(result_list: List["SimulationResult"],
+                         sizes: List[int],
+                         order_arr: Optional[np.ndarray]
+                         ) -> Optional[TraceRecorder]:
+        """Default obs fold for :meth:`merge`: fresh parent recorder,
+        server ids offset by cumulative ``n_servers``, query ids mapped
+        to global row positions."""
+        traced = [r for r in result_list
+                  if r.obs is not None and getattr(r.obs, "enabled", False)]
+        if not traced:
+            return None
+        seen = set()
+        for r in traced:
+            if id(r.obs) in seen:
+                raise ConfigurationError(
+                    "results share one recorder object; their event "
+                    "streams cannot be split per result — merge the "
+                    "recorders yourself and pass the parent via obs=..."
+                )
+            seen.add(id(r.obs))
+        parent = TraceRecorder()
+        offset = 0
+        pos = 0
+        for r, n_rows in zip(result_list, sizes):
+            if r.obs is not None and getattr(r.obs, "enabled", False):
+                if order_arr is None:
+                    qmap: Sequence[int] = np.arange(pos, pos + n_rows)
+                else:
+                    qmap = order_arr[pos:pos + n_rows]
+                parent.merge_from(r.obs, server_id_offset=offset,
+                                  query_id_map=qmap)
+            offset += r.n_servers
+            pos += n_rows
+        return parent
 
     # ------------------------------------------------------------------
     def _class_by_name(self, name: str) -> ServiceClass:

@@ -873,6 +873,13 @@ def simulate(config: ClusterConfig) -> SimulationResult:
                 raise ConfigurationError(
                     f"placement returned {len(servers)} servers for fanout {k}"
                 )
+            for sid in servers:
+                if not 0 <= sid < n:
+                    raise ConfigurationError(
+                        f"placement returned server {sid} outside "
+                        f"[0, {n}) for query {qidx}; shard maps must "
+                        f"cover exactly the cluster's servers"
+                    )
         elif k == n:
             servers = all_servers
         elif k == 1:

@@ -77,7 +77,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
-from repro.cluster.results import SimulationResult, Timeline
+from repro.cluster.results import SimulationResult, Timeline, merge_obs_home
 from repro.cluster.simulation import simulate
 from repro.errors import ExperimentError
 
@@ -433,15 +433,10 @@ def run_simulations(
                                         chunksize=chunksize)
             )
 
-    merged: List[SimulationResult] = []
-    for config, result in zip(config_list, results):
-        parent = config.recorder
-        if (parent is not None and getattr(parent, "enabled", False)
-                and result.obs is not None and result.obs is not parent):
-            parent.merge_from(result.obs)
-            result = result.with_obs(parent)
-        merged.append(result)
-    return tuple(merged)
+    return tuple(
+        merge_obs_home(config.recorder, result)
+        for config, result in zip(config_list, results)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -189,6 +189,17 @@ def _ext_fault_sweep(quick: bool,
     return extensions.ext_fault_sweep(workers=workers)
 
 
+def _ext_federation(quick: bool,
+                    workers: Optional[int] = None) -> ExperimentReport:
+    if quick:
+        return extensions.ext_federation(
+            shard_counts=(2, 4), servers_per_shard=8,
+            routers=("jsq", "tenant"), fanouts=(1, 4, 8),
+            n_queries=4_000, n_tenants=16, workers=workers,
+        )
+    return extensions.ext_federation(workers=workers)
+
+
 def _ext_overload_sweep(quick: bool,
                         workers: Optional[int] = None) -> ExperimentReport:
     if quick:
@@ -236,6 +247,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "ext_replica_selection": _ext_replica_selection,
     "ext_scale": _ext_scale,
     "ext_fault_sweep": _ext_fault_sweep,
+    "ext_federation": _ext_federation,
     "ext_four_classes": _ext_four_classes,
     "ext_overload_sweep": _ext_overload_sweep,
     "ext_request_decomposition": _ext_request_decomposition,

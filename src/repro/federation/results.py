@@ -1,0 +1,142 @@
+"""Federation simulation outcome."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.federation.config import FederationConfig
+
+
+@dataclass
+class FederationResult:
+    """Everything measured by one federation run.
+
+    ``merged`` is the federation-scope :class:`SimulationResult`
+    (composed via :meth:`SimulationResult.merge` with the global
+    arrival order restored), so every cluster-level analysis — tails,
+    SLO checks, attribution, SLO burn-down — works unchanged at
+    federation scope.  ``shards`` keeps the per-shard results for
+    drill-down (``None`` for shards that received no queries).
+    """
+
+    config: FederationConfig
+    #: Per-shard results, index-aligned with ``config.shards``.
+    shards: Tuple[Optional[SimulationResult], ...]
+    #: Shard index serving each query (global arrival order).
+    shard_of: np.ndarray
+    #: Queries re-routed off their primary shard by the spill policy.
+    spilled: np.ndarray
+    #: Federation-scope composed result.
+    merged: SimulationResult
+    #: Tenant id per query (``tenant`` router only).
+    tenant_of: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    @property
+    def total_servers(self) -> int:
+        return self.config.total_servers
+
+    def spill_count(self) -> int:
+        return int(self.spilled.sum())
+
+    def spill_ratio(self) -> float:
+        if self.spilled.size == 0:
+            return 0.0
+        return float(self.spilled.sum()) / float(self.spilled.size)
+
+    def shard_query_counts(self) -> np.ndarray:
+        """Queries routed to each shard."""
+        return np.bincount(self.shard_of, minlength=self.n_shards)
+
+    def shard_imbalance(self) -> float:
+        """Max-over-mean of per-server task work routed to each shard.
+
+        1.0 is a perfectly balanced federation; the ``tenant`` router
+        under Zipf skew drives this up, load-aware routers keep it near
+        one.
+        """
+        n_servers = np.array([s.n_servers for s in self.config.shards],
+                             dtype=float)
+        work = np.bincount(self.shard_of,
+                           weights=np.asarray(self.merged.fanout,
+                                              dtype=float),
+                           minlength=self.n_shards) / n_servers
+        mean = float(work.mean())
+        if mean <= 0:
+            return 1.0
+        return float(work.max()) / mean
+
+    # ------------------------------------------------------------------
+    # Federation-scope analysis: delegate to the merged result.
+    # ------------------------------------------------------------------
+    def tail(self, percentile: float = 99.0,
+             class_name: Optional[str] = None,
+             fanout: Optional[int] = None) -> float:
+        return self.merged.tail(percentile, class_name, fanout)
+
+    def per_type_tails(self, percentile: Optional[float] = None
+                       ) -> Dict[Tuple[str, int], float]:
+        return self.merged.per_type_tails(percentile)
+
+    def meets_all_slos(self, min_samples: int = 100,
+                       fanout_buckets: Optional[Tuple[int, ...]] = None
+                       ) -> bool:
+        return self.merged.meets_all_slos(min_samples, fanout_buckets)
+
+    def utilization(self) -> float:
+        return self.merged.utilization()
+
+    def deadline_miss_ratio(self) -> float:
+        return self.merged.deadline_miss_ratio()
+
+    def attribution(self):
+        """Federation-scope latency attribution (requires a federation
+        recorder — see ``FederationConfig.recorder``)."""
+        return self.merged.attribution()
+
+    # ------------------------------------------------------------------
+    def shard_rows(self) -> List[Dict[str, float]]:
+        """One diagnostics row per shard (CLI/CSV table)."""
+        counts = self.shard_query_counts()
+        rows: List[Dict[str, float]] = []
+        for s, (shard, result) in enumerate(zip(self.config.shards,
+                                                self.shards)):
+            row: Dict[str, float] = {
+                "shard": float(s),
+                "n_servers": float(shard.n_servers),
+                "queries": float(counts[s]),
+                "spilled_in": float(
+                    ((self.shard_of == s) & self.spilled).sum()
+                ),
+            }
+            if result is not None:
+                row["utilization"] = result.utilization()
+                row["deadline_miss_ratio"] = result.deadline_miss_ratio()
+                try:
+                    row["p99"] = result.tail(99.0)
+                except ConfigurationError:
+                    pass
+            rows.append(row)
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers: the merged summary plus federation shape,
+        routing and spill counters."""
+        out = dict(self.merged.summary())
+        out.update({
+            "n_shards": float(self.n_shards),
+            "total_servers": float(self.total_servers),
+            "spilled": float(self.spill_count()),
+            "spill_ratio": self.spill_ratio(),
+            "shard_imbalance": self.shard_imbalance(),
+        })
+        return out

@@ -1,0 +1,275 @@
+"""Front-tier inter-shard routing.
+
+The federation's front tier sits above ``n_shards`` independent
+TF-EDFQ clusters and decides, per query, which shard serves it.  It
+has no access to shard-internal queue state (shards are separate
+failure/scaling domains); instead it maintains a **fluid backlog
+model**: per-shard outstanding work ``W_s`` in server-milliseconds,
+drained at the shard's aggregate capacity (``n_s`` server-ms per ms)
+between arrivals and credited ``fanout × E[S_s]`` on each assignment.
+``W_s / n_s`` is then the estimated queueing delay a new query would
+see on shard ``s`` — the delayed-but-cheap global signal the
+load-balancing literature uses at this tier (cf. the power-of-two
+results surveyed in PAPERS.md).
+
+Routers (``FederationConfig.router``):
+
+``jsq``
+    Join-the-shortest-queue on estimated delay: ``argmin W_s / n_s``
+    over shards large enough for the query's fanout.
+``p2c``
+    Power-of-two-choices: two distinct eligible shards drawn uniformly,
+    the one with less estimated delay wins.  O(1) state reads and
+    near-JSQ tails — the classic trade.
+``least-slack``
+    Deadline-aware best fit: per-shard slack is the shard's own
+    TailGuard budget ``T_b = SLO − x_p^u(k_f)`` (from its
+    :class:`~repro.core.deadline.DeadlineEstimator`, Eq. 5) minus the
+    estimated delay.  The query goes to the eligible shard with the
+    *smallest non-negative* slack (tightest fit, preserving headroom on
+    slack-rich shards), falling back to the largest slack when no shard
+    can meet the budget.
+``tenant``
+    Zipf-skewed tenant affinity: each query belongs to one of
+    ``n_tenants`` tenants (popularity ``∝ rank^-tenant_alpha``) and is
+    routed to the tenant's home shard ``tenant mod n_shards`` — the
+    data-locality baseline that *concentrates* hot tenants and shows
+    why load-aware routing matters.  Combine with a
+    :class:`~repro.federation.SpillPolicy` to let overloaded home
+    shards shed to the federation.
+
+Spill (any router): when a :class:`~repro.federation.SpillPolicy` is
+set, the front tier predicts the chosen shard's admission verdict —
+estimated delay exceeding the query's budget by more than
+``margin_ms`` is the same deadline-infeasibility signal a shard-local
+deadline-aware admission controller would reject on — and re-routes
+the query to the eligible shard with the most slack, marking it
+``spilled``.  One hop only: if no shard improves on the primary, the
+query stays put (the shard's own admission control has the last word).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.deadline import DeadlineEstimator
+from repro.errors import ConfigurationError
+from repro.types import ServiceClass
+
+#: Supported inter-shard routing policies.
+ROUTERS: Tuple[str, ...] = ("jsq", "p2c", "least-slack", "tenant")
+
+
+@dataclass
+class RouteOutcome:
+    """Per-query routing decisions, aligned with the front-tier spec
+    stream (global arrival order)."""
+
+    #: Shard index serving each query.
+    shard_of: np.ndarray
+    #: True where the spill policy re-routed the query off its primary
+    #: shard (all-False without a :class:`SpillPolicy`).
+    spilled: np.ndarray
+    #: Tenant id per query (``tenant`` router only, else None).
+    tenant_of: Optional[np.ndarray] = None
+
+
+def shard_mean_service_ms(shard) -> float:
+    """Mean task service time of a shard template (ms).
+
+    Follows the kernel's ``_finalize`` convention — the mean over the
+    resolved per-server CDF means — so federation-level metadata agrees
+    with what a bare cluster of the same shape would report.
+    """
+    if shard.server_cdfs is None and shard.workload is not None:
+        return float(shard.workload.mean_service_ms())
+    cdfs = shard.resolve_server_cdfs()
+    return float(np.mean([dist.mean() for dist in cdfs.values()]))
+
+
+class FrontTier:
+    """Fluid backlog model over the federation's shards.
+
+    Tracks per-shard outstanding work ``W_s`` (server-ms): drained at
+    capacity ``n_s`` per simulated ms between arrivals, credited
+    ``fanout × E[S_s]`` per assignment.  ``delays()`` is the estimated
+    per-shard queueing delay ``W_s / n_s``.
+    """
+
+    def __init__(self, shards: Sequence) -> None:
+        self.capacity = np.array([float(s.n_servers) for s in shards])
+        self.mean_ms = np.array([shard_mean_service_ms(s) for s in shards])
+        self.work = np.zeros(len(self.capacity))
+        self._clock = 0.0
+
+    def advance(self, now: float) -> None:
+        """Drain backlog up to simulation time ``now``."""
+        dt = now - self._clock
+        if dt > 0.0:
+            self.work -= dt * self.capacity
+            np.maximum(self.work, 0.0, out=self.work)
+            self._clock = now
+
+    def delays(self) -> np.ndarray:
+        """Estimated queueing delay per shard (ms)."""
+        return self.work / self.capacity
+
+    def assign(self, shard: int, fanout: int) -> None:
+        """Credit one query's work to a shard."""
+        self.work[shard] += fanout * self.mean_ms[shard]
+
+
+class _ShardBudgets:
+    """Memoized per-shard TailGuard budgets ``T_b(class, fanout)``.
+
+    Uses each shard's own estimator when the template carries one, else
+    a fresh :class:`DeadlineEstimator` over the shard's resolved server
+    CDFs — the same offline initialization the shard's simulation
+    kernel would build.  Heterogeneous shards are signed by a
+    representative selection (servers ``0..k-1``); the front tier only
+    needs a per-shard scalar, not a placement-exact budget.
+    """
+
+    def __init__(self, shards: Sequence) -> None:
+        self._estimators: List[DeadlineEstimator] = []
+        for shard in shards:
+            est = shard.estimator
+            if est is None:
+                est = DeadlineEstimator(dict(shard.resolve_server_cdfs()))
+            self._estimators.append(est)
+        self._n = np.array([s.n_servers for s in shards])
+        self._memo: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def vector(self, service_class: ServiceClass, class_idx: int,
+               fanout: int) -> np.ndarray:
+        """Budgets across shards (NaN where the fanout does not fit)."""
+        key = (class_idx, fanout)
+        vec = self._memo.get(key)
+        if vec is None:
+            vec = np.full(len(self._estimators), np.nan)
+            for s, est in enumerate(self._estimators):
+                if fanout > self._n[s]:
+                    continue
+                if est.homogeneous:
+                    vec[s] = est.budget(service_class, fanout=fanout)
+                else:
+                    vec[s] = est.budget(service_class,
+                                        servers=tuple(range(fanout)))
+            self._memo[key] = vec
+        return vec
+
+
+def route_queries(config, classes: Sequence[ServiceClass],
+                  class_index: np.ndarray, fanout: np.ndarray,
+                  arrival: np.ndarray,
+                  rng: np.random.Generator) -> RouteOutcome:
+    """Assign every query in the front-tier stream to a shard.
+
+    Arrays are the columnar form of the generated spec stream (already
+    in arrival order).  ``rng`` is the router's own child stream —
+    consumed only by the ``p2c`` draws and the ``tenant`` Zipf draw, so
+    routing randomness never perturbs shard-internal seeding.
+    """
+    shards = config.shards
+    n_shards = len(shards)
+    tier = FrontTier(shards)
+    need_budgets = config.router == "least-slack" or config.spill is not None
+    budgets = _ShardBudgets(shards) if need_budgets else None
+    n_servers = np.array([s.n_servers for s in shards])
+    elig_mask: Dict[int, np.ndarray] = {}
+    elig_idx: Dict[int, np.ndarray] = {}
+
+    def eligible(k: int) -> np.ndarray:
+        mask = elig_mask.get(k)
+        if mask is None:
+            mask = n_servers >= k
+            if not mask.any():
+                raise ConfigurationError(
+                    f"fanout {k} exceeds every shard's server count "
+                    f"(largest shard has {int(n_servers.max())})"
+                )
+            elig_mask[k] = mask
+            elig_idx[k] = np.flatnonzero(mask)
+        return mask
+
+    m = int(len(fanout))
+    shard_of = np.empty(m, dtype=np.int32)
+    spilled = np.zeros(m, dtype=bool)
+    tenant_of: Optional[np.ndarray] = None
+    home_of: Optional[np.ndarray] = None
+    if config.router == "tenant":
+        ranks = np.arange(1, config.n_tenants + 1, dtype=float)
+        weights = ranks ** -config.tenant_alpha
+        tenant_of = rng.choice(config.n_tenants, size=m,
+                               p=weights / weights.sum())
+        home_of = tenant_of % n_shards
+    draws: Optional[np.ndarray] = None
+    if config.router == "p2c":
+        draws = rng.integers(0, np.iinfo(np.int64).max, size=(m, 2))
+    tie_draws: Optional[np.ndarray] = None
+    if config.router in ("jsq", "tenant"):
+        # Randomized tie-break: an idle federation has all-zero backlog
+        # on every shard, and a deterministic argmin would pile the
+        # whole stream onto shard 0 until backlog accrues.
+        tie_draws = rng.integers(0, np.iinfo(np.int64).max, size=m)
+
+    def pick_least_delay(delay: np.ndarray, mask: np.ndarray,
+                         draw: int) -> int:
+        masked = np.where(mask, delay, np.inf)
+        ties = np.flatnonzero(masked == masked.min())
+        if ties.size == 1:
+            return int(ties[0])
+        return int(ties[draw % ties.size])
+
+    margin = config.spill.margin_ms if config.spill is not None else 0.0
+    router = config.router
+
+    for i in range(m):
+        tier.advance(float(arrival[i]))
+        k = int(fanout[i])
+        mask = eligible(k)
+        delay = tier.work / tier.capacity
+        if router == "jsq":
+            shard = pick_least_delay(delay, mask, int(tie_draws[i]))
+        elif router == "p2c":
+            idx = elig_idx[k]
+            width = int(idx.size)
+            if width == 1:
+                shard = int(idx[0])
+            else:
+                # Two distinct positions from one pair of raw draws.
+                a = int(draws[i, 0] % width)
+                b = (a + 1 + int(draws[i, 1] % (width - 1))) % width
+                first, second = int(idx[a]), int(idx[b])
+                shard = first if delay[first] <= delay[second] else second
+        elif router == "least-slack":
+            vec = budgets.vector(classes[int(class_index[i])],
+                                 int(class_index[i]), k)
+            slack = np.where(mask, vec - delay, -np.inf)
+            feasible = slack >= 0.0
+            if feasible.any():
+                shard = int(np.argmin(np.where(feasible, slack, np.inf)))
+            else:
+                shard = int(np.argmax(slack))
+        else:  # tenant
+            shard = int(home_of[i])
+            if not mask[shard]:
+                shard = pick_least_delay(delay, mask, int(tie_draws[i]))
+        if config.spill is not None:
+            vec = budgets.vector(classes[int(class_index[i])],
+                                 int(class_index[i]), k)
+            primary_slack = float(vec[shard] - delay[shard])
+            if primary_slack < -margin:
+                slack = np.where(mask, vec - delay, -np.inf)
+                alt = int(np.argmax(slack))
+                if alt != shard and float(slack[alt]) > primary_slack:
+                    shard = alt
+                    spilled[i] = True
+        shard_of[i] = shard
+        tier.assign(shard, k)
+
+    return RouteOutcome(shard_of=shard_of, spilled=spilled,
+                        tenant_of=tenant_of)

@@ -61,7 +61,8 @@ class NullRecorder:
     def server_series(self) -> Optional[ServerSeries]:
         return None
 
-    def merge_from(self, other: Any) -> "NullRecorder":
+    def merge_from(self, other: Any, *, server_id_offset: int = 0,
+                   query_id_map: Optional[Any] = None) -> "NullRecorder":
         return self
 
     def summary(self) -> Dict[str, Any]:
@@ -135,7 +136,10 @@ class TraceRecorder:
         self._built_series = None
         self._series.sample(time, queue_len, busy, utilization, miss_ratio)
 
-    def merge_from(self, other: "TraceRecorder") -> "TraceRecorder":
+    def merge_from(self, other: "TraceRecorder", *,
+                   server_id_offset: int = 0,
+                   query_id_map: Optional[Sequence[int]] = None
+                   ) -> "TraceRecorder":
         """Absorb another recorder (cross-process aggregation).
 
         Events are appended with fresh sequence numbers, counters add,
@@ -145,11 +149,40 @@ class TraceRecorder:
         merge order.  Used by the parallel experiment runner to fold a
         worker-side recorder into the parent-side one.
 
+        ``server_id_offset`` and ``query_id_map`` give merged streams a
+        *shard dimension* (see :mod:`repro.federation`): a shard's
+        server ids are shifted into the federation's flat server index
+        and its per-run query ids are mapped to global query positions,
+        so attribution and SLO accounting read the merged stream exactly
+        as they would a single-cluster trace.  Sentinel ids (``-1``) are
+        left untouched.  Sampled per-server series are a fixed-width
+        single-cluster format and cannot carry an offset: merging a
+        recorder that holds series samples under a non-zero offset
+        raises :class:`ConfigurationError`.
+
         Merging an empty recorder is a no-op: nothing is appended and
         the histogram layout is not checked (an empty histogram has
         nothing to say about bucket edges).
         """
+        remap = server_id_offset != 0 or query_id_map is not None
+        if server_id_offset and len(other._series):
+            raise ConfigurationError(
+                "cannot merge sampled server series under a server-id "
+                "offset; series are per-cluster — read them on the "
+                "shard's own recorder"
+            )
         for event in other.events:
+            if remap:
+                sid = event.server_id
+                if server_id_offset and sid >= 0:
+                    sid += server_id_offset
+                qid = event.query_id
+                if query_id_map is not None and qid >= 0:
+                    qid = int(query_id_map[qid])
+                self.events.append(dataclasses.replace(
+                    event, seq=len(self.events), server_id=sid,
+                    query_id=qid))
+                continue
             self.events.append(dataclasses.replace(event,
                                                    seq=len(self.events)))
         for name, n in other.counters.items():

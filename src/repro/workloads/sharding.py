@@ -53,13 +53,33 @@ class ShardMap:
         ]
 
     def replicas(self, shard: int) -> Tuple[int, ...]:
-        """Servers hosting a shard."""
-        try:
-            return self._replicas[shard]
-        except IndexError:
+        """Servers hosting a shard.
+
+        The bound is checked explicitly — including negatives, which
+        Python list indexing would otherwise wrap around silently.
+        """
+        if not 0 <= shard < self.n_shards:
             raise ConfigurationError(
                 f"shard {shard} outside [0, {self.n_shards})"
-            ) from None
+            )
+        return self._replicas[shard]
+
+    def validate_cluster(self, n_servers: int) -> None:
+        """Check this map targets exactly a flat ``0..n_servers-1`` index.
+
+        A :class:`ShardedPlacement` built over this map emits server
+        ids in ``[0, self.n_servers)``; driving it against a cluster of
+        a different size silently concentrates load (map smaller than
+        cluster) or points tasks at servers that do not exist (map
+        larger).  Call sites that know the cluster size (the federation
+        front tier, the CLI) fail fast here instead.
+        """
+        if n_servers != self.n_servers:
+            raise ConfigurationError(
+                f"shard map covers {self.n_servers} servers but the "
+                f"cluster has {n_servers}; rebuild the map for the "
+                f"cluster it places onto"
+            )
 
     def shards_on(self, server: int) -> Tuple[int, ...]:
         """Shards hosted by a server."""

@@ -427,3 +427,41 @@ class TestTraceRun:
         assert any(p["type"] == "TASK_COMPLETE" for p in parsed)
         out = capsys.readouterr().out
         assert f"wrote {len(lines)} JSONL events" in out
+
+
+class TestFederationCommand:
+    def test_federation_text(self, capsys):
+        assert main([
+            "federation", "--shards", "2", "--servers-per-shard", "110",
+            "--queries", "1500", "--load", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "federation: 2 shards x 110 servers (220 total)" in out
+        assert "router=jsq" in out
+        assert "p99=" in out
+        assert "shard 0" in out and "shard 1" in out
+
+    def test_federation_json(self, capsys):
+        assert main([
+            "federation", "--shards", "2", "--servers-per-shard", "110",
+            "--queries", "1500", "--load", "0.4", "--router", "tenant",
+            "--spill", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_shards"] == 2
+        assert document["total_servers"] == 220
+        assert document["router"] == "tenant"
+        summary = document["summary"]
+        for key in ("utilization", "deadline_miss_ratio",
+                    "spill_ratio", "shard_imbalance", "total_servers"):
+            assert key in summary
+        assert len(document["shards"]) == 2
+        assert sum(row["queries"] for row in document["shards"]) == 1500
+
+    def test_federation_misconfiguration_exits_2(self, capsys):
+        # 10 servers per shard cannot host the paper's fanout-100 class.
+        assert main([
+            "federation", "--shards", "2", "--servers-per-shard", "10",
+            "--queries", "500",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -158,7 +158,7 @@ class TestRegistry:
             "ext_scale", "ext_fault_sweep", "ext_four_classes",
             "ext_overload_sweep", "ext_request_decomposition",
             "ext_arrival_burstiness", "ext_replica_selection",
-            "ext_tail_attribution",
+            "ext_tail_attribution", "ext_federation",
             "ablation_inaccurate_cdf", "ablation_online_updating",
             "ablation_admission_threshold", "ablation_server_slowdown",
         }

@@ -30,6 +30,8 @@ EXPECTED = [
     "ErrorBudget",
     "ExperimentError",
     "FaultPlan",
+    "FederationConfig",
+    "FederationResult",
     "HedgePolicy",
     "NoAdmission",
     "NullRecorder",
@@ -51,6 +53,7 @@ EXPECTED = [
     "ServicePerturbation",
     "SimulationError",
     "SimulationResult",
+    "SpillPolicy",
     "StragglerEpisode",
     "Task",
     "TaskServer",
@@ -67,6 +70,7 @@ EXPECTED = [
     "run_experiment",
     "run_simulations",
     "simulate",
+    "simulate_federation",
     "single_class_mix",
     "tail_forensics_report",
     "uniform_class_mix",

@@ -1,0 +1,203 @@
+"""Unit tests for ``SimulationResult.merge`` composition semantics."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterConfig,
+    ConfigurationError,
+    CrashProcess,
+    FaultPlan,
+    ServiceClass,
+    SimulationResult,
+    TraceRecorder,
+    simulate,
+)
+from repro.distributions import Exponential
+from repro.workloads import PoissonArrivals, Workload, single_class_mix
+from repro.workloads.fanout import UniformFanout
+
+
+def make_workload(class_name: str = "gold", slo_ms: float = 50.0) -> Workload:
+    return Workload(
+        "unit", PoissonArrivals(2.0), UniformFanout(1, 4),
+        single_class_mix(ServiceClass(class_name, slo_ms=slo_ms)),
+        Exponential(1.0),
+    )
+
+
+def run(seed: int = 0, policy: str = "fifo", n_queries: int = 200,
+        workload: Workload = None, **kwargs) -> SimulationResult:
+    config = ClusterConfig(4, policy, workload=workload or make_workload(),
+                           n_queries=n_queries, seed=seed, **kwargs)
+    return simulate(config)
+
+
+def assert_same_merged(a: SimulationResult, b: SimulationResult):
+    assert np.array_equal(a.latency, b.latency, equal_nan=True)
+    assert np.array_equal(a.arrival, b.arrival)
+    assert np.array_equal(a.fanout, b.fanout)
+    assert np.array_equal(a.class_index, b.class_index)
+    assert np.array_equal(a.rejected, b.rejected)
+    assert np.array_equal(a.measured, b.measured)
+    assert a.classes == b.classes
+    assert a.policy_name == b.policy_name
+    assert a.n_servers == b.n_servers
+    assert a.tasks_total == b.tasks_total
+    assert a.tasks_missed_deadline == b.tasks_missed_deadline
+    assert a.busy_time_total == b.busy_time_total
+    assert a.duration == b.duration
+    assert a.offered_load == pytest.approx(b.offered_load)
+    assert a.mean_service_ms == pytest.approx(b.mean_service_ms)
+
+
+class TestMergeBasics:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one result"):
+            SimulationResult.merge([])
+
+    def test_single_result_merge_is_identity_on_arrays(self):
+        a = run(seed=1)
+        merged = SimulationResult.merge([a])
+        assert np.array_equal(merged.latency, a.latency, equal_nan=True)
+        assert merged.n_servers == a.n_servers
+        assert merged.offered_load == pytest.approx(a.offered_load)
+        assert merged.obs is None  # untraced input stays untraced
+
+    def test_counters_add_and_duration_is_max(self):
+        a, b = run(seed=1, n_queries=150), run(seed=2, n_queries=300)
+        merged = SimulationResult.merge([a, b])
+        assert merged.n_servers == a.n_servers + b.n_servers
+        assert merged.tasks_total == a.tasks_total + b.tasks_total
+        assert merged.busy_time_total == a.busy_time_total + b.busy_time_total
+        assert merged.duration == max(a.duration, b.duration)
+        assert merged.latency.size == 450
+
+    def test_timeline_and_overload_not_merged(self):
+        a = run(seed=1, timeline_interval_ms=5.0)
+        assert a.timeline is not None
+        merged = SimulationResult.merge([a, run(seed=2)])
+        assert merged.timeline is None
+        assert merged.overload is None
+
+
+class TestMergeAssociativity:
+    def test_three_way_merge_is_associative(self):
+        a, b, c = (run(seed=s, n_queries=100 + 40 * s) for s in (1, 2, 3))
+        flat = SimulationResult.merge([a, b, c])
+        left = SimulationResult.merge([SimulationResult.merge([a, b]), c])
+        right = SimulationResult.merge([a, SimulationResult.merge([b, c])])
+        assert_same_merged(flat, left)
+        assert_same_merged(flat, right)
+
+
+class TestMergeOrder:
+    def test_order_restores_interleaved_positions(self):
+        a, b = run(seed=1, n_queries=120), run(seed=2, n_queries=80)
+        rng = np.random.default_rng(5)
+        order = rng.permutation(200)
+        merged = SimulationResult.merge([a, b], order=order)
+        concat = np.concatenate([a.arrival, b.arrival])
+        assert np.array_equal(merged.arrival[order], concat)
+
+    def test_order_wrong_length_rejected(self):
+        a, b = run(seed=1, n_queries=100), run(seed=2, n_queries=100)
+        with pytest.raises(ConfigurationError, match="positions for"):
+            SimulationResult.merge([a, b], order=np.arange(150))
+
+    def test_order_must_be_permutation(self):
+        a, b = run(seed=1, n_queries=100), run(seed=2, n_queries=100)
+        bad = np.zeros(200, dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="permutation"):
+            SimulationResult.merge([a, b], order=bad)
+
+
+class TestMergeClassTable:
+    def test_same_class_dedupes(self):
+        a, b = run(seed=1), run(seed=2)
+        merged = SimulationResult.merge([a, b])
+        assert len(merged.classes) == 1
+        assert merged.classes[0].name == "gold"
+
+    def test_distinct_classes_remap_indices(self):
+        a = run(seed=1, n_queries=100)
+        b = run(seed=2, n_queries=100, workload=make_workload("silver"))
+        merged = SimulationResult.merge([a, b])
+        assert [sc.name for sc in merged.classes] == ["gold", "silver"]
+        assert np.all(merged.class_index[:100] == 0)
+        assert np.all(merged.class_index[100:] == 1)
+
+    def test_conflicting_class_definitions_rejected(self):
+        a = run(seed=1)
+        b = run(seed=2, workload=make_workload("gold", slo_ms=9.0))
+        with pytest.raises(ConfigurationError,
+                           match="two different classes named"):
+            SimulationResult.merge([a, b])
+
+    def test_mixed_policies_get_composite_name(self):
+        merged = SimulationResult.merge(
+            [run(seed=1, policy="fifo"), run(seed=2, policy="tailguard")])
+        assert merged.policy_name == "mixed(fifo+tailguard)"
+
+
+class TestMergeOptionalArrays:
+    def test_fault_arrays_fill_untraced_inputs(self):
+        plan = FaultPlan(
+            crashes=CrashProcess(mtbf_ms=50.0, mttr_ms=5.0, seed=3))
+        faulty = simulate(
+            ClusterConfig(4, "fifo", workload=make_workload(),
+                          n_queries=200, seed=1, faults=plan))
+        clean = run(seed=2, n_queries=100)
+        assert faulty.failed is not None and clean.failed is None
+        merged = SimulationResult.merge([faulty, clean])
+        assert merged.failed is not None
+        assert np.array_equal(merged.failed[:200], faulty.failed)
+        assert not merged.failed[200:].any()
+        assert merged.server_failures == faulty.server_failures
+
+    def test_all_clean_inputs_keep_optionals_none(self):
+        merged = SimulationResult.merge([run(seed=1), run(seed=2)])
+        assert merged.failed is None
+        assert merged.coverage is None
+        assert merged.degraded is None
+
+
+class TestMergeObservability:
+    def test_auto_fold_offsets_server_ids(self):
+        a = simulate(ClusterConfig(
+            4, "fifo", workload=make_workload(), n_queries=150, seed=1,
+            recorder=TraceRecorder()))
+        b = simulate(ClusterConfig(
+            4, "fifo", workload=make_workload(), n_queries=150, seed=2,
+            recorder=TraceRecorder()))
+        merged = SimulationResult.merge([a, b])
+        assert merged.obs is not None
+        assert merged.obs is not a.obs and merged.obs is not b.obs
+        server_ids = {e.server_id for e in merged.obs.events
+                      if e.server_id >= 0}
+        assert any(sid >= 4 for sid in server_ids)  # b offset by a's pool
+        assert all(0 <= sid < 8 for sid in server_ids)
+        query_ids = {e.query_id for e in merged.obs.events
+                     if e.query_id >= 0}
+        assert max(query_ids) >= 150  # b's rows mapped to global positions
+
+    def test_shared_recorder_object_rejected(self):
+        a = simulate(ClusterConfig(
+            4, "fifo", workload=make_workload(), n_queries=100, seed=1,
+            recorder=TraceRecorder()))
+        twin = replace(a)  # distinct result, same recorder object
+        with pytest.raises(ConfigurationError, match="share one recorder"):
+            SimulationResult.merge([a, twin])
+
+    def test_explicit_obs_binding_skips_auto_fold(self):
+        a = simulate(ClusterConfig(
+            4, "fifo", workload=make_workload(), n_queries=100, seed=1,
+            recorder=TraceRecorder()))
+        b = run(seed=2, n_queries=100)
+        merged = SimulationResult.merge([a, b], obs=None)
+        assert merged.obs is None
+        parent = TraceRecorder()
+        merged = SimulationResult.merge([a, b], obs=parent)
+        assert merged.obs is parent

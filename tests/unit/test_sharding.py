@@ -41,6 +41,22 @@ class TestShardMap:
         with pytest.raises(ConfigurationError):
             ShardMap(4, 4).replicas(10)
 
+    def test_negative_shard_does_not_wrap(self):
+        # Python list indexing would silently resolve -1; the explicit
+        # bound check must reject it.
+        with pytest.raises(ConfigurationError, match="outside"):
+            ShardMap(4, 4).replicas(-1)
+        with pytest.raises(ConfigurationError, match="outside"):
+            ShardMap(4, 4).shards_on(-1)
+
+    def test_validate_cluster(self):
+        shard_map = ShardMap(40, 8)
+        shard_map.validate_cluster(8)  # exact match passes
+        with pytest.raises(ConfigurationError, match="covers 8 servers"):
+            shard_map.validate_cluster(16)
+        with pytest.raises(ConfigurationError, match="covers 8 servers"):
+            shard_map.validate_cluster(4)
+
     def test_shards_on_inverse(self):
         shard_map = ShardMap(20, 5, replication=2)
         for server in range(5):
@@ -198,3 +214,50 @@ class TestShardedPlacement:
             ShardedPlacement(ShardMap(160, 16), popularity_alpha=1.5)
         )
         assert skewed_tail > uniform_tail
+
+
+class TestPlacementBoundsInKernel:
+    """The simulators reject placements that escape the flat server
+    index instead of crashing (or silently wrapping) deep in the
+    engine — e.g. a ShardMap built for a different cluster size."""
+
+    def _config(self, gold, placement, faults=None):
+        from repro.workloads import (
+            PoissonArrivals,
+            Workload,
+            get_workload,
+            inverse_proportional_fanout,
+            single_class_mix,
+        )
+
+        bench = get_workload("masstree")
+        workload = Workload(
+            "sharded", PoissonArrivals(1.0),
+            inverse_proportional_fanout([1, 4]),
+            single_class_mix(gold), bench.service_time,
+        )
+        return ClusterConfig(
+            n_servers=8, policy="fifo", workload=workload,
+            n_queries=200, seed=4, placement=placement, faults=faults,
+        ).at_load(0.3)
+
+    def test_oversized_shard_map_rejected_by_simulator(self, gold):
+        # Map for 16 servers driving an 8-server cluster: emits ids >= 8.
+        placement = ShardedPlacement(ShardMap(64, 16))
+        with pytest.raises(ConfigurationError, match="outside"):
+            simulate(self._config(gold, placement))
+
+    def test_oversized_shard_map_rejected_under_faults(self, gold):
+        from repro.faults import CrashProcess, FaultPlan
+
+        placement = ShardedPlacement(ShardMap(64, 16))
+        plan = FaultPlan(crashes=CrashProcess(mtbf_ms=1e9, mttr_ms=1.0))
+        with pytest.raises(ConfigurationError, match="outside"):
+            simulate(self._config(gold, placement, faults=plan))
+
+    def test_wrong_arity_rejected(self, gold):
+        def two_servers(spec, rng):
+            return (0, 1)
+
+        with pytest.raises(ConfigurationError, match="for fanout"):
+            simulate(self._config(gold, two_servers))
