@@ -103,6 +103,13 @@ from repro.overload import (
     OverloadPolicy,
     install_overload,
 )
+from repro.replicas import (
+    AdaptiveHedgePolicy,
+    HedgeSuppressionPolicy,
+    ReplicaPolicy,
+    ReplicaScorer,
+    install_replicas,
+)
 from repro.sas import SaSTestbed
 from repro.types import QueryRecord, QuerySpec, RequestSpec, ServiceClass, Task
 from repro.workloads import (
@@ -120,6 +127,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveAdmission",
     "AdaptiveAdmissionPolicy",
+    "AdaptiveHedgePolicy",
     "AdmissionController",
     "AdmissionRejected",
     "BreakerPolicy",
@@ -140,6 +148,7 @@ __all__ = [
     "FederationConfig",
     "FederationResult",
     "HedgePolicy",
+    "HedgeSuppressionPolicy",
     "NoAdmission",
     "NullRecorder",
     "OverloadPolicy",
@@ -150,6 +159,8 @@ __all__ = [
     "QueryHandler",
     "QueryRecord",
     "QuerySpec",
+    "ReplicaPolicy",
+    "ReplicaScorer",
     "ReproError",
     "RequestPlanner",
     "RequestSpec",
@@ -172,6 +183,7 @@ __all__ = [
     "get_workload",
     "install_faults",
     "install_overload",
+    "install_replicas",
     "inverse_proportional_fanout",
     "load_sweep",
     "run_experiment",

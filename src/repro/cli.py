@@ -53,6 +53,12 @@ from repro.federation import (
     simulate_federation,
 )
 from repro.metrics import LatencyCollector
+from repro.replicas import (
+    AdaptiveHedgePolicy,
+    HedgeSuppressionPolicy,
+    ReplicaPolicy,
+    ReplicaScorer,
+)
 from repro.overload import (
     AdaptiveAdmissionPolicy,
     BreakerPolicy,
@@ -185,6 +191,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replica_policy_from_args(args: argparse.Namespace
+                              ) -> "ReplicaPolicy | None":
+    """Assemble the optional replica layer from ``faults`` flags."""
+    scorer = None
+    if args.tail_weight > 0.0 or args.scored_fanout:
+        scorer = ReplicaScorer(tail_weight=args.tail_weight,
+                               scored_fanout=args.scored_fanout)
+    suppression = None
+    if args.suppress_hedges:
+        suppression = HedgeSuppressionPolicy(
+            pressure_threshold_ms=args.pressure_threshold_ms)
+    adaptive = None
+    if args.adaptive_hedge:
+        adaptive = AdaptiveHedgePolicy(
+            target_win_ratio=args.target_win_ratio,
+            max_duplicate_fraction=args.hedge_budget)
+    if scorer is None and suppression is None and adaptive is None:
+        return None
+    return ReplicaPolicy(scorer=scorer, suppression=suppression,
+                         adaptive=adaptive)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """One-off fault-injected simulation with crash/retry/hedge knobs."""
     retry = None
@@ -203,10 +231,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         retry=retry,
         hedge=hedge,
     )
+    rpolicy = _replica_policy_from_args(args)
+    if rpolicy is not None and rpolicy.needs_hedging and hedge is None:
+        raise ConfigurationError(
+            "--suppress-hedges/--adaptive-hedge need --hedge")
     config = paper_single_class_config(
         args.workload, args.slo_ms, policy=args.policy,
         n_servers=args.servers, n_queries=args.queries, seed=args.seed,
     ).at_load(args.load).with_faults(plan)
+    if rpolicy is not None:
+        config = config.with_replicas(rpolicy)
     result = simulate(config)
     print(f"policy={result.policy_name} load={args.load:.2f} "
           f"utilization={result.utilization():.3f} "
@@ -217,6 +251,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
           f"tasks_cancelled={result.tasks_cancelled} "
           f"failed_queries={result.queries_failed()} "
           f"(failed_ratio={result.failed_ratio():.4f})")
+    if result.replicas is not None:
+        rc = result.replicas
+        print(f"hedges_suppressed={result.hedges_suppressed} "
+              f"duplicate_fraction={rc.duplicate_fraction():.4f} "
+              f"hedge_win_ratio={rc.win_ratio():.3f} "
+              f"hedge_delay_factor={rc.delay_scale():.3f}")
     for (class_name, fanout), tail in result.per_type_tails().items():
         print(f"  {class_name} kf={fanout:<4d} p99={tail:.3f} ms "
               f"({result.count(class_name, fanout)} queries)")
@@ -435,6 +475,31 @@ def build_parser() -> argparse.ArgumentParser:
                                     "--hedge-quantile)")
     faults_parser.add_argument("--max-hedges", type=int, default=1,
                                help="duplicates per task slot")
+    faults_parser.add_argument("--tail-weight", type=float, default=0.0,
+                               help="replica score = queue depth + this x "
+                                    "per-server tail EWMA (0 = bare "
+                                    "least-loaded)")
+    faults_parser.add_argument("--scored-fanout", action="store_true",
+                               help="also place initial fanout on the "
+                                    "best-scored servers")
+    faults_parser.add_argument("--suppress-hedges", action="store_true",
+                               help="withhold duplicates while cluster "
+                                    "pressure is high (needs --hedge)")
+    faults_parser.add_argument("--pressure-threshold-ms", type=float,
+                               default=1.0,
+                               help="pressure EWMA above this suppresses "
+                                    "hedges")
+    faults_parser.add_argument("--adaptive-hedge", action="store_true",
+                               help="AIMD-tune the hedge delay online "
+                                    "against the duplicate-win ratio "
+                                    "(needs --hedge)")
+    faults_parser.add_argument("--target-win-ratio", type=float,
+                               default=0.35,
+                               help="duplicate-win ratio the adaptive "
+                                    "controller steers toward")
+    faults_parser.add_argument("--hedge-budget", type=float, default=0.15,
+                               help="hard cap on the duplicate-load "
+                                    "fraction (hedges / base launches)")
 
     overload_parser = sub.add_parser(
         "overload", help="one-off overload-protected simulation")

@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.obs.recorder import TraceRecorder
 from repro.overload.policy import OverloadPolicy
+from repro.replicas.policy import ReplicaPolicy
 from repro.types import QuerySpec
 from repro.workloads.generator import Workload
 
@@ -133,6 +134,12 @@ class ClusterConfig:
     #: (see :mod:`repro.overload`).  An active policy routes the run
     #: through the fault-aware event loop, with or without a fault plan.
     overload: Optional[OverloadPolicy] = None
+    #: Adaptive redundancy & replica selection: scored requeue/hedge
+    #: placement (optionally scored fanout), hedge suppression under
+    #: pressure, and online AIMD hedge-delay control against a
+    #: duplicate-load budget (see :mod:`repro.replicas`).  An active
+    #: policy routes the run through the fault-aware event loop.
+    replicas: Optional[ReplicaPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -156,6 +163,12 @@ class ClusterConfig:
                 "admission and overload are mutually exclusive: with an "
                 "OverloadPolicy, admission control lives on "
                 "OverloadPolicy.admission"
+            )
+        if (self.replicas is not None and self.replicas.needs_hedging
+                and (self.faults is None or self.faults.hedge is None)):
+            raise ConfigurationError(
+                "hedge suppression / adaptive hedge delay need a "
+                "FaultPlan with a HedgePolicy (ClusterConfig.faults)"
             )
 
     def resolve_policy(self) -> Policy:
@@ -219,6 +232,12 @@ class ClusterConfig:
         """A copy running under the given overload policy (None removes
         it)."""
         return self.evolve(overload=overload)
+
+    def with_replicas(self, replicas: Optional[ReplicaPolicy]
+                      ) -> "ClusterConfig":
+        """A copy running under the given replica policy (None removes
+        it)."""
+        return self.evolve(replicas=replicas)
 
     def evolve(self, **changes) -> "ClusterConfig":
         """A validated copy with arbitrary fields replaced.

@@ -121,7 +121,7 @@ def _finalize_faults(config: ClusterConfig, policy, n: int, server_cdfs,
                      tasks_failed: int, tasks_retried: int,
                      tasks_hedged: int, tasks_cancelled: int,
                      server_failures: int, sample_times, sample_queued,
-                     sample_busy, coverage_q, degraded_q, ctrl, rec,
+                     sample_busy, coverage_q, degraded_q, ctrl, rc, rec,
                      tracing: bool) -> SimulationResult:
     """Shared wrap-up for the generic and specialized fault loops."""
     m = len(class_index)
@@ -187,6 +187,8 @@ def _finalize_faults(config: ClusterConfig, policy, n: int, server_cdfs,
         breaker_trips=ctrl.breaker_trips if ctrl is not None else 0,
         cdf_rebootstraps=ctrl.cdf_rebootstraps if ctrl is not None else 0,
         overload=ctrl,
+        hedges_suppressed=rc.hedges_suppressed if rc is not None else 0,
+        replicas=rc,
     )
 
 
@@ -370,7 +372,8 @@ def _fault_loop_pause(is_fifo: bool, n: int, m: int, arrival, arrival_l,
 def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
                           fanout_l, deadline_l, key_l, transitions, stream0,
                           placement_rng, strag_eps, straggling: bool,
-                          kill_mode: bool, retry, hedge, hedge_delay: float):
+                          kill_mode: bool, retry, hedge, hedge_delay: float,
+                          rc=None):
     """Specialized loop for retry/hedge plans.
 
     The generic loop's ``_Slot`` objects become plain lists
@@ -379,11 +382,17 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
     or a lazy-deletion heap of ``[key, seq, cid, slot, live]`` entries
     (EDF family, mirroring ``LazyEDFTaskQueue`` including its per-queue
     sequence counters), completions carry their slot in the heap
-    payload (no copy-id indirection dict), and the hedge delay —
+    payload (no copy-id indirection dict), and the base hedge delay —
     constant under the homogeneous single-stream precondition — is
     hoisted out of the timer path.  Every heap push happens at the same
     call site in the same order as the generic loop, so event order and
     RNG consumption are bit-identical.
+
+    ``rc`` (a :class:`repro.replicas.ReplicaController` or None) steers
+    retry/hedge target picks, gates duplicates, and — when its policy
+    adapts the hedge delay — moves hedge timers from the pre-sorted
+    ``hq`` deque onto the main heap, because a delay that changes
+    between arms breaks the deque's sortedness invariant.
     """
     heappush, heappop = heapq.heappush, heapq.heappop
     infinity = float("inf")
@@ -402,15 +411,19 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
     qentry: Dict[int, List] = {}       # queued copy id -> its heap entry
     cancelled: set = set()             # FIFO phantoms (lazy removal)
     discard: set = set()               # in-service losers (result void)
+    hedged: set = set()                # hedge-launched copy ids
+    adaptive = rc is not None and rc.adaptive_delay
+    scored_fanout = rc is not None and rc.scorer.scored_fanout
 
     # Timer calendars.  Both mitigation delays are constants and event
     # time is globally non-decreasing, so due times arrive pre-sorted —
     # plain deques replace ~2 heap operations per armed timer.  Entries
     # share the main heap's (time, rank, seq, code, ...) shape and the
     # global seq counter, so the three-way merge below reproduces the
-    # single-heap processing order exactly.
+    # single-heap processing order exactly.  An *adaptive* hedge delay
+    # is not constant, so those timers go on the main heap instead.
     tq: deque = deque()                # queued-copy timeout timers
-    hq: deque = deque()                # hedge timers
+    hq: deque = deque()                # hedge timers (constant delay)
 
     busy = [-1] * n
     busy_slot: List[Optional[list]] = [None] * n
@@ -502,6 +515,8 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
         tasks_total += 1
         if now > slot[1]:
             tasks_missed += 1
+        if rc is not None:
+            rc.on_task_start(sid, slot[1] - now)
         heappush(heap, (now + duration, _R_COMPLETE, seq, _E_COMPLETE,
                         sid, cid, duration, epoch[sid], slot))
         seq += 1
@@ -543,6 +558,8 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
         tasks_total += 1
         if now > slot[1]:
             tasks_missed += 1
+        if rc is not None:
+            rc.on_task_start(sid, slot[1] - now)
         heappush(heap, (now + duration, _R_COMPLETE, seq, _E_COMPLETE,
                         sid, cid, duration, epoch[sid], slot))
         seq += 1
@@ -570,6 +587,8 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
         nonlocal tasks_failed
         slot[4] = True
         tasks_failed += 1
+        if rc is not None and slot[6] > 0:
+            rc.record_hedge_outcome(False, now)
         qidx = slot[0]
         failed_l[qidx] = True
         remaining[qidx] -= 1
@@ -654,6 +673,10 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
                     slot[3] = True
                     live = slot[8]
                     live.pop(cid, None)
+                    if rc is not None:
+                        rc.on_task_complete(sid, head[6])
+                        if slot[6] > 0:
+                            rc.record_hedge_outcome(cid in hedged, now)
                     if live:
                         for other_cid, other_sid in live.items():
                             if busy[other_sid] == other_cid:
@@ -727,6 +750,8 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
                 tasks_total += 1
                 if now > slot[1]:
                     tasks_missed += 1
+                if rc is not None:
+                    rc.on_task_start(sid, slot[1] - now)
                 heappush(heap, (now + duration, _R_COMPLETE, seq,
                                 _E_COMPLETE, sid, cid, duration,
                                 epoch[sid], slot))
@@ -737,21 +762,34 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
                 if slot[3] or slot[4] or slot[6] >= max_hedges:
                     continue
                 live = slot[8]
-                target = pick(live.values())
+                if rc is not None:
+                    # Budget/pressure/score gating + scored pick; a
+                    # suppressed hedge re-arms without consuming a
+                    # max_hedges slot.
+                    target = rc.hedge_target(depth, up_l, live.values(),
+                                             now, slot[0])
+                else:
+                    target = pick(live.values())
                 if target >= 0:
                     slot[6] += 1
                     tasks_hedged += 1
                     cid = next_cid
                     next_cid += 1
                     live[cid] = target
+                    if rc is not None:
+                        hedged.add(cid)
                     if enqueue_copy(target, cid, slot) and has_timeout:
                         tq.append((now + timeout_ms, _R_RETRY, seq,
                                    _E_TIMEOUT, cid, slot))
                         seq += 1
                     if slot[6] >= max_hedges:
                         continue
-                hq.append((now + hedge_delay, _R_HEDGE, seq,
-                           _E_HEDGE, slot))
+                if adaptive:
+                    heappush(heap, (now + hedge_delay * rc.delay_scale(),
+                                    _R_HEDGE, seq, _E_HEDGE, slot))
+                else:
+                    hq.append((now + hedge_delay, _R_HEDGE, seq,
+                               _E_HEDGE, slot))
                 seq += 1
 
             elif code == _E_REQUEUE:
@@ -760,11 +798,16 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
                 if slot[3] or slot[4]:
                     continue
                 live = slot[8]
-                target = pick(live.values())
+                if rc is not None:
+                    target = rc.pick(depth, up_l, live.values())
+                else:
+                    target = pick(live.values())
                 if target < 0:
                     slot_fail(slot)
                     continue
                 tasks_retried += 1
+                if rc is not None:
+                    rc.record_launch()
                 cid = next_cid
                 next_cid += 1
                 live[cid] = target
@@ -892,6 +935,11 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
             servers = (int(pr_integers(n)),)
         else:
             servers = pr_choice(n, size=k, replace=False).tolist()
+        if scored_fanout:
+            # The nominal uniform draw above still consumed the RNG, so
+            # downstream streams are unperturbed; the slots just go to
+            # the k best-scored servers instead.
+            servers = rc.place_fanout(k, depth)
         for sid in servers:
             slot = [qidx, deadline, keyval, False, False, 0, 0, 0, {}]
             if kill_mode and down[sid]:
@@ -906,13 +954,19 @@ def _fault_loop_mitigated(is_fifo: bool, n: int, m: int, arrival, arrival_l,
             cid = next_cid
             next_cid += 1
             slot[8][cid] = sid
+            if rc is not None:
+                rc.record_launch()
             if enqueue_copy(sid, cid, slot) and has_timeout:
                 tq.append((now + timeout_ms, _R_RETRY, seq,
                            _E_TIMEOUT, cid, slot))
                 seq += 1
             if has_hedge:
-                hq.append((now + hedge_delay, _R_HEDGE, seq,
-                           _E_HEDGE, slot))
+                if adaptive:
+                    heappush(heap, (now + hedge_delay * rc.delay_scale(),
+                                    _R_HEDGE, seq, _E_HEDGE, slot))
+                else:
+                    hq.append((now + hedge_delay, _R_HEDGE, seq,
+                               _E_HEDGE, slot))
                 seq += 1
 
     latency = np.full(m, np.nan)
@@ -942,10 +996,13 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     plan = config.faults
     overload_policy = config.overload
     overload_active = overload_policy is not None and overload_policy.active
-    assert (plan is not None and plan.active) or overload_active
+    replica_policy = config.replicas
+    replicas_active = replica_policy is not None and replica_policy.active
+    assert ((plan is not None and plan.active) or overload_active
+            or replicas_active)
     if plan is None:
-        # Overload-only run: an empty (inactive) plan keeps the fault
-        # machinery inert without special-casing the loop.
+        # Overload/replica-only run: an empty (inactive) plan keeps the
+        # fault machinery inert without special-casing the loop.
         plan = FaultPlan()
     policy = config.resolve_policy()
     root_rng = np.random.default_rng(config.seed)
@@ -991,6 +1048,9 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     ctrl = None
     if overload_active:
         ctrl = overload_policy.build(n, estimator, config.recorder)
+    rc = None
+    if replicas_active:
+        rc = replica_policy.build(n, config.recorder)
     perturbations = tuple(config.perturbations)
 
     online = estimator.online_enabled
@@ -1012,11 +1072,15 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     # untraced, no overload controller, no admission, default placement,
     # hoisted budgets, one shared service stream, no sampling, no
     # perturbations, and a policy whose queue inlines.  Everything else
-    # runs the generic loop below, unchanged.
+    # runs the generic loop below, unchanged.  A replica controller
+    # rides along in the mitigated loop (its timer lanes grew the
+    # hooks) but not the pause loop, which has no retry/hedge machinery
+    # for it to steer.
     fast = (not tracing and ctrl is None and admission is None
             and placement is None and config.specs is None
             and use_budget_array and single_stream
             and sample_interval is None and not perturbations
+            and (rc is None or retry is not None or hedge is not None)
             and type(policy) in (FIFOPolicy, TEDFPolicy, TFEDFPolicy))
 
     if fast:
@@ -1045,22 +1109,25 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 straggling)
         else:
             # Homogeneous single stream => every server shares one CDF
-            # object, so the per-slot hedge delay is one constant.
-            hedge_delay = (hedge.delay_for(server_cdfs[0])
+            # object, so the per-slot base hedge delay is one constant.
+            # Routed through the estimator's quantile memo so a drift
+            # re-bootstrap would invalidate it (here the estimator never
+            # re-bootstraps — ctrl is None — so it stays a constant).
+            hedge_delay = (hedge.delay_via(estimator, 0)
                            if hedge is not None else 0.0)
             (latency, failed_q, busy_total, tasks_total, tasks_missed,
              tasks_failed, tasks_retried, tasks_hedged, tasks_cancelled,
              server_failures, now) = _fault_loop_mitigated(
                 is_fifo, n, m, arrival, arrival_l, fanout_l, deadline_l,
                 key_l, transitions, stream0, placement_rng, strag_eps,
-                straggling, kill_mode, retry, hedge, hedge_delay)
+                straggling, kill_mode, retry, hedge, hedge_delay, rc)
         rejected = np.zeros(m, dtype=bool)
         return _finalize_faults(
             config, policy, n, server_cdfs, classes, class_index, fanout,
             arrival, latency, rejected, failed_q, busy_total, tasks_total,
             tasks_missed, now, tasks_failed, tasks_retried, tasks_hedged,
             tasks_cancelled, server_failures, [], [], [], None, None,
-            None, rec, tracing)
+            None, rc, rec, tracing)
 
     # Hot-loop mirrors: plain Python lists for the per-event scalar
     # reads/writes (list indexing beats numpy scalar indexing by ~5x);
@@ -1102,6 +1169,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     started: set = set()               # copies that entered service once
     cancelled: set = set()             # queued phantoms (lazy removal)
     discard: set = set()               # in-service losers (result void)
+    hedged: set = set()                # hedge-launched copy ids
+    scored_fanout = rc is not None and rc.scorer.scored_fanout
     next_cid = 0
     # Queues advertising supports_cancel (LazyEDFTaskQueue) take
     # cancellations in-place; ``qitem`` maps a queued copy to the exact
@@ -1191,6 +1260,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
             if ctrl is not None:
                 ctrl.record_task(sid, slot.qidx, missed,
                                  slot.deadline - now, now)
+            if rc is not None:
+                rc.on_task_start(sid, slot.deadline - now)
         push(heap, (now + duration, _R_COMPLETE, seq, "C", sid, cid,
                     duration, epoch[sid]))
         seq += 1
@@ -1254,14 +1325,47 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
     def arm_hedge(slot: _Slot) -> None:
         nonlocal seq
         if hedge is not None:
-            delay = hedge.delay_for(server_cdfs[slot.primary_sid])
-            push(heap, (now + delay, _R_HEDGE, seq, "H", slot, delay))
+            # Base delay via the estimator's versioned quantile memo —
+            # a drift re-bootstrap invalidates the cached inversion, so
+            # post-rebootstrap hedges fire on the refreshed tail.  The
+            # timer payload carries the *base*: an adaptive controller
+            # rescales it at every (re-)arm.
+            base = hedge.delay_via(estimator, slot.primary_sid)
+            delay = rc.hedge_delay(base) if rc is not None else base
+            push(heap, (now + delay, _R_HEDGE, seq, "H", slot, base))
             seq += 1
+
+    def pick_mitigation(exclude, allow_fallback: bool):
+        """Least-loaded/scored pick that respects open breakers.
+
+        With an overload controller the candidate set first drops
+        servers whose breaker refuses work; a *retry* with no
+        breaker-permitted server left falls back to the unfiltered up
+        set (failing the slot outright would turn a brown-out into an
+        outage), while a hedge (duplicate work) simply stays unsent.
+        Returns ``(target, fellback)`` so the trace can mark retries
+        that knowingly overrode breaker state.
+        """
+        eff = ctrl.mitigation_up(up_l, now) if ctrl is not None else up_l
+        fellback = False
+        if rc is not None:
+            target = rc.pick(depth, eff, exclude)
+            if target < 0 and allow_fallback and eff is not up_l:
+                target = rc.pick(depth, up_l, exclude)
+                fellback = target >= 0
+        else:
+            target = pick_server(depth, eff, exclude=exclude)
+            if target < 0 and allow_fallback and eff is not up_l:
+                target = pick_server(depth, up_l, exclude=exclude)
+                fellback = target >= 0
+        return target, fellback
 
     def slot_fail(slot: _Slot) -> None:
         nonlocal tasks_failed
         slot.failed = True
         tasks_failed += 1
+        if rc is not None and slot.hedges > 0:
+            rc.record_hedge_outcome(False, now)
         if tracing and not failed_q[slot.qidx]:
             # First slot loss: the query just became permanently failed.
             rec.inc("queries_timed_out")
@@ -1406,6 +1510,13 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                         estimator.record(sid, duration)
                     if ctrl is not None:
                         ctrl.on_task_complete(sid, duration, now)
+                    if rc is not None:
+                        # Winners only: losers are cancelled/discarded
+                        # and never reach the tail EWMA, matching the
+                        # estimator/controller feed rule.
+                        rc.on_task_complete(sid, duration)
+                        if slot.hedges > 0:
+                            rc.record_hedge_outcome(cid in hedged, now)
                     if tracing:
                         rec.emit(TASK_COMPLETE, now, server_id=sid,
                                  query_id=slot.qidx,
@@ -1452,17 +1563,22 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 slot.pending -= 1
                 if not slot.open:
                     continue
-                target = pick_server(depth, up_l,
-                                     exclude=list(slot.live.values()))
+                target, fellback = pick_mitigation(list(slot.live.values()),
+                                                   allow_fallback=True)
                 if target < 0:
                     slot_fail(slot)
                     continue
                 tasks_retried += 1
+                if rc is not None:
+                    rc.record_launch()
                 if tracing:
+                    extra = {"attempt": slot.attempts,
+                             "reason": reason, "slot": slot.slot}
+                    if fellback:
+                        extra["fallback"] = True
                     rec.emit(TASK_RETRY, now, server_id=target,
                              query_id=slot.qidx, deadline=slot.deadline,
-                             extra={"attempt": slot.attempts,
-                                    "reason": reason, "slot": slot.slot})
+                             extra=extra)
                 cid = new_copy(slot, target)
                 enqueue_copy(target, cid)
                 arm_timeout(cid)
@@ -1489,11 +1605,24 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                 schedule_requeue(slot, "timeout")
 
             else:                                # ----- hedge timer ("H")
-                slot, delay = head[4], head[5]
+                slot, base = head[4], head[5]
                 if not slot.open or slot.hedges >= hedge.max_hedges:
                     continue
-                target = pick_server(depth, up_l,
-                                     exclude=list(slot.live.values()))
+                if rc is not None:
+                    # The controller gates the duplicate (budget,
+                    # pressure, score) and picks the scored target; a
+                    # suppressed hedge re-arms without consuming a
+                    # max_hedges slot.  Breaker-refused servers are
+                    # never hedge targets (no fallback: duplicates are
+                    # optional work).
+                    up_eff = (ctrl.mitigation_up(up_l, now)
+                              if ctrl is not None else up_l)
+                    target = rc.hedge_target(depth, up_eff,
+                                             slot.live.values(), now,
+                                             slot.qidx)
+                else:
+                    target, _ = pick_mitigation(list(slot.live.values()),
+                                                allow_fallback=False)
                 if target >= 0:
                     slot.hedges += 1
                     tasks_hedged += 1
@@ -1503,11 +1632,14 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                                  extra={"hedge": slot.hedges,
                                         "slot": slot.slot})
                     cid = new_copy(slot, target)
+                    if rc is not None:
+                        hedged.add(cid)
                     enqueue_copy(target, cid)
                     arm_timeout(cid)
                     if slot.hedges >= hedge.max_hedges:
                         continue
-                push(heap, (now + delay, _R_HEDGE, seq, "H", slot, delay))
+                delay = rc.hedge_delay(base) if rc is not None else base
+                push(heap, (now + delay, _R_HEDGE, seq, "H", slot, base))
                 seq += 1
 
         if qi >= m:
@@ -1569,6 +1701,11 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
             servers = tuple(
                 placement_rng.choice(n, size=k, replace=False).tolist()
             )
+        if scored_fanout and pre is None and placement is None:
+            # The nominal uniform draw above still consumed the RNG, so
+            # downstream streams are unperturbed; the slots just go to
+            # the k best-scored servers instead.
+            servers = tuple(rc.place_fanout(k, depth))
 
         if ctrl is not None:
             decision = ctrl.route_query(now, qidx, cls, servers, depth)
@@ -1610,6 +1747,8 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
                                     "slot": j})
                 sid = target
             cid = new_copy(slot, sid)
+            if rc is not None:
+                rc.record_launch()
             enqueue_copy(sid, cid)
             arm_timeout(cid)
             arm_hedge(slot)
@@ -1629,4 +1768,4 @@ def simulate_with_faults(config: ClusterConfig) -> SimulationResult:
         arrival, latency, rejected, failed_q, busy_total, tasks_total,
         tasks_missed, now, tasks_failed, tasks_retried, tasks_hedged,
         tasks_cancelled, server_failures, sample_times, sample_queued,
-        sample_busy, coverage_q, degraded_q, ctrl, rec, tracing)
+        sample_busy, coverage_q, degraded_q, ctrl, rc, rec, tracing)

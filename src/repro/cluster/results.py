@@ -125,6 +125,15 @@ class SimulationResult:
     #: without an overload policy) — exposes the admit-probability
     #: trace and breaker states for tests and diagnostics.
     overload: Optional[object] = None
+    #: Adaptive redundancy outcome (see :mod:`repro.replicas`; zero /
+    #: None without a replica policy).  ``hedges_suppressed`` counts
+    #: hedge timers that fired but were withheld by the budget,
+    #: pressure, or score gate.
+    hedges_suppressed: int = 0
+    #: The run's :class:`repro.replicas.ReplicaController` (None
+    #: without a replica policy) — exposes the hedge-delay trace,
+    #: per-gate suppression counts, and win-ratio accounting.
+    replicas: Optional[object] = None
 
     def with_obs(self, recorder: Optional[TraceRecorder]) -> "SimulationResult":
         """A copy bound to a different recorder.
@@ -167,7 +176,8 @@ class SimulationResult:
         recorder instead and skip the automatic fold.
 
         Not merged: ``timeline`` (per-cluster transient state — read it
-        on the constituents) and ``overload`` (live controller state).
+        on the constituents) and ``overload``/``replicas`` (live
+        controller state).
         Merging is associative over this representation, which the test
         suite pins.
         """
@@ -289,6 +299,8 @@ class SimulationResult:
             breaker_trips=sum(r.breaker_trips for r in result_list),
             cdf_rebootstraps=sum(r.cdf_rebootstraps for r in result_list),
             overload=None,
+            hedges_suppressed=sum(r.hedges_suppressed for r in result_list),
+            replicas=None,
         )
 
     @staticmethod

@@ -614,14 +614,16 @@ def simulate(config: ClusterConfig) -> SimulationResult:
     """Run one simulation and collect per-query statistics.
 
     Fault-free configs run the optimized two-stream merge below;
-    configs with an active :class:`~repro.faults.FaultPlan` or an
-    active :class:`~repro.overload.OverloadPolicy` route through the
+    configs with an active :class:`~repro.faults.FaultPlan`, an active
+    :class:`~repro.overload.OverloadPolicy`, or an active
+    :class:`~repro.replicas.ReplicaPolicy` route through the
     fault-aware event calendar in :mod:`repro.cluster.faultsim` (same
-    semantics contract, plus crash/recovery, retries, hedging, and
-    overload protection).
+    semantics contract, plus crash/recovery, retries, hedging,
+    overload protection, and adaptive redundancy).
     """
     if ((config.faults is not None and config.faults.active)
-            or (config.overload is not None and config.overload.active)):
+            or (config.overload is not None and config.overload.active)
+            or (config.replicas is not None and config.replicas.active)):
         from repro.cluster.faultsim import simulate_with_faults
 
         return simulate_with_faults(config)

@@ -218,6 +218,28 @@ class DeadlineEstimator:
         self._rebuild_signature_index()
         self.invalidate()
 
+    def hedge_delay(self, server_id: int, quantile: float) -> float:
+        """Memoized hedge delay: ``quantile`` of the server's CDF (ms).
+
+        The fault layer's quantile-mode :class:`~repro.faults.HedgePolicy`
+        inverts the primary server's service CDF for its delay; routing
+        the inversion through the version-stamped tail memo means it is
+        computed once per distinct (distribution, quantile) pair *and*
+        dropped whenever :meth:`rebootstrap` or an online refresh
+        invalidates the estimator — a re-estimated CDF immediately
+        yields re-derived hedge delays instead of stale ones.
+        """
+        try:
+            dist_key = self._server_dist_key[server_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {server_id}") from None
+        cache_key = ("hedge", dist_key, float(quantile))
+        cached = self._tail_cache.get(cache_key)
+        if cached is None:
+            cached = float(self.server_cdf(server_id).quantile(quantile))
+            self._tail_cache.put(cache_key, cached)
+        return cached
+
     # ------------------------------------------------------------------
     # Eq. 1-2: unloaded query tail
     # ------------------------------------------------------------------

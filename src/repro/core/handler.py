@@ -93,6 +93,10 @@ class QueryHandler:
         #: submitted query — admit, admit degraded at reduced fanout,
         #: re-route around open breakers, or reject.
         self.overload = None
+        #: Optional :class:`repro.replicas.ReplicaController` (set by
+        #: :func:`repro.replicas.install_replicas`): scored fanout
+        #: placement at submit when its scorer asks for it.
+        self.replicas = None
         for server in self.servers:
             if server.on_complete is not None:
                 raise ConfigurationError(
@@ -155,6 +159,13 @@ class QueryHandler:
             return record, done
 
         servers = self.choose_servers(spec)
+        if (self.replicas is not None and spec.servers is None
+                and self.replicas.scorer.scored_fanout):
+            # The nominal uniform draw above still consumed the RNG, so
+            # downstream streams are unperturbed; the slots just go to
+            # the k best-scored servers instead.
+            servers = tuple(self.replicas.place_fanout(
+                spec.fanout, [server.depth for server in self.servers]))
         if self.overload is not None and deadline is None:
             decision = self.overload.route_query(
                 self.env.now, spec.query_id, spec.service_class, servers,

@@ -386,22 +386,36 @@ def ext_replica_selection(
     popularity_alpha: float = 1.5,
     n_queries: int = 25_000,
     seed: int = 4,
+    frontier_load: float = 0.65,
+    frontier_delay_factors: Sequence[float] = (1.0, 2.0, 4.0),
+    frontier_budget: float = 0.15,
+    frontier_queries: Optional[int] = None,
 ) -> ExperimentReport:
-    """Replica selection under hot shards (§II.B composability check).
+    """Replica selection under hot shards, plus the hedging frontier.
 
-    With Zipf-popular shards, the servers hosting hot shards become the
-    §I "skewed workload" outlier source.  Replication lets the
-    dispatcher choose among replicas; this experiment compares uniform
-    random selection against least-loaded (power-of-choices) selection.
+    Part 1 (§II.B composability check): with Zipf-popular shards, the
+    servers hosting hot shards become the §I "skewed workload" outlier
+    source.  Replication lets the dispatcher choose among replicas;
+    uniform random selection is compared against least-loaded
+    (power-of-choices) selection.  Placement skew is a *placement*
+    problem — queue ordering cannot fix it (the single class and narrow
+    fanout spread make TailGuard and FIFO nearly indistinguishable),
+    while least-loaded selection slashes the tail severalfold.
 
-    Finding: placement skew is a *placement* problem — queue ordering
-    cannot fix it (the single class and narrow fanout spread here make
-    TailGuard and FIFO nearly indistinguishable), while least-loaded
-    selection slashes the tail severalfold.  The two mechanisms are
-    orthogonal and compose: selection levels per-server load,
-    TF-EDFQ's contribution is the cross-fanout/SLO ordering measured in
-    the main experiments.
+    Part 2 (the p99-vs-duplicate-load frontier): a straggler-afflicted
+    cluster at ``frontier_load``, hot enough that fixed-delay hedging
+    *amplifies* the overload it is meant to mitigate — every duplicate
+    adds load, the queues grow, more primaries look slow, more
+    duplicates fire.  Rows ``hedge-fixed-<f>x`` sweep the fixed hedge
+    delay (multiples of the service-median base delay);
+    ``hedge-adaptive`` runs the same base delay under the budgeted
+    online controller (:class:`repro.replicas.AdaptiveHedgePolicy`),
+    whose hard duplicate-load budget breaks the amplification loop.
+    ``duplicate_load`` is hedges over base task launches (primaries +
+    retries); sharded part-1 rows carry the 0.0/1.0 fillers.
     """
+    from repro.faults import FaultPlan, HedgePolicy, StragglerEpisode
+    from repro.replicas import AdaptiveHedgePolicy, ReplicaPolicy
     from repro.workloads.sharding import ShardMap, ShardedPlacement
     from repro.workloads import (
         PoissonArrivals,
@@ -417,17 +431,24 @@ def ext_replica_selection(
         inverse_proportional_fanout([1, 4]),
         single_class_mix(gold), bench.service_time,
     )
+    base_delay = float(bench.service_time.quantile(0.5))
     report = ExperimentReport(
         experiment_id="ext_replica_selection",
-        title="Random vs least-loaded replica selection under hot shards",
+        title="Replica selection under hot shards + the hedging frontier",
         parameters={"n_servers": n_servers, "n_shards": n_shards,
                     "replication": replication,
                     "popularity_alpha": popularity_alpha,
-                    "n_queries": n_queries},
-        columns=["policy", "selection", "load", "p99_ms", "mean_ms"],
+                    "n_queries": n_queries,
+                    "frontier_load": frontier_load,
+                    "frontier_base_delay_ms": base_delay,
+                    "frontier_delay_factors": list(frontier_delay_factors),
+                    "frontier_budget": frontier_budget},
+        columns=["policy", "selection", "load", "p99_ms", "mean_ms",
+                 "duplicate_load", "hedge_delay_factor"],
         notes="least-loaded selection absorbs shard-popularity skew that "
-              "queue ordering alone cannot (TailGuard ≈ FIFO here: one "
-              "class, narrow fanout spread); the mechanisms are orthogonal",
+              "queue ordering alone cannot; on the frontier rows the "
+              "budgeted adaptive hedge controller meets or beats every "
+              "fixed-delay p99 at a fraction of the duplicate load",
     )
     for policy in policies:
         for selection in ("random", "least-loaded"):
@@ -446,7 +467,53 @@ def ext_replica_selection(
                     policy=policy, selection=selection, load=load,
                     p99_ms=result.tail(99.0),
                     mean_ms=float(result.latencies().mean()),
+                    duplicate_load=0.0, hedge_delay_factor=1.0,
                 )
+
+    # ------------------------------------------------------------------
+    # Part 2: the p99-vs-duplicate-load frontier.
+    # ------------------------------------------------------------------
+    frontier_workload = Workload(
+        "frontier", PoissonArrivals(1.0),
+        inverse_proportional_fanout([1, 4]),
+        single_class_mix(gold), bench.service_time,
+    )
+    stragglers = (StragglerEpisode((0, 1), 0.0, 1e12, 3.0),)
+
+    def frontier_config(delay_ms: float) -> ClusterConfig:
+        plan = FaultPlan(
+            stragglers=stragglers,
+            hedge=HedgePolicy(delay_ms=delay_ms, max_hedges=1),
+        )
+        return ClusterConfig(
+            n_servers=n_servers, policy="tailguard",
+            workload=frontier_workload,
+            n_queries=frontier_queries or n_queries, seed=seed,
+        ).at_load(frontier_load).with_faults(plan)
+
+    def duplicate_load(result) -> float:
+        base = float(result.fanout.sum()) + result.tasks_retried
+        return result.tasks_hedged / base if base else 0.0
+
+    for factor in frontier_delay_factors:
+        result = simulate(frontier_config(factor * base_delay))
+        report.add_row(
+            policy="tailguard", selection=f"hedge-fixed-{factor:g}x",
+            load=frontier_load, p99_ms=result.tail(99.0),
+            mean_ms=float(result.latencies().mean()),
+            duplicate_load=duplicate_load(result),
+            hedge_delay_factor=float(factor),
+        )
+    adaptive = ReplicaPolicy(adaptive=AdaptiveHedgePolicy(
+        max_duplicate_fraction=frontier_budget, max_factor=8.0))
+    result = simulate(frontier_config(base_delay).with_replicas(adaptive))
+    report.add_row(
+        policy="tailguard", selection="hedge-adaptive",
+        load=frontier_load, p99_ms=result.tail(99.0),
+        mean_ms=float(result.latencies().mean()),
+        duplicate_load=duplicate_load(result),
+        hedge_delay_factor=float(result.replicas.delay_scale()),
+    )
     return report
 
 

@@ -166,7 +166,7 @@ def _ext_replica_selection(quick: bool,
                            workers: Optional[int] = None) -> ExperimentReport:
     if quick:
         return extensions.ext_replica_selection(
-            loads=(0.45,), n_queries=10_000,
+            loads=(0.45,), n_queries=10_000, frontier_queries=10_000,
         )
     return extensions.ext_replica_selection()
 

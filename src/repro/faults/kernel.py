@@ -41,7 +41,7 @@ class _Slot:
 
     __slots__ = ("query_id", "slot", "key", "deadline", "class_priority",
                  "primary_sid", "done", "failed", "attempts", "hedges",
-                 "pending", "live")
+                 "pending", "live", "hedged")
 
     def __init__(self, query_id: int, slot: int, key: Tuple,
                  deadline: float, class_priority: int,
@@ -59,6 +59,10 @@ class _Slot:
         self.pending = 0           # requeues in backoff flight
         #: Live copies: ``id(task) -> (task, server_id)``.
         self.live: Dict[int, Tuple[Task, int]] = {}
+        #: ids of *live* copies that were hedge-launched (pruned in
+        #: lockstep with ``live`` so recycled ``id()`` values of dead
+        #: copies can never be mistaken for hedges).
+        self.hedged: set = set()
 
     @property
     def open(self) -> bool:
@@ -90,8 +94,17 @@ class FaultManager:
         self.handler = None
         #: Optional :class:`repro.overload.OverloadController` (set by
         #: :func:`repro.overload.install_overload`): notified of every
-        #: fail/recover transition so circuit breakers track crashes.
+        #: fail/recover transition so circuit breakers track crashes,
+        #: and consulted so retries/hedges avoid breaker-open servers.
         self.overload = None
+        #: Optional :class:`repro.replicas.ReplicaController` (set by
+        #: :func:`repro.replicas.install_replicas`): scored requeue and
+        #: hedge placement, hedge suppression, adaptive hedge delay.
+        self.replicas = None
+        #: The handler's :class:`~repro.core.deadline.DeadlineEstimator`
+        #: (set by :func:`install_faults`): quantile-mode hedge delays
+        #: route through its version-stamped inversion memo.
+        self.estimator = None
         self.materialized: Optional[MaterializedFaults] = None
         self._slots: Dict[Tuple[int, int], _Slot] = {}
         # Outcome counters (mirrored into SimulationResult by callers).
@@ -134,6 +147,37 @@ class FaultManager:
     def _up(self) -> List[bool]:
         return [not server.down for server in self.servers]
 
+    def _pick_mitigation(self, depths: List[int], up: List[bool],
+                         exclude: List[int], allow_fallback: bool):
+        """Shared requeue/hedge target choice.
+
+        Breaker-open servers are excluded when an overload controller
+        with breakers is installed (mitigation traffic must not deepen
+        a tripping server's queue); retries (``allow_fallback``) fall
+        back to the unfiltered up set rather than failing the slot when
+        *every* up server is refusing, hedges simply don't launch.  The
+        scored :class:`~repro.replicas.ReplicaController` pick replaces
+        the bare least-loaded one when installed.  Returns
+        ``(target, fellback)`` so the trace can mark retries that
+        knowingly overrode breaker state.
+        """
+        eff = up
+        if self.overload is not None:
+            eff = self.overload.mitigation_up(up, self.env.now)
+        rc = self.replicas
+        fellback = False
+        if rc is not None:
+            target = rc.pick(depths, eff, exclude)
+            if target < 0 and allow_fallback and eff is not up:
+                target = rc.pick(depths, up, exclude)
+                fellback = target >= 0
+        else:
+            target = pick_server(depths, eff, exclude=exclude)
+            if target < 0 and allow_fallback and eff is not up:
+                target = pick_server(depths, up, exclude=exclude)
+                fellback = target >= 0
+        return target, fellback
+
     def _fail(self, sid: int) -> None:
         self.server_failures += 1
         if self._recorder is not None:
@@ -156,6 +200,7 @@ class FaultManager:
         if slot is None or not slot.open:
             return
         slot.live.pop(id(task), None)
+        slot.hedged.discard(id(task))
         if slot.live or slot.pending:
             # A sibling copy survives the crash; this copy just dies.
             self.tasks_cancelled += 1
@@ -188,22 +233,29 @@ class FaultManager:
         slot.pending -= 1
         if not slot.open:
             return
-        target = pick_server(self._depths(), self._up(),
-                             exclude=slot.live_servers())
+        target, fellback = self._pick_mitigation(self._depths(), self._up(),
+                                                 slot.live_servers(),
+                                                 allow_fallback=True)
         if target < 0:
             self._slot_fail(slot)
             return
         self.tasks_retried += 1
+        if self.replicas is not None:
+            self.replicas.record_launch()
         if self._recorder is not None:
+            extra = {"attempt": slot.attempts,
+                     "reason": reason,
+                     "slot": slot.slot}
+            if fellback:
+                extra["fallback"] = True
             self._recorder.emit(TASK_RETRY, self.env.now, server_id=target,
                                 query_id=slot.query_id,
                                 deadline=slot.deadline,
-                                extra={"attempt": slot.attempts,
-                                       "reason": reason,
-                                       "slot": slot.slot})
+                                extra=extra)
         self._launch_copy(slot, target)
 
-    def _launch_copy(self, slot: _Slot, sid: int) -> None:
+    def _launch_copy(self, slot: _Slot, sid: int,
+                     hedged: bool = False) -> None:
         task = Task(
             query_id=slot.query_id,
             server_id=sid,
@@ -213,6 +265,8 @@ class FaultManager:
             slot=slot.slot,
         )
         slot.live[id(task)] = (task, sid)
+        if hedged:
+            slot.hedged.add(id(task))
         self.servers[sid].enqueue(task, slot.key)
         self._arm_timeout(slot, task)
 
@@ -232,6 +286,7 @@ class FaultManager:
         if slot.attempts >= self.plan.retry.max_retries:
             return  # budget exhausted: leave it queued
         sid = slot.live.pop(id(task))[1]
+        slot.hedged.discard(id(task))
         self.servers[sid].cancel(task)
         self.tasks_cancelled += 1
         if self._recorder is not None:
@@ -245,17 +300,32 @@ class FaultManager:
     def _arm_hedge(self, slot: _Slot) -> None:
         hedge = self.plan.hedge
         if hedge is not None:
-            delay = hedge.delay_for(self.server_cdfs[slot.primary_sid])
-            self.env.process(self._hedge_proc(slot, delay))
+            if self.estimator is not None:
+                base = hedge.delay_via(self.estimator, slot.primary_sid)
+            else:
+                base = hedge.delay_for(self.server_cdfs[slot.primary_sid])
+            self.env.process(self._hedge_proc(slot, base))
 
-    def _hedge_proc(self, slot: _Slot, delay: float):
+    def _hedge_proc(self, slot: _Slot, base_delay: float):
         hedge = self.plan.hedge
         while True:
+            rc = self.replicas
+            delay = (rc.hedge_delay(base_delay) if rc is not None
+                     else base_delay)
             yield self.env.timeout(delay)
             if not slot.open or slot.hedges >= hedge.max_hedges:
                 return
-            target = pick_server(self._depths(), self._up(),
-                                 exclude=slot.live_servers())
+            if rc is not None:
+                up = self._up()
+                if self.overload is not None:
+                    up = self.overload.mitigation_up(up, self.env.now)
+                target = rc.hedge_target(self._depths(), up,
+                                         slot.live_servers(), self.env.now,
+                                         slot.query_id)
+            else:
+                target, _ = self._pick_mitigation(self._depths(), self._up(),
+                                                  slot.live_servers(),
+                                                  allow_fallback=False)
             if target >= 0:
                 slot.hedges += 1
                 self.tasks_hedged += 1
@@ -266,7 +336,7 @@ class FaultManager:
                                         deadline=slot.deadline,
                                         extra={"hedge": slot.hedges,
                                                "slot": slot.slot})
-                self._launch_copy(slot, target)
+                self._launch_copy(slot, target, hedged=True)
                 if slot.hedges >= hedge.max_hedges:
                     return
 
@@ -298,6 +368,8 @@ class FaultManager:
                                                "reason": "redirect",
                                                "slot": task.slot})
             slot.live[id(task)] = (task, sid)
+            if self.replicas is not None:
+                self.replicas.record_launch()
             self.servers[sid].enqueue(task, key)
             self._arm_timeout(slot, task)
             self._arm_hedge(slot)
@@ -309,6 +381,7 @@ class FaultManager:
         if slot is None or not slot.open:
             return False
         slot.done = True
+        hedge_won = id(task) in slot.hedged
         slot.live.pop(id(task), None)
         for other, sid in slot.live.values():
             self.servers[sid].cancel(other)
@@ -319,11 +392,20 @@ class FaultManager:
                                     extra={"reason": "hedge_lost",
                                            "slot": task.slot})
         slot.live.clear()
+        slot.hedged.clear()
+        rc = self.replicas
+        if rc is not None:
+            rc.on_task_complete(task.server_id, server.last_duration)
+            if slot.hedges > 0:
+                rc.record_hedge_outcome(hedge_won, self.env.now)
         return True
 
     def _slot_fail(self, slot: _Slot) -> None:
         slot.failed = True
         self.tasks_failed += 1
+        rc = self.replicas
+        if rc is not None and slot.hedges > 0:
+            rc.record_hedge_outcome(False, self.env.now)
         if self.handler is not None:
             self.handler._slot_failed(slot.query_id)
 
@@ -346,6 +428,7 @@ def install_faults(
     manager = FaultManager(env, plan, servers, server_cdfs,
                            recorder=recorder)
     manager.handler = handler
+    manager.estimator = handler.estimator
     handler.fault_manager = manager
     manager.install(horizon_ms)
     return manager

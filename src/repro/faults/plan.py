@@ -237,6 +237,20 @@ class HedgePolicy:
             return self.delay_ms
         return float(primary_cdf.quantile(self.quantile))
 
+    def delay_via(self, estimator, primary_sid: int) -> float:
+        """The hedge delay for a slot, memoized through the estimator.
+
+        Quantile-mode delays route through
+        :meth:`repro.core.deadline.DeadlineEstimator.hedge_delay` — the
+        version-stamped quantile-inversion memo — so the inversion is
+        computed once per distinct (distribution, quantile) pair and
+        invalidated by rebootstrap / online refresh instead of being
+        recomputed (and going stale) per hedge arm.
+        """
+        if self.delay_ms is not None:
+            return self.delay_ms
+        return estimator.hedge_delay(primary_sid, self.quantile)
+
 
 @dataclass(frozen=True)
 class FaultPlan:

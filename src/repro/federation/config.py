@@ -19,6 +19,7 @@ from repro.cluster.config import ClusterConfig, evolve_config
 from repro.errors import ConfigurationError
 from repro.federation.router import ROUTERS
 from repro.obs.recorder import TraceRecorder
+from repro.replicas.policy import ReplicaScorer
 from repro.workloads.generator import Workload
 
 
@@ -76,6 +77,12 @@ class FederationConfig:
     #: Tenant population for the ``tenant`` router (Zipf popularity).
     n_tenants: int = 64
     tenant_alpha: float = 1.1
+    #: Optional :class:`~repro.replicas.ReplicaScorer` for the
+    #: ``least-slack`` router: feasible shards are ranked by the same
+    #: depth+tail score the replica layer uses inside a cluster
+    #: (estimated delay as depth, shard mean service time as the tail
+    #: signal) instead of tightest-fit slack.
+    scorer: Optional[ReplicaScorer] = None
     #: Federation-scope trace recorder: shard runs are traced into
     #: per-shard recorders and folded here with each shard's server-id
     #: offset and global query positions, so ``tailguard report`` and
@@ -110,6 +117,17 @@ class FederationConfig:
             raise ConfigurationError(
                 f"unknown router {self.router!r}; known: {list(ROUTERS)}"
             )
+        if self.scorer is not None:
+            if not isinstance(self.scorer, ReplicaScorer):
+                raise ConfigurationError(
+                    f"scorer must be a ReplicaScorer, got "
+                    f"{type(self.scorer).__name__}"
+                )
+            if self.router != "least-slack":
+                raise ConfigurationError(
+                    f"scorer only applies to the 'least-slack' router, "
+                    f"not {self.router!r}"
+                )
         if self.n_tenants < 1:
             raise ConfigurationError(
                 f"n_tenants must be >= 1, got {self.n_tenants}"
@@ -174,6 +192,12 @@ class FederationConfig:
     def with_spill(self, spill: Optional[SpillPolicy]) -> "FederationConfig":
         """A copy with cross-shard spill enabled (None removes it)."""
         return self.evolve(spill=spill)
+
+    def with_scorer(self, scorer: Optional[ReplicaScorer]
+                    ) -> "FederationConfig":
+        """A copy ranking least-slack candidates by replica score
+        (None restores tightest-fit slack)."""
+        return self.evolve(scorer=scorer)
 
     def evolve(self, **changes) -> "FederationConfig":
         """A validated copy with arbitrary fields replaced (see

@@ -28,7 +28,13 @@ Routers (``FederationConfig.router``):
     estimated delay.  The query goes to the eligible shard with the
     *smallest non-negative* slack (tightest fit, preserving headroom on
     slack-rich shards), falling back to the largest slack when no shard
-    can meet the budget.
+    can meet the budget.  With a :class:`~repro.replicas.ReplicaScorer`
+    on the :class:`~repro.federation.FederationConfig`, feasible shards
+    are instead ranked by the replica layer's depth+tail score —
+    estimated delay as the depth term, the shard's mean service time as
+    the (static) tail signal — trading tightest-fit packing for
+    fastest-tail placement on heterogeneous federations; the infeasible
+    fallback likewise takes the best-scored eligible shard.
 ``tenant``
     Zipf-skewed tenant affinity: each query belongs to one of
     ``n_tenants`` tenants (popularity ``∝ rank^-tenant_alpha``) and is
@@ -226,6 +232,7 @@ def route_queries(config, classes: Sequence[ServiceClass],
 
     margin = config.spill.margin_ms if config.spill is not None else 0.0
     router = config.router
+    scorer = getattr(config, "scorer", None)
 
     for i in range(m):
         tier.advance(float(arrival[i]))
@@ -250,7 +257,14 @@ def route_queries(config, classes: Sequence[ServiceClass],
                                  int(class_index[i]), k)
             slack = np.where(mask, vec - delay, -np.inf)
             feasible = slack >= 0.0
-            if feasible.any():
+            if scorer is not None:
+                score = np.array([
+                    scorer.score(float(delay[s]), float(tier.mean_ms[s]))
+                    for s in range(n_shards)
+                ])
+                pool = feasible if feasible.any() else mask
+                shard = int(np.argmin(np.where(pool, score, np.inf)))
+            elif feasible.any():
                 shard = int(np.argmin(np.where(feasible, slack, np.inf)))
             else:
                 shard = int(np.argmax(slack))

@@ -49,7 +49,9 @@ SERVER_RECOVER = "SERVER_RECOVER"
 #: A killed or timed-out task was requeued to a surviving server;
 #: ``extra["attempt"]`` counts retries (0 for a dispatch-time redirect
 #: away from a down server) and ``extra["reason"]`` is one of
-#: ``"server_fail"``, ``"timeout"``, ``"redirect"``.
+#: ``"server_fail"``, ``"timeout"``, ``"redirect"``.  When every up
+#: server's breaker was refusing work and the retry overrode breaker
+#: state rather than fail the slot, ``extra["fallback"]`` is ``True``.
 TASK_RETRY = "TASK_RETRY"
 #: A hedged duplicate was launched; ``extra["hedge"]`` counts the
 #: slot's hedges so far.
@@ -72,6 +74,16 @@ BREAKER_CLOSE = "BREAKER_CLOSE"
 #: The drift monitor replaced a server's unloaded CDF estimate;
 #: ``extra["ks_distance"]`` is the divergence that triggered it.
 CDF_REBOOTSTRAP = "CDF_REBOOTSTRAP"
+#: The replica layer withheld a hedge duplicate; ``extra["reason"]`` is
+#: one of ``"budget"`` (redundancy budget exhausted), ``"pressure"``
+#: (cluster-pressure EWMA over threshold), ``"score"`` (no server
+#: scored well enough to plausibly win).  The hedge timer re-arms.
+HEDGE_SUPPRESSED = "HEDGE_SUPPRESSED"
+#: The adaptive hedge controller adjusted its delay factor;
+#: ``extra["factor"]`` is the new base-delay multiplier and
+#: ``extra["win_ratio"]`` the windowed duplicate-win ratio that drove
+#: the move.
+HEDGE_DELAY_UPDATE = "HEDGE_DELAY_UPDATE"
 #: Terminal event: the query's last winning task finished, so the query
 #: completed; ``extra["latency"]`` is its end-to-end response time.
 QUERY_COMPLETE = "QUERY_COMPLETE"
@@ -101,6 +113,8 @@ EVENT_TYPES = frozenset({
     BREAKER_OPEN,
     BREAKER_CLOSE,
     CDF_REBOOTSTRAP,
+    HEDGE_SUPPRESSED,
+    HEDGE_DELAY_UPDATE,
     QUERY_COMPLETE,
     QUERY_TIMEOUT,
 })

@@ -137,6 +137,36 @@ class OverloadController:
             return "closed"
         return self._breakers.state_name(server_id)
 
+    @property
+    def has_breakers(self) -> bool:
+        return self._breakers is not None
+
+    def server_permitted(self, server_id: int, now: float) -> bool:
+        """Whether this server's breaker would accept work at ``now``.
+
+        Pure with respect to the half-open probe budget (nothing is
+        consumed); the lazy OPEN→HALF_OPEN refresh it performs is
+        idempotent and time-monotone, so calling it at matching points
+        on both kernels preserves cross-path determinism.
+        """
+        if self._breakers is None:
+            return True
+        return self._breakers.permits(server_id, now)
+
+    def mitigation_up(self, up: Sequence[bool], now: float) -> Sequence[bool]:
+        """The ``up`` vector restricted to breaker-permitted servers.
+
+        The fault layer's retry requeue and hedge placement use this so
+        mitigation traffic avoids servers whose breakers are refusing
+        work (shedding onto a tripping server only deepens its queue).
+        Returns ``up`` unchanged without breakers.
+        """
+        if self._breakers is None:
+            return up
+        permits = self._breakers.permits
+        return [alive and permits(sid, now)
+                for sid, alive in enumerate(up)]
+
     # ------------------------------------------------------------------
     # Arrival-side decision
     # ------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Adaptive redundancy & replica selection (see ``docs/faults.md``).
+
+Declarative policies (:class:`ReplicaScorer`,
+:class:`HedgeSuppressionPolicy`, :class:`AdaptiveHedgePolicy`,
+composed under :class:`ReplicaPolicy`) plus the runtime
+:class:`ReplicaController` shared by both simulation kernels and the
+DES-path installer :func:`install_replicas`.
+"""
+
+from repro.replicas.controller import ReplicaController, install_replicas
+from repro.replicas.policy import (
+    AdaptiveHedgePolicy,
+    HedgeSuppressionPolicy,
+    ReplicaPolicy,
+    ReplicaScorer,
+)
+
+__all__ = [
+    "AdaptiveHedgePolicy",
+    "HedgeSuppressionPolicy",
+    "ReplicaController",
+    "ReplicaPolicy",
+    "ReplicaScorer",
+    "install_replicas",
+]

@@ -61,6 +61,12 @@ from repro.overload import (
     DegradePolicy,
     OverloadPolicy,
 )
+from repro.replicas import (
+    AdaptiveHedgePolicy,
+    ReplicaPolicy,
+    ReplicaScorer,
+    install_replicas,
+)
 from repro.sim import Environment
 from repro.types import QuerySpec, ServiceClass
 from repro.workloads import (
@@ -145,6 +151,21 @@ def digest_result(result) -> Dict:
         counters["timeline_queued_sum"] = int(
             result.timeline.queued_tasks.sum())
         counters["timeline_busy_sum"] = int(result.timeline.busy_servers.sum())
+    if result.replicas is not None:
+        # Pin the replica controller's decision sequence, not just its
+        # latency side effects: the launch/suppression tallies and the
+        # full AIMD delay trace are bit-exact functions of the feed
+        # order both kernels must reproduce.
+        rc = result.replicas
+        counters["hedges_suppressed"] = result.hedges_suppressed
+        counters["replica_base_launches"] = rc.base_launches
+        counters["replica_hedges_launched"] = rc.hedges_launched
+        counters["replica_suppressed_by"] = dict(rc.suppressed_by)
+        counters["replica_hedge_wins"] = rc.hedge_wins
+        counters["replica_hedge_losses"] = rc.hedge_losses
+        counters["replica_delay_trace"] = [
+            [_hex(t), _hex(f)] for t, f in rc.delay_trace
+        ]
     return {"arrays": arrays, "counters": counters, "spot": spot}
 
 
@@ -294,6 +315,35 @@ CALENDAR_SCENARIOS["fault_heavy_tailguard"] = lambda: ClusterConfig(
     seed=23,
 ).with_faults(_FAULT_HEAVY_PLAN)
 
+# Straggler-heavy adaptive hedging at rack scale: long overlapping
+# slowdown episodes on a 100-server cluster with the replica layer's
+# scored placement and budgeted AIMD delay controller active — pins the
+# controller's entire decision sequence (launch/suppression tallies and
+# the hedge-delay trace are part of the digest) on top of the per-query
+# latencies.
+_REPLICA_STRAGGLER_PLAN = FaultPlan(
+    stragglers=(
+        StragglerEpisode((3, 11, 47), 0.0, 60.0, 4.0),
+        StragglerEpisode((8, 21, 60, 72), 30.0, 110.0, 3.0),
+    ),
+    retry=RetryPolicy(max_retries=2, backoff_ms=0.531, timeout_ms=9.207),
+    hedge=HedgePolicy(delay_ms=1.113, max_hedges=2),
+)
+_REPLICA_POLICY = ReplicaPolicy(
+    scorer=ReplicaScorer(tail_weight=0.5, tail_alpha=0.2),
+    adaptive=AdaptiveHedgePolicy(
+        window_hedges=50, min_samples=10, ctl_interval_ms=10.0,
+        max_duplicate_fraction=0.2),
+)
+CALENDAR_SCENARIOS["replica_straggler_tailguard"] = lambda: ClusterConfig(
+    n_servers=100,
+    policy="tailguard",
+    workload=_small_workload(n_classes=2, fanouts=(1, 8, 32)).at_load(
+        0.7, 100),
+    n_queries=2000,
+    seed=29,
+).with_faults(_REPLICA_STRAGGLER_PLAN).with_replicas(_REPLICA_POLICY)
+
 # Pause-mode plans (no retry, no hedge): crashes pause servers instead
 # of killing work, so the calendar runs without slots/timers at all —
 # the specialized no-mitigation fast loop is pinned by these.
@@ -352,8 +402,9 @@ def _kernel_cdfs():
             for sid in range(_KERNEL_N_SERVERS)}
 
 
-def run_kernel_scenario(policy_name: str,
-                        plan: Optional[FaultPlan]) -> Tuple[Dict, set]:
+def run_kernel_scenario(
+        policy_name: str, plan: Optional[FaultPlan],
+        rpolicy: Optional[ReplicaPolicy] = None) -> Tuple[Dict, set]:
     specs = _kernel_trace()
     env = Environment()
     policy = get_policy(policy_name)
@@ -368,6 +419,8 @@ def run_kernel_scenario(policy_name: str,
     if plan is not None:
         install_faults(env, handler, servers, plan,
                        fault_horizon(specs[-1].arrival_time), cdfs)
+    if rpolicy is not None:
+        install_replicas(env, handler, servers, rpolicy)
     env.process(handler.drive(specs))
     env.run()
     latencies = {
@@ -377,10 +430,24 @@ def run_kernel_scenario(policy_name: str,
     return latencies, failed
 
 
-KERNEL_SCENARIOS: Dict[str, Tuple[str, Optional[FaultPlan]]] = {}
+KERNEL_SCENARIOS: Dict[
+    str, Tuple[str, Optional[FaultPlan], Optional[ReplicaPolicy]]] = {}
 for _policy in _POLICIES:
     for _plan_name, _plan in _KERNEL_PLANS.items():
-        KERNEL_SCENARIOS[f"kernel_{_plan_name}_{_policy}"] = (_policy, _plan)
+        KERNEL_SCENARIOS[f"kernel_{_plan_name}_{_policy}"] = (
+            _policy, _plan, None)
+
+# The DES-kernel twin of ``replica_straggler_tailguard`` (same
+# mechanisms on the fixed pre-placed trace): stragglers + retries +
+# hedging with the adaptive replica controller installed.
+_KERNEL_REPLICA_PLAN = FaultPlan(
+    stragglers=(StragglerEpisode((1, 4), 0.0, 60.0, 3.0),),
+    retry=RetryPolicy(max_retries=2, backoff_ms=0.531, timeout_ms=9.207),
+    hedge=HedgePolicy(delay_ms=1.717, max_hedges=2),
+)
+for _policy in ("fifo", "tailguard"):
+    KERNEL_SCENARIOS[f"kernel_replicas_{_policy}"] = (
+        _policy, _KERNEL_REPLICA_PLAN, _REPLICA_POLICY)
 
 
 # ----------------------------------------------------------------------
@@ -392,8 +459,8 @@ def compute_digest(name: str) -> Dict:
         digest = digest_result(result)
         digest["path"] = "event-calendar"
     else:
-        policy, plan = KERNEL_SCENARIOS[name]
-        latencies, failed = run_kernel_scenario(policy, plan)
+        policy, plan, rpolicy = KERNEL_SCENARIOS[name]
+        latencies, failed = run_kernel_scenario(policy, plan, rpolicy)
         digest = digest_kernel_run(latencies, failed, _KERNEL_N_QUERIES)
         digest["path"] = "des-kernel"
     digest["scenario"] = name

@@ -30,6 +30,7 @@ from repro.distributions import Deterministic
 from repro.faults import (
     Downtime,
     FaultPlan,
+    HedgePolicy,
     RetryPolicy,
     fault_horizon,
     install_faults,
@@ -286,3 +287,130 @@ def test_admission_alone_matches_unprotected_when_idle():
         assert protected[spec.query_id][1] == pytest.approx(
             clean.latency[i], abs=1e-9
         )
+
+
+# ----------------------------------------------------------------------
+# Regression: mitigation traffic must respect open breakers.
+# ----------------------------------------------------------------------
+
+HEDGE_PLAN = FaultPlan(
+    downtimes=(
+        Downtime(2, 10.113, 17.391),
+        Downtime(5, 30.207, 38.119),
+    ),
+    retry=RetryPolicy(max_retries=3, backoff_ms=0.377, timeout_ms=6.551),
+    hedge=HedgePolicy(delay_ms=2.131, max_hedges=1),
+)
+
+BREAKER_OPEN_MS = 5.113
+BREAKERS_ONLY = OverloadPolicy(
+    admission=ADM,
+    breakers=BreakerPolicy(miss_threshold=4, open_ms=BREAKER_OPEN_MS,
+                           half_open_probes=2, close_successes=3),
+)
+
+
+def _assert_mitigations_respect_breakers(events):
+    """No retry requeue or hedge lands on a server whose breaker is in
+    its OPEN phase (the first ``open_ms`` after the trip; afterwards the
+    breaker is HALF_OPEN and probe traffic is legitimate).  Two exempt
+    classes: dispatch-time redirects (they route a query's *initial*
+    copy off a dead server and deliberately ignore breakers on both
+    paths) and ``fallback``-marked retries (every up server was
+    refusing, so the retry knowingly overrode breaker state rather than
+    fail the slot).  A window is clipped at the server's next
+    ``SERVER_RECOVER``: a crash-tripped breaker goes straight to
+    HALF_OPEN on recovery, so probe traffic after that instant is
+    legitimate even inside the nominal ``open_ms`` span."""
+    from repro.obs.events import (
+        BREAKER_OPEN,
+        SERVER_RECOVER,
+        TASK_HEDGE,
+        TASK_RETRY,
+    )
+
+    recoveries = {}
+    for event in events:
+        if event.type == SERVER_RECOVER:
+            recoveries.setdefault(event.server_id, []).append(event.time)
+    windows = {}
+    for event in events:
+        if event.type == BREAKER_OPEN:
+            end = event.time + BREAKER_OPEN_MS
+            for recover_t in recoveries.get(event.server_id, ()):
+                if event.time < recover_t < end:
+                    end = recover_t
+                    break
+            windows.setdefault(event.server_id, []).append(
+                (event.time, end))
+    assert windows, "no breaker ever opened: the regression is vacuous"
+
+    mitigations = [
+        event for event in events
+        if event.type in (TASK_RETRY, TASK_HEDGE)
+        and (event.extra or {}).get("reason") != "redirect"
+        and not (event.extra or {}).get("fallback")
+    ]
+    assert mitigations, "no retry/hedge fired: the regression is vacuous"
+
+    offenders = [
+        (event.type, event.server_id, event.time)
+        for event in mitigations
+        for start, end in windows.get(event.server_id, ())
+        if start <= event.time < end
+    ]
+    assert not offenders, (
+        f"mitigation traffic targeted open breakers: {offenders[:5]}"
+    )
+    # Non-vacuity: mitigations did fire *while* some breaker was open —
+    # they just went elsewhere.
+    assert any(
+        start <= event.time < end
+        for event in mitigations
+        for wins in windows.values()
+        for start, end in wins
+    ), "no mitigation coincided with an open breaker window"
+
+
+def test_retries_and_hedges_skip_open_breakers():
+    """Regression (both paths): with an active OverloadPolicy, retry
+    requeue and hedge placement exclude breaker-open servers.  Before
+    the fix both paths picked the least-loaded *up* server, happily
+    re-queuing onto the exact server the breaker had just isolated."""
+    from repro.obs import TraceRecorder
+
+    specs = build_trace()
+
+    # Fast path (generic event-calendar loop, traced).
+    recorder = TraceRecorder()
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        policy="tailguard",
+        specs=specs,
+        server_cdfs=server_cdfs(),
+        warmup_fraction=0.0,
+        recorder=recorder,
+    ).with_overload(BREAKERS_ONLY).with_faults(HEDGE_PLAN)
+    simulate(config)
+    _assert_mitigations_respect_breakers(recorder.events)
+
+    # DES-kernel path.
+    env = Environment()
+    policy = get_policy("tailguard")
+    cdfs = server_cdfs()
+    estimator = DeadlineEstimator(dict(cdfs))
+    kernel_rec = TraceRecorder()
+    servers = [
+        TaskServer(env, sid, policy, cdfs[sid], np.random.default_rng(sid))
+        for sid in range(N_SERVERS)
+    ]
+    handler = QueryHandler(env, servers, estimator, policy,
+                           np.random.default_rng(123), recorder=kernel_rec)
+    install_faults(env, handler, servers, HEDGE_PLAN,
+                   fault_horizon(specs[-1].arrival_time), cdfs,
+                   recorder=kernel_rec)
+    install_overload(env, handler, servers, BREAKERS_ONLY,
+                     recorder=kernel_rec)
+    env.process(handler.drive(specs))
+    env.run()
+    _assert_mitigations_respect_breakers(kernel_rec.events)

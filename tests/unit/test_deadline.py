@@ -5,6 +5,7 @@ import pytest
 from repro.core.deadline import DeadlineEstimator
 from repro.distributions import Exponential, iid_max_quantile
 from repro.errors import ConfigurationError
+from repro.faults import HedgePolicy
 from repro.types import ServiceClass
 
 
@@ -208,3 +209,66 @@ class TestTailCacheBound:
     def test_cap_validation(self, service):
         with pytest.raises(ConfigurationError):
             DeadlineEstimator(service, n_servers=100, tail_cache_max=0)
+
+
+class TestHedgeDelayMemo:
+    """Quantile-mode hedge delays route through the versioned memo."""
+
+    def test_prop_hedge_delay_matches_direct_inversion(self, service):
+        # Property: for every (server, quantile) pair the memo-routed
+        # delay equals the direct primary-CDF inversion, first call
+        # (miss) and second call (hit) alike.
+        slow = Exponential(2.0)
+        estimator = DeadlineEstimator({0: service, 1: slow, 2: service})
+        for q in (0.5, 0.9, 0.95, 0.99):
+            policy = HedgePolicy(quantile=q)
+            for sid in (0, 1, 2):
+                direct = policy.delay_for(estimator.server_cdf(sid))
+                assert estimator.hedge_delay(sid, q) == direct
+                assert policy.delay_via(estimator, sid) == direct
+
+    def test_shared_distribution_shares_memo_entry(self, service):
+        # Servers backed by the same CDF object hit one memo entry —
+        # the key is the distribution signature, not the server id.
+        estimator = DeadlineEstimator(service, n_servers=8)
+        estimator.hedge_delay(0, 0.95)
+        size = len(estimator._tail_cache)
+        for sid in range(1, 8):
+            estimator.hedge_delay(sid, 0.95)
+        assert len(estimator._tail_cache) == size
+
+    def test_explicit_delay_ms_bypasses_estimator(self):
+        # A fixed-delay policy never touches the estimator: delay_via
+        # works even with no estimator at hand.
+        policy = HedgePolicy(delay_ms=2.5)
+        assert policy.delay_via(None, 0) == 2.5
+        assert policy.delay_for(None) == 2.5
+
+    def test_rebootstrap_invalidates_hedge_delay(self, service):
+        estimator = DeadlineEstimator({0: service, 1: service})
+        policy = HedgePolicy(quantile=0.95)
+        stale = policy.delay_via(estimator, 0)
+        slower = Exponential(1.0)  # mean 1 ms instead of 0.1
+        estimator.rebootstrap(0, slower)
+        fresh = policy.delay_via(estimator, 0)
+        assert fresh == float(slower.quantile(0.95))
+        assert fresh > stale
+        # Server 1 keeps the original distribution and delay.
+        assert policy.delay_via(estimator, 1) == pytest.approx(stale)
+
+    def test_online_refresh_invalidates_hedge_delay(self, service):
+        estimator = DeadlineEstimator(service, n_servers=2,
+                                      online_window=100, refresh_interval=10)
+        policy = HedgePolicy(quantile=0.9)
+        before = policy.delay_via(estimator, 0)
+        # Feed much slower observations past the refresh interval so
+        # the memo version advances and the delay is re-derived.
+        for _ in range(50):
+            estimator.record(0, 5.0)
+        after = policy.delay_via(estimator, 0)
+        assert after > before
+        assert after == float(estimator.server_cdf(0).quantile(0.9))
+
+    def test_unknown_server_rejected(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.hedge_delay(999, 0.95)

@@ -107,3 +107,35 @@ def test_observability_doc_snippet():
     buffer = io.StringIO()
     assert write_chrome_trace(recorder, buffer) > 0
     assert result.obs is recorder
+
+
+def test_faults_doc_replica_snippet():
+    """The docs/faults.md adaptive-redundancy snippet works as written."""
+    from repro import (
+        AdaptiveHedgePolicy,
+        FaultPlan,
+        HedgePolicy,
+        HedgeSuppressionPolicy,
+        ReplicaPolicy,
+        ReplicaScorer,
+        StragglerEpisode,
+        simulate,
+    )
+    from repro.experiments.setups import paper_single_class_config
+
+    plan = FaultPlan(
+        stragglers=(StragglerEpisode((0, 1), 10.0, 60.0, 3.0),),
+        hedge=HedgePolicy(delay_ms=1.0),
+    )
+    rpolicy = ReplicaPolicy(
+        scorer=ReplicaScorer(tail_weight=0.5),
+        suppression=HedgeSuppressionPolicy(pressure_threshold_ms=1.0),
+        adaptive=AdaptiveHedgePolicy(max_duplicate_fraction=0.15),
+    )
+    config = paper_single_class_config(
+        "masstree", 1.0, n_queries=2_000,
+    ).at_load(0.5)
+    result = simulate(config.with_faults(plan).with_replicas(rpolicy))
+    assert result.replicas is not None
+    assert 0.0 <= result.replicas.duplicate_fraction() <= 0.15
+    assert result.replicas.delay_scale() > 0.0

@@ -15,6 +15,7 @@ from repro.federation import (
     simulate_federation,
 )
 from repro.obs import TraceRecorder
+from repro.replicas import ReplicaScorer
 from repro.workloads import (
     PoissonArrivals,
     Workload,
@@ -100,6 +101,14 @@ class TestFederationConfig:
         with pytest.raises(ConfigurationError, match="recorder"):
             FederationConfig((shard,), workload=workload,
                              recorder=TraceRecorder())
+
+    def test_scorer_requires_least_slack_router(self):
+        with pytest.raises(ConfigurationError, match="least-slack"):
+            make_fed(scorer=ReplicaScorer())
+
+    def test_scorer_type_checked(self):
+        with pytest.raises(ConfigurationError, match="ReplicaScorer"):
+            make_fed(router="least-slack", scorer=object())
 
     def test_shards_coerced_to_tuple(self):
         workload = make_workload()
@@ -214,6 +223,26 @@ class TestRouters:
         fed = make_fed(n_shards=3, router="least-slack")
         outcome = run_router(fed, m=50, spacing=0.0)
         assert np.all(outcome.shard_of == 0)
+
+    def test_scored_least_slack_prefers_fast_tail_shard(self):
+        # One fast shard (mean 1 ms) and one slow (mean 4 ms).  Plain
+        # least-slack is a tightest-fit packer: the slow shard's smaller
+        # budget means smaller slack, so it fills first.  With a
+        # tail-weighted ReplicaScorer the ranking flips — zero backlog
+        # makes the score the tail term alone, and the fast shard wins.
+        workload = make_workload()
+        # NB make_workload's mean_ms is Exponential's *rate*: 0.25 -> a
+        # 4 ms mean, four times slower than the default shard.
+        shards = (make_shard(4, workload=workload),
+                  make_shard(4, workload=make_workload(mean_ms=0.25)))
+        plain = FederationConfig(shards, workload=workload,
+                                 router="least-slack")
+        scored = plain.with_scorer(ReplicaScorer(tail_weight=1.0))
+        assert run_router(plain, m=50).shard_of[0] == 1
+        outcome = run_router(scored, m=200)
+        assert outcome.shard_of[0] == 0
+        counts = np.bincount(outcome.shard_of, minlength=2)
+        assert counts[0] > counts[1]
 
     def test_outcome_shapes(self):
         fed = make_fed(n_shards=2)

@@ -13,6 +13,7 @@ import repro
 EXPECTED = [
     "AdaptiveAdmission",
     "AdaptiveAdmissionPolicy",
+    "AdaptiveHedgePolicy",
     "AdmissionController",
     "AdmissionRejected",
     "BreakerPolicy",
@@ -33,6 +34,7 @@ EXPECTED = [
     "FederationConfig",
     "FederationResult",
     "HedgePolicy",
+    "HedgeSuppressionPolicy",
     "NoAdmission",
     "NullRecorder",
     "OverloadPolicy",
@@ -43,6 +45,8 @@ EXPECTED = [
     "QueryHandler",
     "QueryRecord",
     "QuerySpec",
+    "ReplicaPolicy",
+    "ReplicaScorer",
     "ReproError",
     "RequestPlanner",
     "RequestSpec",
@@ -65,6 +69,7 @@ EXPECTED = [
     "get_workload",
     "install_faults",
     "install_overload",
+    "install_replicas",
     "inverse_proportional_fanout",
     "load_sweep",
     "run_experiment",
